@@ -1,0 +1,80 @@
+// E8 -- ablation of the serialization refinements (the paper's Section II.B
+// narrative): grouping on/off for WCNC and serialization on/off for the
+// trajectory approach, on the industrial-like configuration.
+#include <numeric>
+
+#include "analysis/comparison.hpp"
+#include "bench_util.hpp"
+#include "gen/industrial.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace afdx;
+
+double mean_of(const std::vector<Microseconds>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+void run_experiment(std::ostream& out) {
+  out << "E8 / ablation: serialization refinements on the industrial-like "
+         "configuration\n\n";
+
+  const TrafficConfig cfg = gen::industrial_config();
+
+  netcalc::Options nc_plain;
+  nc_plain.grouping = false;
+  trajectory::Options tj_plain;
+  tj_plain.serialization = false;
+  trajectory::Options tj_loose;
+  tj_loose.loose_boundary_packet = true;
+
+  const auto nc = netcalc::analyze(cfg).path_bounds;
+  const auto nc0 = netcalc::analyze(cfg, nc_plain).path_bounds;
+  const auto tj = trajectory::analyze(cfg).path_bounds;
+  const auto tj0 = trajectory::analyze(cfg, tj_plain).path_bounds;
+  const auto tjl = trajectory::analyze(cfg, tj_loose).path_bounds;
+
+  report::Table t({"variant", "mean bound (us)", "vs refined (%)"});
+  auto gain = [](double base, double refined) {
+    return (base - refined) / base * 100.0;
+  };
+  t.add_row({"WCNC grouped (paper default)", report::fmt(mean_of(nc)), "--"});
+  t.add_row({"WCNC without grouping", report::fmt(mean_of(nc0)),
+             "+" + report::fmt(gain(mean_of(nc0), mean_of(nc)))});
+  t.add_row({"Trajectory serialized (default)", report::fmt(mean_of(tj)), "--"});
+  t.add_row({"Trajectory without serialization", report::fmt(mean_of(tj0)),
+             "+" + report::fmt(gain(mean_of(tj0), mean_of(tj)))});
+  t.add_row({"Trajectory, loose boundary packet", report::fmt(mean_of(tjl)),
+             "+" + report::fmt(gain(mean_of(tjl), mean_of(tj)))});
+  t.print(out);
+
+  out << "\npaper narrative: the grouping technique brought a double-digit\n"
+         "percent improvement to WCNC on the industrial configuration, and\n"
+         "its introduction into the trajectory approach brought similar\n"
+         "improvements.\n";
+}
+
+void BM_NetcalcNoGrouping(benchmark::State& state) {
+  const TrafficConfig cfg = gen::industrial_config();
+  netcalc::Options o;
+  o.grouping = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netcalc::analyze(cfg, o));
+  }
+}
+BENCHMARK(BM_NetcalcNoGrouping)->Unit(benchmark::kMillisecond);
+
+void BM_TrajectoryNoSerialization(benchmark::State& state) {
+  const TrafficConfig cfg = gen::industrial_config();
+  trajectory::Options o;
+  o.serialization = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trajectory::analyze(cfg, o));
+  }
+}
+BENCHMARK(BM_TrajectoryNoSerialization)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AFDX_BENCH_MAIN(run_experiment)

@@ -1,0 +1,23 @@
+// Shared scaffolding for the experiment benches. Every bench binary
+// reproduces one table/figure of the paper: it first prints the
+// reproduction (tables / ASCII charts), then runs its google-benchmark
+// timings of the underlying analyses.
+//
+// AFDX_BENCH_MAIN(run) expands to a main() that prints the experiment via
+// `run(std::cout)` and then executes the registered benchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#define AFDX_BENCH_MAIN(run_experiment)                  \
+  int main(int argc, char** argv) {                      \
+    run_experiment(std::cout);                           \
+    ::benchmark::Initialize(&argc, argv);                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    std::cout << "\n-- timings "                         \
+                 "------------------------------------------------\n"; \
+    ::benchmark::RunSpecifiedBenchmarks();               \
+    return 0;                                            \
+  }

@@ -1,0 +1,87 @@
+// Evaluation beyond the paper: how tight are the analytic bounds? The
+// worst-case schedule search produces certified achievable delays (lower
+// bounds on the true worst case); the ratio achieved/bound measures the
+// residual pessimism of each method.
+#include "analysis/comparison.hpp"
+#include "bench_util.hpp"
+#include "config/samples.hpp"
+#include "gen/industrial.hpp"
+#include "report/table.hpp"
+#include "sim/worst_case_search.hpp"
+
+namespace {
+
+using namespace afdx;
+
+void run_experiment(std::ostream& out) {
+  out << "EXT / bound tightness: certified achievable delay vs analytic "
+         "bounds\n\n";
+
+  {
+    out << "sample configuration (exhaustive offset sweep):\n";
+    const TrafficConfig cfg = config::sample_config();
+    const analysis::Comparison c = analysis::compare(cfg);
+    report::Table t({"VL", "achieved (us)", "trajectory (us)", "WCNC (us)",
+                     "achieved/combined"});
+    for (std::size_t i = 0; i < cfg.all_paths().size(); ++i) {
+      const VlPath& p = cfg.all_paths()[i];
+      const sim::SearchResult r =
+          sim::worst_case_search(cfg, PathRef{p.vl, p.dest_index});
+      t.add_row({cfg.vl(p.vl).name, report::fmt(r.worst_delay),
+                 report::fmt(c.trajectory[i]), report::fmt(c.netcalc[i]),
+                 report::fmt(r.worst_delay / c.combined[i] * 100.0, 1) + " %"});
+    }
+    t.print(out);
+  }
+
+  {
+    out << "\nindustrial-like sub-configuration (coordinate descent, every "
+           "13th path):\n";
+    gen::IndustrialOptions go;
+    go.vl_count = 60;
+    go.end_system_count = 16;
+    go.switch_count = 5;
+    const TrafficConfig cfg = gen::industrial_config(go);
+    const analysis::Comparison c = analysis::compare(cfg);
+    sim::SearchOptions so;
+    so.steps_per_vl = 4;
+    so.random_restarts = 1;
+    so.max_rounds = 2;
+
+    double sum_ratio = 0.0, min_ratio = 1.0, max_ratio = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < cfg.all_paths().size(); i += 13) {
+      const VlPath& p = cfg.all_paths()[i];
+      const sim::SearchResult r =
+          sim::worst_case_search(cfg, PathRef{p.vl, p.dest_index}, so);
+      const double ratio = r.worst_delay / c.combined[i];
+      sum_ratio += ratio;
+      min_ratio = std::min(min_ratio, ratio);
+      max_ratio = std::max(max_ratio, ratio);
+      ++n;
+    }
+    report::Table t({"paths probed", "mean achieved/bound", "min", "max"});
+    t.add_row({std::to_string(n),
+               report::fmt(sum_ratio / static_cast<double>(n) * 100.0, 1) + " %",
+               report::fmt(min_ratio * 100.0, 1) + " %",
+               report::fmt(max_ratio * 100.0, 1) + " %"});
+    t.print(out);
+  }
+  out << "\nOn the sample configuration the combined bound is achieved\n"
+         "exactly for v3/v4/v5 (100 %): zero residual pessimism there; the\n"
+         "v1/v2 witnesses need a finer phase sliver than the offset grid.\n"
+         "On industrial-scale ports the remaining gap mixes analysis\n"
+         "pessimism with schedules the bounded search did not try.\n";
+}
+
+void BM_WorstCaseSearchSample(benchmark::State& state) {
+  const TrafficConfig cfg = config::sample_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::worst_case_search(cfg, PathRef{3, 0}));
+  }
+}
+BENCHMARK(BM_WorstCaseSearchSample)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AFDX_BENCH_MAIN(run_experiment)

@@ -1,0 +1,51 @@
+// E3 -- Figure 5 of the paper: mean benefit of the trajectory approach over
+// WCNC, per BAG value, on the industrial-like configuration.
+#include "analysis/comparison.hpp"
+#include "bench_util.hpp"
+#include "gen/industrial.hpp"
+#include "report/chart.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace afdx;
+
+void run_experiment(std::ostream& out) {
+  out << "E3 / Figure 5: mean benefit of Trajectories over WCNC per BAG "
+         "value\n\n";
+
+  const TrafficConfig cfg = gen::industrial_config();
+  const analysis::Comparison c = analysis::compare(cfg);
+  const auto by_bag = analysis::mean_benefit_by_bag(cfg, c);
+
+  report::Table t({"BAG (ms)", "mean benefit (%)", "paths"});
+  report::Series series;
+  series.name = "mean benefit of trajectory over WCNC (%)";
+  std::vector<std::size_t> counts;
+  for (const auto& [bag, benefit] : by_bag) {
+    std::size_t n = 0;
+    for (const VlPath& p : cfg.all_paths()) {
+      if (cfg.vl(p.vl).bag == bag) ++n;
+    }
+    t.add_row({report::fmt(bag / 1000.0, 0), report::fmt(benefit * 100.0),
+               std::to_string(n)});
+    series.points.push_back({bag / 1000.0, benefit * 100.0});
+  }
+  t.print(out);
+  out << "\n";
+  report::line_chart(out, {series}, 64, 14, /*log_x=*/true);
+  out << "\npaper shape: benefit globally increases when the BAG decreases\n"
+         "(small-BAG VLs load the network more; WCNC degrades faster).\n";
+}
+
+void BM_CompareIndustrial(benchmark::State& state) {
+  const TrafficConfig cfg = gen::industrial_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::compare(cfg));
+  }
+}
+BENCHMARK(BM_CompareIndustrial)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AFDX_BENCH_MAIN(run_experiment)

@@ -1,0 +1,49 @@
+// E4 -- Figure 6 of the paper: percentage of VL paths, per s_max bucket,
+// for which the WCNC bound is at least as tight as the trajectory bound.
+#include "analysis/comparison.hpp"
+#include "bench_util.hpp"
+#include "gen/industrial.hpp"
+#include "report/chart.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace afdx;
+
+void run_experiment(std::ostream& out) {
+  out << "E4 / Figure 6: share of VL paths where WCNC outperforms the "
+         "trajectory approach, per s_max\n\n";
+
+  const TrafficConfig cfg = gen::industrial_config();
+  const analysis::Comparison c = analysis::compare(cfg);
+  const auto by_smax = analysis::wcnc_win_ratio_by_smax(cfg, c, 150);
+
+  report::Table t({"s_max bucket (B)", "WCNC wins (%)"});
+  report::Series series;
+  series.name = "WCNC at least as tight (%)";
+  for (const auto& [bucket, ratio] : by_smax) {
+    t.add_row({"<= " + std::to_string(bucket), report::fmt(ratio * 100.0, 1)});
+    series.points.push_back({static_cast<double>(bucket), ratio * 100.0});
+  }
+  t.print(out);
+  out << "\n";
+  report::line_chart(out, {series}, 64, 14);
+  out << "\npaper shape: the ratio globally increases when s_max decreases\n"
+         "(trajectory pessimism grows with the gap between the flow's own\n"
+         "frames and the biggest frames it meets). On synthetic\n"
+         "configurations the trend is visible at the range extremes but\n"
+         "noisy in the middle -- see EXPERIMENTS.md E4.\n";
+}
+
+void BM_WinRatioAggregation(benchmark::State& state) {
+  const TrafficConfig cfg = gen::industrial_config();
+  const analysis::Comparison c = analysis::compare(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::wcnc_win_ratio_by_smax(cfg, c, 150));
+  }
+}
+BENCHMARK(BM_WinRatioAggregation);
+
+}  // namespace
+
+AFDX_BENCH_MAIN(run_experiment)

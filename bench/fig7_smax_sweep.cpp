@@ -1,0 +1,57 @@
+// E5 -- Figure 7 of the paper: effect of s_max(v1) on the end-to-end delay
+// bounds of v1 on the sample configuration (both methods).
+#include "analysis/comparison.hpp"
+#include "bench_util.hpp"
+#include "config/samples.hpp"
+#include "report/chart.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace afdx;
+
+void run_experiment(std::ostream& out) {
+  out << "E5 / Figure 7: bounds on v1 while sweeping s_max(v1), other VLs "
+         "at 500 B\n\n";
+
+  report::Table t({"s_max(v1) (B)", "Trajectory (us)", "WCNC (us)",
+                   "tightest"});
+  report::Series traj_series, nc_series;
+  traj_series.name = "Trajectory";
+  traj_series.marker = 'T';
+  nc_series.name = "WCNC";
+  nc_series.marker = 'N';
+
+  for (Bytes s = 100; s <= 1500; s += 100) {
+    config::SampleOptions o;
+    o.s_max_v1 = s;
+    const TrafficConfig cfg = config::sample_config(o);
+    const analysis::Comparison c = analysis::compare(cfg);
+    t.add_row({std::to_string(s), report::fmt(c.trajectory[0]),
+               report::fmt(c.netcalc[0]),
+               c.trajectory[0] < c.netcalc[0] ? "trajectory" : "WCNC"});
+    traj_series.points.push_back({static_cast<double>(s), c.trajectory[0]});
+    nc_series.points.push_back({static_cast<double>(s), c.netcalc[0]});
+  }
+  t.print(out);
+  out << "\n";
+  report::line_chart(out, {traj_series, nc_series}, 64, 16);
+  out << "\npaper shape: the two curves intersect around the other VLs'\n"
+         "frame size (500 B); below it WCNC is tighter and the gap widens\n"
+         "as s_max(v1) decreases, above it the trajectory bound stays\n"
+         "slightly tighter.\n";
+}
+
+void BM_SweepPoint(benchmark::State& state) {
+  config::SampleOptions o;
+  o.s_max_v1 = static_cast<Bytes>(state.range(0));
+  const TrafficConfig cfg = config::sample_config(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::compare(cfg));
+  }
+}
+BENCHMARK(BM_SweepPoint)->Arg(100)->Arg(500)->Arg(1500);
+
+}  // namespace
+
+AFDX_BENCH_MAIN(run_experiment)

@@ -1,0 +1,67 @@
+// E7 -- Figure 9 of the paper: combined influence of BAG(v1) and s_max(v1)
+// on the difference (WCNC bound - Trajectory bound) for v1, as a signed
+// heat map plus the raw grid in CSV form.
+#include "analysis/comparison.hpp"
+#include "bench_util.hpp"
+#include "config/samples.hpp"
+#include "report/chart.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace afdx;
+
+void run_experiment(std::ostream& out) {
+  out << "E7 / Figure 9: WCNC - Trajectory difference (us) for v1 over\n"
+         "(BAG(v1), s_max(v1)); positive = trajectory tighter\n\n";
+
+  std::vector<double> bags_ms;
+  for (double ms = 1.0; ms <= 128.0; ms *= 2.0) bags_ms.push_back(ms);
+  std::vector<Bytes> sizes;
+  for (Bytes s = 100; s <= 1500; s += 200) sizes.push_back(s);
+
+  std::vector<std::vector<double>> grid;  // rows: BAG, cols: s_max
+  std::vector<std::string> row_labels, col_labels;
+  for (Bytes s : sizes) col_labels.push_back(std::to_string(s));
+
+  report::Table csv({"bag_ms", "s_max_bytes", "wcnc_minus_trajectory_us"});
+  for (double ms : bags_ms) {
+    row_labels.push_back(report::fmt(ms, 0) + " ms");
+    grid.emplace_back();
+    for (Bytes s : sizes) {
+      config::SampleOptions o;
+      o.bag_v1 = microseconds_from_ms(ms);
+      o.s_max_v1 = s;
+      const analysis::Comparison c =
+          analysis::compare(config::sample_config(o));
+      const double diff = c.netcalc[0] - c.trajectory[0];
+      grid.back().push_back(diff);
+      csv.add_row({report::fmt(ms, 0), std::to_string(s),
+                   report::fmt(diff, 3)});
+    }
+  }
+
+  report::signed_heatmap(out, grid, row_labels, col_labels);
+  out << "columns: s_max(v1) from " << col_labels.front() << " B to "
+      << col_labels.back() << " B\n\n";
+  out << "raw grid (CSV):\n";
+  csv.print_csv(out);
+  out << "\npaper shape: negative region (WCNC tighter) for small s_max(v1)\n"
+         "across all BAGs, positive (trajectory tighter) at and above the\n"
+         "other VLs' 500 B, with the WCNC penalty growing as BAG shrinks.\n";
+}
+
+void BM_SurfaceCell(benchmark::State& state) {
+  config::SampleOptions o;
+  o.bag_v1 = microseconds_from_ms(4.0);
+  o.s_max_v1 = 500;
+  const TrafficConfig cfg = config::sample_config(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::compare(cfg));
+  }
+}
+BENCHMARK(BM_SurfaceCell);
+
+}  // namespace
+
+AFDX_BENCH_MAIN(run_experiment)

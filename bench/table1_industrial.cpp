@@ -1,0 +1,74 @@
+// E2 -- Table I of the paper: end-to-end delay bound comparison on an
+// industrial configuration. The Airbus configuration is proprietary; this
+// harness regenerates the statistics on the synthetic industrial-like
+// configuration (DESIGN.md, Substitutions). Paper reference values are
+// printed alongside (digits reconstructed from the OCR where garbled).
+#include "analysis/comparison.hpp"
+#include "bench_util.hpp"
+#include "gen/industrial.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace afdx;
+
+void run_experiment(std::ostream& out) {
+  out << "E2 / Table I: end-to-end delay bound comparison on an "
+         "industrial-like configuration\n\n";
+
+  const TrafficConfig cfg = gen::industrial_config();
+  out << "configuration: " << cfg.network().switches().size()
+      << " switches, " << cfg.network().end_systems().size()
+      << " end systems, " << cfg.vl_count() << " VLs, "
+      << cfg.all_paths().size() << " VL paths, max port utilization "
+      << report::fmt(cfg.max_utilization() * 100.0, 1) << " %\n\n";
+
+  const analysis::Comparison c = analysis::compare(cfg);
+  const analysis::BenefitStats traj =
+      analysis::benefit_stats(c.netcalc, c.trajectory);
+  const analysis::BenefitStats best =
+      analysis::benefit_stats(c.netcalc, c.combined);
+
+  report::Table t({"Benefit", "Trajectory/WCNC", "Best/WCNC",
+                   "paper Traj/WCNC", "paper Best/WCNC"});
+  t.add_row({"Mean", report::fmt(traj.mean * 100.0) + " %",
+             report::fmt(best.mean * 100.0) + " %", "~10 %", "~10 %"});
+  t.add_row({"Maximum", report::fmt(traj.max * 100.0) + " %",
+             report::fmt(best.max * 100.0) + " %", "24 %", "24 %"});
+  t.add_row({"Minimum", report::fmt(traj.min * 100.0) + " %",
+             report::fmt(best.min * 100.0) + " %", "-8.9 %", "0 %"});
+  t.print(out);
+
+  out << "\nTrajectory strictly tighter on "
+      << report::fmt(traj.wins_fraction * 100.0, 1)
+      << " % of VL paths (paper: ~90 %).\n"
+      << "The combined bound is never worse than WCNC (minimum benefit "
+      << report::fmt(best.min * 100.0) << " %).\n";
+}
+
+void BM_NetcalcIndustrial(benchmark::State& state) {
+  const TrafficConfig cfg = gen::industrial_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netcalc::analyze(cfg));
+  }
+}
+BENCHMARK(BM_NetcalcIndustrial)->Unit(benchmark::kMillisecond);
+
+void BM_TrajectoryIndustrial(benchmark::State& state) {
+  const TrafficConfig cfg = gen::industrial_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trajectory::analyze(cfg));
+  }
+}
+BENCHMARK(BM_TrajectoryIndustrial)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateIndustrial(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::industrial_config());
+  }
+}
+BENCHMARK(BM_GenerateIndustrial)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AFDX_BENCH_MAIN(run_experiment)

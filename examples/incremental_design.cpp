@@ -1,0 +1,72 @@
+// What-if exploration during network design: an integrator wants to add a
+// new VL to an existing configuration and needs the admissible (BAG, s_max)
+// region under a latency budget -- the workflow the paper's Figures 7-9
+// sweeps come from.
+//
+//   $ ./incremental_design [budget_us]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/comparison.hpp"
+#include "config/samples.hpp"
+#include "report/table.hpp"
+
+using namespace afdx;
+
+namespace {
+
+/// Rebuilds the sample configuration with an extra VL "vNew" from e2 to e6
+/// (sharing both switch hops with v1) and returns the combined bound of the
+/// new VL's path.
+Microseconds bound_with_new_vl(Microseconds bag, Bytes s_max) {
+  const TrafficConfig base = config::sample_config();
+  // Rebuild network and VLs through the public API; TrafficConfig is
+  // immutable by design, so design iterations recreate it.
+  Network net;
+  std::vector<NodeId> nodes;
+  for (NodeId n = 0; n < base.network().node_count(); ++n) {
+    const Node& node = base.network().node(n);
+    nodes.push_back(node.kind == NodeKind::kEndSystem
+                        ? net.add_end_system(node.name)
+                        : net.add_switch(node.name));
+  }
+  for (LinkId l = 0; l < base.network().link_count(); l += 2) {
+    const Link& link = base.network().link(l);
+    LinkParams lp;
+    lp.rate = link.rate;
+    net.connect(nodes[link.source], nodes[link.dest], lp);
+  }
+  std::vector<VirtualLink> vls;
+  for (VlId v = 0; v < base.vl_count(); ++v) vls.push_back(base.vl(v));
+  vls.push_back({"vNew", *net.find_node("e2"), {*net.find_node("e6")}, bag,
+                 64, s_max});
+  const TrafficConfig candidate(std::move(net), std::move(vls));
+  const analysis::Comparison c = analysis::compare(candidate);
+  return c.combined.back();  // the new VL's path is the last one
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Microseconds budget =
+      argc > 1 ? std::strtod(argv[1], nullptr) : 400.0;
+  std::cout << "admissible (BAG, s_max) region for a new e2 -> e6 VL under a "
+            << format_us(budget) << " latency budget\n"
+            << "(each cell: guaranteed bound in us; '*' = admissible)\n\n";
+
+  report::Table t({"BAG \\ s_max", "200 B", "500 B", "1000 B", "1518 B"});
+  for (double ms : {2.0, 4.0, 16.0, 64.0}) {
+    std::vector<std::string> row{report::fmt(ms, 0) + " ms"};
+    for (Bytes s : {200u, 500u, 1000u, 1518u}) {
+      const Microseconds b = bound_with_new_vl(microseconds_from_ms(ms), s);
+      row.push_back(report::fmt(b, 1) + (b <= budget ? " *" : ""));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  std::cout << "\nNote how the guaranteed bound grows with s_max but barely\n"
+               "moves with the BAG -- the paper's Figure 9 in design-rule "
+               "form.\n";
+  return 0;
+}

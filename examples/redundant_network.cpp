@@ -1,0 +1,48 @@
+// Dual-network redundancy analysis: ARINC 664 sends every frame over two
+// redundant AFDX networks; the receiver's redundancy management keeps the
+// first copy. This example computes, per VL path, the first-arrival latency
+// bound the application sees and the worst-case skew between the two copies
+// (which dimensions the receiver's redundancy-management window) -- here
+// with a degraded network B whose switches have a higher technological
+// latency.
+//
+//   $ ./redundant_network
+#include <iostream>
+
+#include "analysis/comparison.hpp"
+#include "config/samples.hpp"
+#include "redundancy/redundancy.hpp"
+#include "report/table.hpp"
+
+using namespace afdx;
+
+int main() {
+  // Network A: the nominal sample configuration; network B: same wiring and
+  // VL set, slower switches (40 us technological latency).
+  const TrafficConfig network_a = config::sample_config();
+  config::SampleOptions degraded;
+  degraded.switch_latency = 40.0;
+  const TrafficConfig network_b = config::sample_config(degraded);
+
+  const analysis::Comparison bounds_a = analysis::compare(network_a);
+  const analysis::Comparison bounds_b = analysis::compare(network_b);
+  const redundancy::Result redundancy_result = redundancy::analyze(
+      network_a, bounds_a.combined, network_b, bounds_b.combined);
+
+  report::Table t({"VL", "bound A (us)", "bound B (us)",
+                   "first arrival (us)", "RM window >= (us)"});
+  for (std::size_t i = 0; i < network_a.all_paths().size(); ++i) {
+    t.add_row({network_a.vl(network_a.all_paths()[i].vl).name,
+               report::fmt(bounds_a.combined[i]),
+               report::fmt(bounds_b.combined[i]),
+               report::fmt(redundancy_result.paths[i].first_arrival_bound),
+               report::fmt(redundancy_result.paths[i].skew_max)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nThe application-level latency guarantee follows the faster\n"
+               "network; the redundancy-management window must cover the\n"
+               "worst-case skew so the late legitimate copy is recognized as\n"
+               "a duplicate rather than dropped.\n";
+  return 0;
+}

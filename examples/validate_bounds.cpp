@@ -1,0 +1,81 @@
+// Bound validation campaign: hammer a configuration with simulated
+// schedules (aligned, randomized and per-path adversarial phasings) and
+// report how close the observed worst-case delays get to the analytic
+// bounds -- the empirical-tightness methodology behind the reproduction's
+// soundness tests.
+//
+//   $ ./validate_bounds [n_random_schedules]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "analysis/comparison.hpp"
+#include "config/samples.hpp"
+#include "gen/industrial.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+
+using namespace afdx;
+
+int main(int argc, char** argv) {
+  const int n_random = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  gen::IndustrialOptions options;
+  options.vl_count = 120;
+  options.end_system_count = 24;
+  const TrafficConfig config = gen::industrial_config(options);
+  const analysis::Comparison bounds = analysis::compare(config);
+
+  std::vector<Microseconds> observed(config.all_paths().size(), 0.0);
+  auto absorb = [&](const sim::Result& r) {
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+      observed[i] = std::max(observed[i], r.max_path_delay[i]);
+    }
+  };
+
+  absorb(sim::simulate(config, {}));
+  sim::Options random_schedule;
+  random_schedule.phasing = sim::Phasing::kRandom;
+  for (int s = 1; s <= n_random; ++s) {
+    random_schedule.seed = static_cast<std::uint64_t>(s);
+    absorb(sim::simulate(config, random_schedule));
+  }
+  sim::Options adversarial;
+  adversarial.phasing = sim::Phasing::kExplicit;
+  for (const VlPath& p : config.all_paths()) {
+    adversarial.offsets =
+        sim::adversarial_offsets(config, PathRef{p.vl, p.dest_index});
+    absorb(sim::simulate(config, adversarial));
+  }
+
+  int violations = 0;
+  double worst_ratio = 0.0, mean_ratio = 0.0;
+  std::size_t worst_path = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (observed[i] > bounds.combined[i] + 1e-6) ++violations;
+    const double ratio = observed[i] / bounds.combined[i];
+    mean_ratio += ratio;
+    if (ratio > worst_ratio) {
+      worst_ratio = ratio;
+      worst_path = i;
+    }
+  }
+  mean_ratio /= static_cast<double>(observed.size());
+
+  report::Table t({"metric", "value"});
+  t.add_row({"paths", std::to_string(observed.size())});
+  t.add_row({"schedules simulated",
+             std::to_string(1 + n_random + config.all_paths().size())});
+  t.add_row({"bound violations", std::to_string(violations)});
+  t.add_row({"mean observed/bound", format_percent(mean_ratio)});
+  t.add_row({"max observed/bound",
+             format_percent(worst_ratio) + " (VL " +
+                 config.vl(config.all_paths()[worst_path].vl).name + ")"});
+  t.print(std::cout);
+
+  std::cout << "\nA violation would disprove an analysis; none is expected.\n"
+               "The observed/bound gap mixes genuine pessimism with the\n"
+               "schedules the campaign did not try.\n";
+  return violations == 0 ? 0 : 2;
+}

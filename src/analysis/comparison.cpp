@@ -1,0 +1,114 @@
+#include "analysis/comparison.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace afdx::analysis {
+
+Comparison compare(const TrafficConfig& config,
+                   const netcalc::Options& nc_options,
+                   const trajectory::Options& tj_options) {
+  Comparison out;
+  out.netcalc = netcalc::analyze(config, nc_options).path_bounds;
+  out.trajectory = trajectory::analyze(config, tj_options).path_bounds;
+  AFDX_ASSERT(out.netcalc.size() == out.trajectory.size(),
+              "method results misaligned");
+  out.combined.reserve(out.netcalc.size());
+  for (std::size_t i = 0; i < out.netcalc.size(); ++i) {
+    out.combined.push_back(std::min(out.netcalc[i], out.trajectory[i]));
+  }
+  return out;
+}
+
+BenefitStats benefit_stats(const std::vector<Microseconds>& reference,
+                           const std::vector<Microseconds>& candidate) {
+  AFDX_REQUIRE(reference.size() == candidate.size(),
+               "benefit_stats: size mismatch");
+  AFDX_REQUIRE(!reference.empty(), "benefit_stats: no paths");
+  BenefitStats stats;
+  stats.paths = reference.size();
+  stats.max = -1e300;
+  stats.min = 1e300;
+  std::size_t wins = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    AFDX_REQUIRE(reference[i] > 0.0, "benefit_stats: non-positive reference");
+    const double b = (reference[i] - candidate[i]) / reference[i];
+    stats.mean += b;
+    stats.max = std::max(stats.max, b);
+    stats.min = std::min(stats.min, b);
+    if (candidate[i] < reference[i] - kEpsilon) ++wins;
+  }
+  stats.mean /= static_cast<double>(stats.paths);
+  stats.wins_fraction = static_cast<double>(wins) / static_cast<double>(stats.paths);
+  return stats;
+}
+
+std::vector<std::pair<Microseconds, double>> mean_benefit_by_bag(
+    const TrafficConfig& config, const Comparison& comparison) {
+  std::map<Microseconds, std::pair<double, std::size_t>> acc;
+  const auto& paths = config.all_paths();
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const VirtualLink& vl = config.vl(paths[i].vl);
+    const double b = (comparison.netcalc[i] - comparison.trajectory[i]) /
+                     comparison.netcalc[i];
+    auto& [total, count] = acc[vl.bag];
+    total += b;
+    ++count;
+  }
+  std::vector<std::pair<Microseconds, double>> out;
+  out.reserve(acc.size());
+  for (const auto& [bag, tc] : acc) {
+    out.emplace_back(bag, tc.first / static_cast<double>(tc.second));
+  }
+  return out;
+}
+
+std::vector<std::pair<Bytes, double>> wcnc_win_ratio_by_smax(
+    const TrafficConfig& config, const Comparison& comparison,
+    Bytes bucket_width) {
+  AFDX_REQUIRE(bucket_width > 0, "wcnc_win_ratio_by_smax: zero bucket width");
+  std::map<Bytes, std::pair<std::size_t, std::size_t>> acc;  // wins, total
+  const auto& paths = config.all_paths();
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const VirtualLink& vl = config.vl(paths[i].vl);
+    const Bytes bucket =
+        ((vl.s_max + bucket_width - 1) / bucket_width) * bucket_width;
+    auto& [wins, total] = acc[bucket];
+    // "WCNC outperforms": the trajectory bound is not strictly tighter.
+    if (comparison.netcalc[i] <= comparison.trajectory[i] + kEpsilon) ++wins;
+    ++total;
+  }
+  std::vector<std::pair<Bytes, double>> out;
+  out.reserve(acc.size());
+  for (const auto& [bucket, wt] : acc) {
+    out.emplace_back(bucket, static_cast<double>(wt.first) /
+                                 static_cast<double>(wt.second));
+  }
+  return out;
+}
+
+std::vector<HopDelay> path_breakdown(const TrafficConfig& config,
+                                     const netcalc::Result& result,
+                                     PathRef ref) {
+  const VlPath& path = config.path(ref);
+  const std::uint8_t level = config.vl(path.vl).priority;
+  std::vector<HopDelay> out;
+  out.reserve(path.links.size());
+  for (LinkId l : path.links) {
+    AFDX_REQUIRE(result.ports[l].used,
+                 "path_breakdown: result does not cover the path's ports");
+    auto it = result.ports[l].level_delays.find(level);
+    AFDX_REQUIRE(it != result.ports[l].level_delays.end(),
+                 "path_breakdown: missing priority class at a port");
+    const Link& link = config.network().link(l);
+    out.push_back(HopDelay{l,
+                           config.network().node(link.source).name + ">" +
+                               config.network().node(link.dest).name,
+                           it->second});
+  }
+  return out;
+}
+
+}  // namespace afdx::analysis

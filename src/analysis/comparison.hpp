@@ -1,0 +1,75 @@
+// Side-by-side evaluation of the two delay-analysis methods, and the
+// statistics reported in the paper's Table I and Figures 5 and 6.
+//
+// The *combined* method is the paper's recommendation: keep, for every VL
+// path, the tightest of the two computed upper bounds -- it is never worse
+// than network calculus and captures nearly all of the trajectory benefit.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netcalc/netcalc_analyzer.hpp"
+#include "trajectory/trajectory_analyzer.hpp"
+#include "vl/traffic_config.hpp"
+
+namespace afdx::analysis {
+
+/// Bounds of both methods (and their per-path minimum), aligned with
+/// TrafficConfig::all_paths().
+struct Comparison {
+  std::vector<Microseconds> netcalc;
+  std::vector<Microseconds> trajectory;
+  std::vector<Microseconds> combined;
+};
+
+/// Runs both analyzers on the configuration.
+[[nodiscard]] Comparison compare(const TrafficConfig& config,
+                                 const netcalc::Options& nc_options = {},
+                                 const trajectory::Options& tj_options = {});
+
+/// Relative-benefit statistics of `candidate` against `reference`:
+/// per-path benefit = (reference - candidate) / reference.
+struct BenefitStats {
+  double mean = 0.0;
+  double max = 0.0;
+  double min = 0.0;
+  /// Fraction of paths where the candidate bound is strictly tighter.
+  double wins_fraction = 0.0;
+  std::size_t paths = 0;
+};
+
+[[nodiscard]] BenefitStats benefit_stats(
+    const std::vector<Microseconds>& reference,
+    const std::vector<Microseconds>& candidate);
+
+/// Figure 5: mean benefit of the trajectory bound over the WCNC bound,
+/// aggregated per BAG value of the path's VL. Returns (BAG, mean benefit)
+/// sorted by BAG; BAG values with no path are omitted.
+[[nodiscard]] std::vector<std::pair<Microseconds, double>> mean_benefit_by_bag(
+    const TrafficConfig& config, const Comparison& comparison);
+
+/// Figure 6: fraction of VL paths for which the WCNC bound is at least as
+/// tight as the trajectory bound, aggregated per s_max bucket of the path's
+/// VL. Returns (bucket upper edge in bytes, fraction) sorted by size.
+[[nodiscard]] std::vector<std::pair<Bytes, double>> wcnc_win_ratio_by_smax(
+    const TrafficConfig& config, const Comparison& comparison,
+    Bytes bucket_width = 100);
+
+/// One hop of a path's WCNC delay decomposition.
+struct HopDelay {
+  LinkId port = kInvalidLink;
+  /// Names of the port's endpoints, "source>dest".
+  std::string port_name;
+  /// The WCNC delay bound of this hop for the path's priority class.
+  Microseconds delay = 0.0;
+};
+
+/// Decomposes a path's WCNC bound into its per-port contributions (their
+/// sum is the path bound) -- the "where is the latency spent" view network
+/// integrators work with.
+[[nodiscard]] std::vector<HopDelay> path_breakdown(
+    const TrafficConfig& config, const netcalc::Result& result, PathRef ref);
+
+}  // namespace afdx::analysis

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace afdx::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << "AFDX internal assertion failed: " << expr << " at " << file << ":"
+     << line << " -- " << msg;
+  throw LogicError(os.str());
+}
+
+}  // namespace afdx::detail

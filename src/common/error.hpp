@@ -1,0 +1,44 @@
+// Error handling for the AFDX library.
+//
+// Configuration errors (bad topology, unroutable VL, unstable port, ...)
+// are reported by throwing afdx::Error with a human-readable message;
+// internal invariant violations use AFDX_ASSERT which throws LogicError so
+// tests can exercise them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace afdx {
+
+/// User-facing error: invalid configuration, infeasible analysis, parse
+/// failure. Carries a descriptive message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Internal invariant violation (a bug in the library, not in user input).
+class LogicError : public std::logic_error {
+ public:
+  explicit LogicError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+/// Checks an internal invariant; throws LogicError on failure.
+#define AFDX_ASSERT(expr, msg)                                         \
+  do {                                                                 \
+    if (!(expr)) ::afdx::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Checks a user-input condition; throws afdx::Error on failure.
+#define AFDX_REQUIRE(expr, msg)                \
+  do {                                         \
+    if (!(expr)) throw ::afdx::Error((msg));   \
+  } while (false)
+
+}  // namespace afdx

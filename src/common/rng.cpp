@@ -1,0 +1,30 @@
+#include "common/rng.hpp"
+
+#include "common/error.hpp"
+
+namespace afdx {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  AFDX_ASSERT(lo <= hi, "uniform_int: empty range");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  AFDX_ASSERT(lo <= hi, "uniform_real: empty range");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  AFDX_ASSERT(!weights.empty(), "weighted_index: empty weights");
+  std::discrete_distribution<std::size_t> dist(weights.begin(), weights.end());
+  return dist(engine_);
+}
+
+}  // namespace afdx

@@ -1,0 +1,44 @@
+// Deterministic random number generation for the configuration generator and
+// the simulator's randomized emission phasings. A thin wrapper over
+// std::mt19937_64 so every experiment is reproducible from a single seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace afdx {
+
+/// Seeded pseudo-random source. Copyable; copies continue independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Requires a non-empty vector with a positive total weight.
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Shuffles a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Underlying engine, for interop with <random> distributions.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace afdx

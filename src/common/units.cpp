@@ -1,0 +1,19 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace afdx {
+
+std::string format_us(Microseconds t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f us", t);
+  return buf;
+}
+
+std::string format_percent(double ratio) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f %%", ratio * 100.0);
+  return buf;
+}
+
+}  // namespace afdx

@@ -1,0 +1,66 @@
+// Units and basic quantities used across the AFDX delay-analysis library.
+//
+// All internal computations use:
+//   * time  : microseconds (double)  -- network-calculus math needs fractions
+//   * size  : bits         (double at the algebra level, bytes at the config
+//                           level where frame sizes are integral)
+//   * rate  : bits per microsecond (1 bit/us == 1 Mb/s)
+//
+// Helper constructors keep call sites explicit about what unit a literal is
+// in (`kilobits_per_second(100'000)` rather than a bare `100.0`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace afdx {
+
+/// Time in microseconds.
+using Microseconds = double;
+/// Data size in bits.
+using Bits = double;
+/// Rate in bits per microsecond (== Mb/s).
+using BitsPerMicrosecond = double;
+/// Frame payload/envelope sizes at the configuration level, in bytes.
+using Bytes = std::uint32_t;
+
+/// Converts a byte count to bits.
+[[nodiscard]] constexpr Bits bits_from_bytes(double bytes) noexcept {
+  return bytes * 8.0;
+}
+
+/// Converts milliseconds to the internal microsecond unit.
+[[nodiscard]] constexpr Microseconds microseconds_from_ms(double ms) noexcept {
+  return ms * 1000.0;
+}
+
+/// Converts a Mb/s figure (e.g. the AFDX 100 Mb/s links) to bits/us.
+[[nodiscard]] constexpr BitsPerMicrosecond rate_from_mbps(double mbps) noexcept {
+  return mbps;  // 1 Mb/s == 1e6 bit/s == 1 bit/us
+}
+
+/// Transmission time of `size` bits on a link of rate `rate`.
+[[nodiscard]] constexpr Microseconds transmission_time(Bits size,
+                                                       BitsPerMicrosecond rate) noexcept {
+  return size / rate;
+}
+
+/// Absolute tolerance used when comparing times/sizes computed through
+/// floating point (curve breakpoints, delay bounds, ...).
+inline constexpr double kEpsilon = 1e-7;
+
+/// True when |a - b| <= kEpsilon, the library-wide float equality.
+[[nodiscard]] constexpr bool nearly_equal(double a, double b,
+                                          double eps = kEpsilon) noexcept {
+  double diff = a - b;
+  if (diff < 0) diff = -diff;
+  return diff <= eps;
+}
+
+/// Formats a microsecond quantity for reports ("123.456 us").
+[[nodiscard]] std::string format_us(Microseconds t);
+
+/// Formats a ratio as a percentage string ("12.34 %").
+[[nodiscard]] std::string format_percent(double ratio);
+
+}  // namespace afdx

@@ -1,0 +1,102 @@
+#include "config/samples.hpp"
+
+namespace afdx::config {
+
+TrafficConfig sample_config(const SampleOptions& o) {
+  Network net;
+  const NodeId e1 = net.add_end_system("e1");
+  const NodeId e2 = net.add_end_system("e2");
+  const NodeId e3 = net.add_end_system("e3");
+  const NodeId e4 = net.add_end_system("e4");
+  const NodeId e5 = net.add_end_system("e5");
+  const NodeId e6 = net.add_end_system("e6");
+  const NodeId e7 = net.add_end_system("e7");
+  const NodeId s1 = net.add_switch("S1");
+  const NodeId s2 = net.add_switch("S2");
+  const NodeId s3 = net.add_switch("S3");
+
+  LinkParams lp;
+  lp.rate = o.link_rate;
+  lp.switch_latency = o.switch_latency;
+  lp.end_system_latency = 0.0;
+
+  net.connect(e1, s1, lp);
+  net.connect(e2, s1, lp);
+  net.connect(e3, s2, lp);
+  net.connect(e4, s2, lp);
+  net.connect(e5, s3, lp);
+  net.connect(s1, s3, lp);
+  net.connect(s2, s3, lp);
+  net.connect(s3, e6, lp);
+  net.connect(s3, e7, lp);
+
+  std::vector<VirtualLink> vls;
+  vls.push_back({"v1", e1, {e6}, o.bag_v1, 64, o.s_max_v1});
+  vls.push_back({"v2", e2, {e6}, o.bag_others, 64, o.s_max_others});
+  vls.push_back({"v3", e3, {e6}, o.bag_others, 64, o.s_max_others});
+  vls.push_back({"v4", e4, {e6}, o.bag_others, 64, o.s_max_others});
+  vls.push_back({"v5", e5, {e7}, o.bag_others, 64, o.s_max_others});
+
+  return TrafficConfig(std::move(net), std::move(vls));
+}
+
+TrafficConfig illustrative_config() {
+  Network net;
+  // Ten end systems and five switches, arranged so that several VLs share
+  // switch output ports on multi-hop paths, as in the paper's Figure 1.
+  const NodeId e1 = net.add_end_system("e1");
+  const NodeId e2 = net.add_end_system("e2");
+  const NodeId e3 = net.add_end_system("e3");
+  const NodeId e4 = net.add_end_system("e4");
+  const NodeId e5 = net.add_end_system("e5");
+  const NodeId e6 = net.add_end_system("e6");
+  const NodeId e7 = net.add_end_system("e7");
+  const NodeId e8 = net.add_end_system("e8");
+  const NodeId e9 = net.add_end_system("e9");
+  const NodeId e10 = net.add_end_system("e10");
+  const NodeId s1 = net.add_switch("S1");
+  const NodeId s2 = net.add_switch("S2");
+  const NodeId s3 = net.add_switch("S3");
+  const NodeId s4 = net.add_switch("S4");
+  const NodeId s5 = net.add_switch("S5");
+
+  LinkParams lp;  // 100 Mb/s, 16 us switch latency (defaults)
+
+  net.connect(e1, s1, lp);
+  net.connect(e2, s1, lp);
+  net.connect(e3, s3, lp);
+  net.connect(e4, s3, lp);
+  net.connect(e5, s4, lp);
+  net.connect(e6, s5, lp);
+  net.connect(e7, s2, lp);
+  net.connect(e8, s4, lp);
+  net.connect(e9, s5, lp);
+  net.connect(e10, s5, lp);
+  net.connect(s1, s2, lp);
+  net.connect(s1, s4, lp);
+  net.connect(s3, s2, lp);
+  net.connect(s3, s4, lp);
+  net.connect(s2, s5, lp);
+  net.connect(s4, s5, lp);
+
+  auto ms = [](double m) { return microseconds_from_ms(m); };
+
+  std::vector<VirtualLink> vls;
+  // vx: the paper's unicast example, e5 -> S4 -> e8.
+  vls.push_back({"vx", e5, {e8}, ms(32.0), 64, 320});
+  // v6: the paper's multicast example, e1 -> S1 -> {S2 -> e7, S4 -> e8}.
+  vls.push_back({"v6", e1, {e7, e8}, ms(8.0), 64, 800});
+  // Additional flows populating the ports, in the spirit of the figure.
+  vls.push_back({"v1", e1, {e9}, ms(4.0), 64, 500});
+  vls.push_back({"v2", e2, {e7}, ms(4.0), 64, 500});
+  vls.push_back({"v3", e2, {e10}, ms(16.0), 64, 1000});
+  vls.push_back({"v4", e3, {e7, e9}, ms(8.0), 64, 640});
+  vls.push_back({"v5", e3, {e8}, ms(2.0), 64, 128});
+  vls.push_back({"v7", e4, {e10}, ms(4.0), 64, 500});
+  vls.push_back({"v8", e4, {e8, e9}, ms(64.0), 64, 1518});
+  vls.push_back({"v9", e5, {e6}, ms(128.0), 64, 1518});
+
+  return TrafficConfig(std::move(net), std::move(vls));
+}
+
+}  // namespace afdx::config

@@ -1,0 +1,272 @@
+#include "config/serialization.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace afdx::config {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) {
+    if (t.front() == '#') break;
+    toks.push_back(t);
+  }
+  return toks;
+}
+
+/// Splits "key=value"; throws on malformed input.
+std::pair<std::string, std::string> split_kv(const std::string& tok, int line_no) {
+  const auto eq = tok.find('=');
+  AFDX_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < tok.size(),
+               "line " + std::to_string(line_no) + ": expected key=value, got '" +
+                   tok + "'");
+  return {tok.substr(0, eq), tok.substr(eq + 1)};
+}
+
+double parse_double(const std::string& s, int line_no) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    AFDX_REQUIRE(pos == s.size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw Error("line " + std::to_string(line_no) + ": bad number '" + s + "'");
+  }
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+void save_config(const TrafficConfig& config, std::ostream& out) {
+  const Network& net = config.network();
+  out << "afdx-config v1\n";
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    out << "node " << (net.is_end_system(n) ? "es" : "sw") << " "
+        << net.node(n).name << "\n";
+  }
+  // Each cable appears as two directed links; emit it once, from the even id.
+  for (LinkId l = 0; l < net.link_count(); l += 2) {
+    const Link& fwd = net.link(l);
+    const Link& bwd = net.link(net.reverse(l));
+    const Microseconds sw_lat =
+        net.is_switch(fwd.source) ? fwd.latency : bwd.latency;
+    const Microseconds es_lat =
+        net.is_end_system(fwd.source) ? fwd.latency
+        : net.is_end_system(bwd.source) ? bwd.latency
+                                        : sw_lat;  // switch-switch cable
+    out << "link " << net.node(fwd.source).name << " "
+        << net.node(fwd.dest).name << " rate=" << fwd.rate
+        << " swlat=" << sw_lat << " eslat=" << es_lat << "\n";
+  }
+  for (VlId id = 0; id < config.vl_count(); ++id) {
+    const VirtualLink& vl = config.vl(id);
+    out << "vl " << vl.name << " src=" << net.node(vl.source).name << " dst=";
+    for (std::size_t d = 0; d < vl.destinations.size(); ++d) {
+      if (d) out << ",";
+      out << net.node(vl.destinations[d]).name;
+    }
+    out << " bag=" << vl.bag << " smin=" << vl.s_min << " smax=" << vl.s_max;
+    if (vl.max_release_jitter > 0.0) out << " jit=" << vl.max_release_jitter;
+    if (vl.priority != 0) out << " prio=" << static_cast<int>(vl.priority);
+    out << "\n";
+    for (std::size_t d = 0; d < vl.destinations.size(); ++d) {
+      out << "route " << vl.name << " " << d;
+      for (LinkId l : config.route(id).paths()[d]) {
+        out << " " << net.node(net.link(l).source).name << ">"
+            << net.node(net.link(l).dest).name;
+      }
+      out << "\n";
+    }
+  }
+}
+
+std::string save_config_string(const TrafficConfig& config) {
+  std::ostringstream os;
+  save_config(config, os);
+  return os.str();
+}
+
+TrafficConfig load_config(std::istream& in) {
+  Network net;
+  struct PendingVl {
+    VirtualLink vl;
+    int line_no = 0;
+  };
+  std::vector<PendingVl> vls;
+  // route lines, keyed by VL name: dest index -> node-name hops.
+  std::map<std::string, std::map<std::size_t, std::vector<std::pair<std::string, std::string>>>>
+      route_lines;
+
+  auto node_id = [&](const std::string& name, int line_no) {
+    auto id = net.find_node(name);
+    AFDX_REQUIRE(id.has_value(),
+                 "line " + std::to_string(line_no) + ": unknown node '" + name + "'");
+    return *id;
+  };
+
+  std::string line;
+  int line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    if (!header_seen) {
+      AFDX_REQUIRE(toks.size() == 2 && toks[0] == "afdx-config" && toks[1] == "v1",
+                   "line " + std::to_string(line_no) +
+                       ": expected header 'afdx-config v1'");
+      header_seen = true;
+      continue;
+    }
+    if (toks[0] == "node") {
+      AFDX_REQUIRE(toks.size() == 3, "line " + std::to_string(line_no) +
+                                         ": node needs kind and name");
+      if (toks[1] == "es") {
+        net.add_end_system(toks[2]);
+      } else if (toks[1] == "sw") {
+        net.add_switch(toks[2]);
+      } else {
+        throw Error("line " + std::to_string(line_no) + ": node kind must be "
+                    "'es' or 'sw'");
+      }
+    } else if (toks[0] == "link") {
+      AFDX_REQUIRE(toks.size() >= 3, "line " + std::to_string(line_no) +
+                                         ": link needs two node names");
+      LinkParams lp;
+      for (std::size_t i = 3; i < toks.size(); ++i) {
+        auto [k, v] = split_kv(toks[i], line_no);
+        if (k == "rate") {
+          lp.rate = parse_double(v, line_no);
+        } else if (k == "swlat") {
+          lp.switch_latency = parse_double(v, line_no);
+        } else if (k == "eslat") {
+          lp.end_system_latency = parse_double(v, line_no);
+        } else {
+          throw Error("line " + std::to_string(line_no) + ": unknown link "
+                      "attribute '" + k + "'");
+        }
+      }
+      net.connect(node_id(toks[1], line_no), node_id(toks[2], line_no), lp);
+    } else if (toks[0] == "vl") {
+      AFDX_REQUIRE(toks.size() >= 2, "line " + std::to_string(line_no) +
+                                         ": vl needs a name");
+      VirtualLink vl;
+      vl.name = toks[1];
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        auto [k, v] = split_kv(toks[i], line_no);
+        if (k == "src") {
+          vl.source = node_id(v, line_no);
+        } else if (k == "dst") {
+          for (const std::string& d : split_commas(v)) {
+            vl.destinations.push_back(node_id(d, line_no));
+          }
+        } else if (k == "bag") {
+          vl.bag = parse_double(v, line_no);
+        } else if (k == "smin") {
+          vl.s_min = static_cast<Bytes>(parse_double(v, line_no));
+        } else if (k == "smax") {
+          vl.s_max = static_cast<Bytes>(parse_double(v, line_no));
+        } else if (k == "jit") {
+          vl.max_release_jitter = parse_double(v, line_no);
+        } else if (k == "prio") {
+          vl.priority = static_cast<std::uint8_t>(parse_double(v, line_no));
+        } else {
+          throw Error("line " + std::to_string(line_no) + ": unknown vl "
+                      "attribute '" + k + "'");
+        }
+      }
+      vls.push_back({std::move(vl), line_no});
+    } else if (toks[0] == "route") {
+      AFDX_REQUIRE(toks.size() >= 4, "line " + std::to_string(line_no) +
+                                         ": route needs vl, dest index, hops");
+      const std::string& vl_name = toks[1];
+      const std::size_t dest = static_cast<std::size_t>(parse_double(toks[2], line_no));
+      std::vector<std::pair<std::string, std::string>> hops;
+      for (std::size_t i = 3; i < toks.size(); ++i) {
+        const auto gt = toks[i].find('>');
+        AFDX_REQUIRE(gt != std::string::npos && gt > 0 && gt + 1 < toks[i].size(),
+                     "line " + std::to_string(line_no) +
+                         ": route hop must be 'a>b', got '" + toks[i] + "'");
+        hops.emplace_back(toks[i].substr(0, gt), toks[i].substr(gt + 1));
+      }
+      route_lines[vl_name][dest] = std::move(hops);
+    } else {
+      throw Error("line " + std::to_string(line_no) + ": unknown directive '" +
+                  toks[0] + "'");
+    }
+  }
+  AFDX_REQUIRE(header_seen, "missing 'afdx-config v1' header");
+
+  std::vector<VirtualLink> vl_defs;
+  vl_defs.reserve(vls.size());
+  for (auto& p : vls) vl_defs.push_back(std::move(p.vl));
+
+  // Resolve explicit routes to link ids.
+  std::vector<std::vector<std::vector<LinkId>>> routes(vl_defs.size());
+  for (std::size_t i = 0; i < vl_defs.size(); ++i) {
+    auto it = route_lines.find(vl_defs[i].name);
+    if (it == route_lines.end()) continue;
+    routes[i].resize(vl_defs[i].destinations.size());
+    for (const auto& [dest, hops] : it->second) {
+      AFDX_REQUIRE(dest < vl_defs[i].destinations.size(),
+                   "route for VL " + vl_defs[i].name +
+                       ": destination index out of range");
+      std::vector<LinkId> links;
+      for (const auto& [a, b] : hops) {
+        const auto l = net.link_between(node_id(a, 0), node_id(b, 0));
+        AFDX_REQUIRE(l.has_value(), "route for VL " + vl_defs[i].name +
+                                        ": no link " + a + " -> " + b);
+        links.push_back(*l);
+      }
+      routes[i][dest] = std::move(links);
+    }
+  }
+  for (const auto& [name, unused] : route_lines) {
+    bool found = false;
+    for (const auto& vl : vl_defs) found = found || vl.name == name;
+    AFDX_REQUIRE(found, "route for unknown VL '" + name + "'");
+  }
+
+  return TrafficConfig(std::move(net), std::move(vl_defs), std::move(routes));
+}
+
+TrafficConfig load_config_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_config(is);
+}
+
+TrafficConfig load_config_file(const std::string& path) {
+  std::ifstream in(path);
+  AFDX_REQUIRE(in.good(), "cannot open configuration file: " + path);
+  return load_config(in);
+}
+
+void save_config_file(const TrafficConfig& config, const std::string& path) {
+  std::ofstream out(path);
+  AFDX_REQUIRE(out.good(), "cannot write configuration file: " + path);
+  save_config(config, out);
+}
+
+}  // namespace afdx::config

@@ -1,0 +1,43 @@
+// Text (de)serialization of AFDX configurations.
+//
+// Line-oriented format (tokens separated by blanks, '#' starts a comment):
+//
+//   afdx-config v1
+//   node es <name>               # end system
+//   node sw <name>               # switch
+//   link <a> <b> rate=<Mb/s> swlat=<us> eslat=<us>
+//   vl <name> src=<es> dst=<es>[,<es>...] bag=<us> smin=<bytes> smax=<bytes>
+//   route <vl> <dest-index> <n0>><n1> <n1>><n2> ...
+//
+// `route` lines are optional; destinations without one are routed on the
+// shortest path. Loading always re-validates the full configuration.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "vl/traffic_config.hpp"
+
+namespace afdx::config {
+
+/// Serializes a configuration (including its routes, so a round-trip is
+/// exact even when routing was automatic).
+void save_config(const TrafficConfig& config, std::ostream& out);
+
+/// Convenience overload returning the text.
+[[nodiscard]] std::string save_config_string(const TrafficConfig& config);
+
+/// Parses a configuration; throws afdx::Error with a line number on any
+/// syntax or consistency problem.
+[[nodiscard]] TrafficConfig load_config(std::istream& in);
+
+/// Convenience overload parsing from a string.
+[[nodiscard]] TrafficConfig load_config_string(const std::string& text);
+
+/// Loads a configuration from a file path.
+[[nodiscard]] TrafficConfig load_config_file(const std::string& path);
+
+/// Saves a configuration to a file path.
+void save_config_file(const TrafficConfig& config, const std::string& path);
+
+}  // namespace afdx::config

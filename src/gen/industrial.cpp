@@ -1,0 +1,209 @@
+#include "gen/industrial.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace afdx::gen {
+
+std::vector<Microseconds> harmonic_bags() {
+  std::vector<Microseconds> bags;
+  for (double ms = 2.0; ms <= 128.0; ms *= 2.0) {
+    bags.push_back(microseconds_from_ms(ms));
+  }
+  return bags;
+}
+
+TrafficConfig industrial_config(const IndustrialOptions& o) {
+  AFDX_REQUIRE(o.switch_count >= 1, "industrial_config: need >= 1 switch");
+  AFDX_REQUIRE(o.end_system_count >= 2,
+               "industrial_config: need >= 2 end systems");
+  AFDX_REQUIRE(o.vl_count >= 1, "industrial_config: need >= 1 VL");
+  AFDX_REQUIRE(o.multicast_fraction >= 0.0 && o.multicast_fraction <= 1.0,
+               "industrial_config: multicast fraction in [0,1]");
+
+  Rng rng(o.seed);
+  Network net;
+
+  LinkParams lp;
+  lp.rate = o.link_rate;
+  lp.switch_latency = o.switch_latency;
+  lp.end_system_latency = 0.0;
+
+  // Core/edge tree backbone, as in deployed AFDX networks: up to two core
+  // switches interconnect the edge switches that host the end systems. The
+  // tree keeps the configuration feed-forward (see header comment) and the
+  // shallow diameter matches the published path lengths (1-4 switches).
+  std::vector<NodeId> switches;
+  const int cores = o.switch_count >= 4 ? 2 : 1;
+  for (int s = 0; s < o.switch_count; ++s) {
+    switches.push_back(net.add_switch("S" + std::to_string(s + 1)));
+    if (s == 1 && cores == 2) {
+      net.connect(switches[0], switches[1], lp);
+    } else if (s >= cores) {
+      const auto core = static_cast<std::size_t>(rng.uniform_int(0, cores - 1));
+      net.connect(switches[core], switches.back(), lp);
+    }
+  }
+
+  // End systems spread over the switches: round-robin plus a random tail so
+  // some switches host more avionics functions than others, as in practice.
+  std::vector<NodeId> end_systems;
+  for (int e = 0; e < o.end_system_count; ++e) {
+    const NodeId es = net.add_end_system("e" + std::to_string(e + 1));
+    std::size_t sw;
+    if (e < o.switch_count) {
+      sw = static_cast<std::size_t>(e);  // every switch gets at least one ES
+    } else {
+      sw = static_cast<std::size_t>(
+          rng.uniform_int(0, o.switch_count - 1));
+    }
+    net.connect(es, switches[sw], lp);
+    end_systems.push_back(es);
+  }
+
+  // BAG histogram: harmonic 2..128 ms, weighted toward the middle values
+  // (most avionics flows are 8..32 ms periodic).
+  const std::vector<Microseconds> bags = harmonic_bags();
+  const std::vector<double> bag_weights = {0.08, 0.14, 0.22, 0.24,
+                                           0.16, 0.10, 0.06};
+  AFDX_ASSERT(bag_weights.size() == bags.size(), "BAG weight table mismatch");
+
+  // Frame-size mix skewed toward small frames (command/status words),
+  // with a tail of large file-transfer style frames.
+  struct SizeBucket {
+    Bytes lo, hi;
+    double weight;
+  };
+  const std::vector<SizeBucket> size_buckets = {
+      {64, 150, 0.35}, {151, 300, 0.25}, {301, 600, 0.20},
+      {601, 900, 0.10}, {901, 1518, 0.10}};
+  std::vector<double> size_weights;
+  for (const auto& b : size_buckets) size_weights.push_back(b.weight);
+
+  // Track port rate usage while drawing VLs so the utilization cap holds.
+  std::vector<double> port_rate(net.link_count() * 1, 0.0);
+  port_rate.assign(net.link_count(), 0.0);
+
+  auto path_links = [&](NodeId src, NodeId dst) {
+    auto p = net.shortest_path(src, dst);
+    AFDX_ASSERT(p.has_value(), "generated topology must be connected");
+    return *p;
+  };
+
+  // End systems per switch, for the conversation bundles below.
+  std::vector<std::vector<NodeId>> es_of_switch(switches.size());
+  for (NodeId es : end_systems) {
+    for (std::size_t s = 0; s < switches.size(); ++s) {
+      if (net.link_between(es, switches[s]).has_value()) {
+        es_of_switch[s].push_back(es);
+        break;
+      }
+    }
+  }
+  auto random_es_of = [&](std::size_t sw) {
+    const auto& pool = es_of_switch[sw];
+    return pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  };
+
+  std::vector<VirtualLink> vls;
+  int produced = 0;
+  int attempts = 0;
+  const int max_attempts = o.vl_count * 50;
+  // Avionics functions exchange in bundles: many VLs flow between the same
+  // pair of equipment bays (switches). Keep a bundle alive for several VLs.
+  std::size_t bundle_src_sw = 0, bundle_dst_sw = 0;
+  int bundle_left = 0;
+  while (produced < o.vl_count && attempts < max_attempts) {
+    ++attempts;
+    if (bundle_left <= 0) {
+      bundle_src_sw = static_cast<std::size_t>(
+          rng.uniform_int(0, o.switch_count - 1));
+      do {
+        bundle_dst_sw = static_cast<std::size_t>(
+            rng.uniform_int(0, o.switch_count - 1));
+      } while (o.switch_count > 1 && bundle_dst_sw == bundle_src_sw);
+      bundle_left = static_cast<int>(rng.uniform_int(4, 16));
+    }
+    --bundle_left;
+    if (es_of_switch[bundle_src_sw].empty() ||
+        es_of_switch[bundle_dst_sw].empty()) {
+      bundle_left = 0;
+      continue;
+    }
+
+    VirtualLink vl;
+    vl.name = "VL" + std::to_string(produced + 1);
+    vl.source = random_es_of(bundle_src_sw);
+
+    const bool multicast = rng.bernoulli(o.multicast_fraction);
+    const int fanout =
+        multicast ? static_cast<int>(rng.uniform_int(2, 6)) : 1;
+    std::set<NodeId> dests;
+    for (int d = 0; d < fanout * 6 && static_cast<int>(dests.size()) < fanout;
+         ++d) {
+      // Mostly within the bundle's destination bay, occasionally anywhere.
+      const NodeId cand =
+          rng.bernoulli(0.8)
+              ? random_es_of(bundle_dst_sw)
+              : end_systems[static_cast<std::size_t>(
+                    rng.uniform_int(0, o.end_system_count - 1))];
+      if (cand != vl.source) dests.insert(cand);
+    }
+    if (dests.empty()) continue;
+    vl.destinations.assign(dests.begin(), dests.end());
+
+    std::size_t bag_idx = rng.weighted_index(bag_weights);
+    const SizeBucket& bucket = size_buckets[rng.weighted_index(size_weights)];
+    vl.s_max = static_cast<Bytes>(rng.uniform_int(bucket.lo, bucket.hi));
+    vl.s_min = 64;
+    vl.max_release_jitter = o.max_release_jitter;
+    if (o.priority_levels > 1) {
+      // Small command/control frames ride the high classes, bulk transfers
+      // the low ones; a random tilt keeps the classes mixed.
+      const double size_rank =
+          static_cast<double>(vl.s_max - kMinEthernetFrame) /
+          static_cast<double>(kMaxEthernetFrame - kMinEthernetFrame);
+      const double tilted =
+          std::clamp(size_rank + rng.uniform_real(-0.25, 0.25), 0.0, 0.999);
+      vl.priority =
+          static_cast<std::uint8_t>(tilted * o.priority_levels);
+    }
+
+    // Utilization check: collect the links of the multicast tree and make
+    // sure the VL fits everywhere; if not, retry with a larger BAG.
+    for (; bag_idx < bags.size(); ++bag_idx) {
+      vl.bag = bags[bag_idx];
+      std::set<LinkId> tree;
+      for (NodeId dst : vl.destinations) {
+        for (LinkId l : path_links(vl.source, dst)) tree.insert(l);
+      }
+      bool fits = true;
+      for (LinkId l : tree) {
+        const double util =
+            (port_rate[l] + vl.rate_bits_per_us()) / net.link(l).rate;
+        if (util > o.max_port_utilization) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        for (LinkId l : tree) port_rate[l] += vl.rate_bits_per_us();
+        vls.push_back(vl);
+        ++produced;
+        break;
+      }
+    }
+  }
+  AFDX_REQUIRE(produced == o.vl_count,
+               "industrial_config: could not place all VLs under the port "
+               "utilization cap; lower vl_count or raise the cap");
+
+  return TrafficConfig(std::move(net), std::move(vls));
+}
+
+}  // namespace afdx::gen

@@ -1,0 +1,56 @@
+// Synthetic industrial AFDX configuration generator.
+//
+// The paper evaluates both methods on a proprietary Airbus configuration:
+// two redundant sub-networks of eight switches each, more than one hundred
+// end systems, ~1000 VLs / ~6000 VL paths, harmonic BAGs between 2 ms and
+// 128 ms and Ethernet frame sizes between 64 B and 1518 B. That
+// configuration cannot be shipped, so this generator produces a seeded
+// random configuration with the same macroscopic statistics (DESIGN.md,
+// "Substitutions"). The comparison experiments only depend on these
+// statistics, not on Airbus wiring.
+//
+// The switch backbone is a random tree, which keeps the configuration
+// feed-forward (a property the trajectory approach requires and that
+// engineered avionics configurations have).
+#pragma once
+
+#include <cstdint>
+
+#include "vl/traffic_config.hpp"
+
+namespace afdx::gen {
+
+struct IndustrialOptions {
+  std::uint64_t seed = 42;
+  /// Switches of the sub-network (paper: 8 per redundant sub-network).
+  int switch_count = 8;
+  /// End systems (paper: >100 over the whole aircraft; ~60 per sub-network).
+  int end_system_count = 60;
+  /// Virtual links to generate.
+  int vl_count = 500;
+  /// Fraction of multicast VLs; multicast fan-out is drawn in [2, 6].
+  double multicast_fraction = 0.4;
+  /// Hard cap on any output-port long-term utilization; VLs that would
+  /// exceed it are re-drawn with a larger BAG or dropped.
+  double max_port_utilization = 0.75;
+  /// Link rate (100 Mb/s) and switch latency (16 us) as in the paper.
+  BitsPerMicrosecond link_rate = rate_from_mbps(100.0);
+  Microseconds switch_latency = 16.0;
+  /// Static-priority classes (1 = plain FIFO, the paper's model). With more
+  /// classes, small-frame/short-BAG VLs are biased toward the high class,
+  /// as avionics command/control traffic is.
+  int priority_levels = 1;
+  /// Maximum source release jitter applied to every VL (0 = ideal shapers).
+  Microseconds max_release_jitter = 0.0;
+};
+
+/// Generates the configuration. Deterministic for a given option set.
+/// Throws afdx::Error when the parameters are infeasible (e.g. fewer than
+/// two end systems).
+[[nodiscard]] TrafficConfig industrial_config(const IndustrialOptions& options = {});
+
+/// The harmonic BAG values used by the paper's industrial configuration
+/// (2, 4, 8, ..., 128 ms), in microseconds.
+[[nodiscard]] std::vector<Microseconds> harmonic_bags();
+
+}  // namespace afdx::gen

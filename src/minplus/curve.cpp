@@ -1,0 +1,173 @@
+#include "minplus/curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace afdx::minplus {
+
+Curve::Curve() : points_{{0.0, 0.0}}, final_slope_(0.0) {}
+
+Curve::Curve(std::vector<Point> points, double final_slope)
+    : points_(std::move(points)), final_slope_(final_slope) {
+  AFDX_REQUIRE(!points_.empty(), "Curve: needs at least one breakpoint");
+  AFDX_REQUIRE(nearly_equal(points_.front().x, 0.0),
+               "Curve: first breakpoint must be at x == 0");
+  points_.front().x = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    AFDX_REQUIRE(points_[i].x > points_[i - 1].x + kEpsilon,
+                 "Curve: breakpoints must be strictly increasing in x");
+  }
+  AFDX_REQUIRE(std::isfinite(final_slope_), "Curve: final slope must be finite");
+  normalize();
+}
+
+Curve Curve::affine(double value_at_zero, double slope) {
+  return Curve({{0.0, value_at_zero}}, slope);
+}
+
+Curve Curve::rate_latency(double rate, double latency) {
+  AFDX_REQUIRE(rate >= 0.0, "rate_latency: negative rate");
+  AFDX_REQUIRE(latency >= 0.0, "rate_latency: negative latency");
+  if (latency <= kEpsilon) return Curve({{0.0, 0.0}}, rate);
+  return Curve({{0.0, 0.0}, {latency, 0.0}}, rate);
+}
+
+Curve Curve::constant(double value) { return Curve({{0.0, value}}, 0.0); }
+
+void Curve::normalize() {
+  // Drop interior breakpoints that lie on the segment between neighbours,
+  // and a final breakpoint whose incoming slope equals the final slope.
+  std::vector<Point> out;
+  out.reserve(points_.size());
+  auto slope_between = [](const Point& a, const Point& b) {
+    return (b.y - a.y) / (b.x - a.x);
+  };
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    while (out.size() >= 2) {
+      const Point& a = out[out.size() - 2];
+      const Point& b = out.back();
+      if (nearly_equal(slope_between(a, b), slope_between(b, points_[i]))) {
+        out.pop_back();
+      } else {
+        break;
+      }
+    }
+    out.push_back(points_[i]);
+  }
+  while (out.size() >= 2 &&
+         nearly_equal(slope_between(out[out.size() - 2], out.back()),
+                      final_slope_)) {
+    out.pop_back();
+  }
+  points_ = std::move(out);
+}
+
+double Curve::value(double x) const {
+  AFDX_REQUIRE(x >= -kEpsilon, "Curve::value: negative x");
+  if (x < 0) x = 0;
+  // Find the last breakpoint with x_i <= x.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), x,
+      [](double v, const Point& p) { return v < p.x; });
+  const Point& base = *std::prev(it);
+  if (it == points_.end()) return base.y + final_slope_ * (x - base.x);
+  const Point& next = *it;
+  const double s = (next.y - base.y) / (next.x - base.x);
+  return base.y + s * (x - base.x);
+}
+
+double Curve::slope_after(double x) const {
+  AFDX_REQUIRE(x >= -kEpsilon, "Curve::slope_after: negative x");
+  if (x < 0) x = 0;
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), x + kEpsilon,
+      [](double v, const Point& p) { return v < p.x; });
+  if (it == points_.end()) return final_slope_;
+  const Point& base = *std::prev(it);
+  const Point& next = *it;
+  return (next.y - base.y) / (next.x - base.x);
+}
+
+bool Curve::dominated_by(const Curve& other) const {
+  for (const Point& p : points_) {
+    if (p.y > other.value(p.x) + 1e-6) return false;
+  }
+  for (const Point& p : other.points()) {
+    if (value(p.x) > p.y + 1e-6) return false;
+  }
+  const double last =
+      std::max(points_.back().x, other.points().back().x) + 1.0;
+  if (value(last) > other.value(last) + 1e-6) return false;
+  return final_slope_ <= other.final_slope() + kEpsilon;
+}
+
+bool Curve::is_concave() const {
+  double prev = slope_after(0.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double s = slope_after(points_[i].x);
+    if (s > prev + kEpsilon) return false;
+    prev = s;
+  }
+  return final_slope_ <= prev + kEpsilon;
+}
+
+bool Curve::is_convex() const {
+  double prev = slope_after(0.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double s = slope_after(points_[i].x);
+    if (s < prev - kEpsilon) return false;
+    prev = s;
+  }
+  return final_slope_ >= prev - kEpsilon;
+}
+
+bool Curve::is_non_decreasing() const {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].y < points_[i - 1].y - kEpsilon) return false;
+  }
+  return final_slope_ >= -kEpsilon;
+}
+
+double Curve::pseudo_inverse(double y) const {
+  AFDX_REQUIRE(is_non_decreasing(),
+               "pseudo_inverse: requires a non-decreasing curve");
+  if (y <= points_.front().y + kEpsilon) return 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].y >= y - kEpsilon) {
+      const Point& a = points_[i - 1];
+      const Point& b = points_[i];
+      const double s = (b.y - a.y) / (b.x - a.x);
+      if (s <= kEpsilon) return b.x;  // flat segment: first x reaching y is b.x
+      return a.x + (y - a.y) / s;
+    }
+  }
+  const Point& last = points_.back();
+  if (final_slope_ <= kEpsilon) {
+    throw Error("pseudo_inverse: curve is bounded below target value");
+  }
+  return last.x + (y - last.y) / final_slope_;
+}
+
+std::string Curve::to_string() const {
+  std::ostringstream os;
+  os << "Curve{";
+  for (const Point& p : points_) os << "(" << p.x << "," << p.y << ") ";
+  os << "slope=" << final_slope_ << "}";
+  return os.str();
+}
+
+bool operator==(const Curve& a, const Curve& b) {
+  if (a.points_.size() != b.points_.size()) return false;
+  for (std::size_t i = 0; i < a.points_.size(); ++i) {
+    if (!nearly_equal(a.points_[i].x, b.points_[i].x) ||
+        !nearly_equal(a.points_[i].y, b.points_[i].y)) {
+      return false;
+    }
+  }
+  return nearly_equal(a.final_slope_, b.final_slope_);
+}
+
+}  // namespace afdx::minplus

@@ -1,0 +1,89 @@
+// Piecewise-linear curves for (min,plus) network calculus.
+//
+// A Curve is a piecewise-linear function f : [0, inf) -> R, represented by
+// its breakpoints (x_i, y_i) with linear interpolation in between and a
+// final slope extending the last breakpoint to infinity. Arrival curves
+// (concave: e.g. the leaky bucket sigma + rho t, with f(0) = sigma) and
+// service curves (convex: e.g. the rate-latency R (t - L)+) share this one
+// representation; the operations in operations.hpp implement the calculus.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace afdx::minplus {
+
+/// A breakpoint of a piecewise-linear curve.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Piecewise-linear function on [0, inf). Immutable after construction.
+class Curve {
+ public:
+  /// The zero function.
+  Curve();
+
+  /// General constructor: breakpoints (strictly increasing x, first x == 0)
+  /// plus the slope after the last breakpoint. Collinear interior points are
+  /// removed. Throws afdx::Error on malformed input.
+  Curve(std::vector<Point> points, double final_slope);
+
+  /// Affine curve f(t) = value_at_zero + slope * t. With value_at_zero > 0
+  /// this is the leaky-bucket arrival curve (burst, rate).
+  [[nodiscard]] static Curve affine(double value_at_zero, double slope);
+
+  /// Rate-latency service curve f(t) = rate * max(0, t - latency).
+  [[nodiscard]] static Curve rate_latency(double rate, double latency);
+
+  /// Constant function.
+  [[nodiscard]] static Curve constant(double value);
+
+  /// Function value at x >= 0.
+  [[nodiscard]] double value(double x) const;
+
+  /// Right-derivative at x >= 0.
+  [[nodiscard]] double slope_after(double x) const;
+
+  /// Slope of the final (infinite) piece.
+  [[nodiscard]] double final_slope() const noexcept { return final_slope_; }
+
+  /// Breakpoints, first one at x == 0.
+  [[nodiscard]] const std::vector<Point>& points() const noexcept { return points_; }
+
+  /// True when every point evaluates pointwise <= other (within kEpsilon),
+  /// including the tails.
+  [[nodiscard]] bool dominated_by(const Curve& other) const;
+
+  /// True when slopes are non-increasing along x (concave, e.g. any arrival
+  /// curve built from leaky buckets by sum and min).
+  [[nodiscard]] bool is_concave() const;
+
+  /// True when slopes are non-decreasing along x (convex, e.g. rate-latency
+  /// service curves and their convolutions).
+  [[nodiscard]] bool is_convex() const;
+
+  /// True when the function never decreases.
+  [[nodiscard]] bool is_non_decreasing() const;
+
+  /// Smallest s >= 0 with value(s) >= y (the lower pseudo-inverse).
+  /// Requires a non-decreasing curve. Throws afdx::Error when the curve
+  /// never reaches y (bounded curve below y).
+  [[nodiscard]] double pseudo_inverse(double y) const;
+
+  /// Human-readable dump, for diagnostics and tests.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Curve& a, const Curve& b);
+
+ private:
+  void normalize();
+
+  std::vector<Point> points_;
+  double final_slope_ = 0.0;
+};
+
+}  // namespace afdx::minplus

@@ -1,0 +1,339 @@
+#include "minplus/operations.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace afdx::minplus {
+
+namespace {
+
+/// Sorted union of the breakpoint abscissae of both curves.
+std::vector<double> merged_grid(const Curve& a, const Curve& b) {
+  std::vector<double> xs;
+  xs.reserve(a.points().size() + b.points().size());
+  for (const Point& p : a.points()) xs.push_back(p.x);
+  for (const Point& p : b.points()) xs.push_back(p.x);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end(),
+                       [](double u, double v) { return nearly_equal(u, v); }),
+           xs.end());
+  return xs;
+}
+
+/// Pointwise min or max with exact crossing points.
+Curve combine_extremum(const Curve& a, const Curve& b, bool take_min) {
+  std::vector<double> grid = merged_grid(a, b);
+
+  // Insert the crossing point inside every grid interval where the sign of
+  // (a - b) flips.
+  std::vector<double> xs;
+  xs.reserve(grid.size() * 2);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    xs.push_back(grid[i]);
+    if (i + 1 == grid.size()) break;
+    const double x1 = grid[i], x2 = grid[i + 1];
+    const double d1 = a.value(x1) - b.value(x1);
+    const double d2 = a.value(x2) - b.value(x2);
+    if ((d1 > kEpsilon && d2 < -kEpsilon) || (d1 < -kEpsilon && d2 > kEpsilon)) {
+      const double xc = x1 + (x2 - x1) * (d1 / (d1 - d2));
+      if (xc > x1 + kEpsilon && xc < x2 - kEpsilon) xs.push_back(xc);
+    }
+  }
+
+  // A final crossing can occur beyond the last breakpoint, where both curves
+  // are affine with their final slopes.
+  {
+    const double xl = xs.back();
+    const double dv = a.value(xl) - b.value(xl);
+    const double ds = a.final_slope() - b.final_slope();
+    if (std::abs(ds) > kEpsilon) {
+      const double xc = xl - dv / ds;
+      if (xc > xl + kEpsilon) xs.push_back(xc);
+    }
+  }
+
+  std::vector<Point> pts;
+  pts.reserve(xs.size());
+  for (double x : xs) {
+    const double va = a.value(x), vb = b.value(x);
+    pts.push_back({x, take_min ? std::min(va, vb) : std::max(va, vb)});
+  }
+
+  // Final slope: whichever curve is the extremum after the last breakpoint.
+  const double xl = xs.back();
+  const double va = a.value(xl), vb = b.value(xl);
+  double fs;
+  if (nearly_equal(va, vb)) {
+    fs = take_min ? std::min(a.final_slope(), b.final_slope())
+                  : std::max(a.final_slope(), b.final_slope());
+  } else if ((va < vb) == take_min) {
+    fs = a.final_slope();
+  } else {
+    fs = b.final_slope();
+  }
+  return Curve(std::move(pts), fs);
+}
+
+/// A linear piece of a curve, used by the convolution slope-merges.
+struct Segment {
+  double length;  // may be +inf for the final piece
+  double slope;
+};
+
+std::vector<Segment> segments_of(const Curve& c) {
+  std::vector<Segment> segs;
+  const auto& pts = c.points();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    segs.push_back({pts[i].x - pts[i - 1].x,
+                    (pts[i].y - pts[i - 1].y) / (pts[i].x - pts[i - 1].x)});
+  }
+  segs.push_back({std::numeric_limits<double>::infinity(), c.final_slope()});
+  return segs;
+}
+
+Curve curve_from_segments(double y0, std::vector<Segment> segs) {
+  std::vector<Point> pts{{0.0, y0}};
+  double x = 0.0, y = y0;
+  double final_slope = 0.0;
+  for (const Segment& s : segs) {
+    if (std::isinf(s.length)) {
+      final_slope = s.slope;
+      break;
+    }
+    x += s.length;
+    y += s.slope * s.length;
+    pts.push_back({x, y});
+  }
+  return Curve(std::move(pts), final_slope);
+}
+
+}  // namespace
+
+Curve sum(const Curve& a, const Curve& b) {
+  std::vector<double> grid = merged_grid(a, b);
+  std::vector<Point> pts;
+  pts.reserve(grid.size());
+  for (double x : grid) pts.push_back({x, a.value(x) + b.value(x)});
+  return Curve(std::move(pts), a.final_slope() + b.final_slope());
+}
+
+Curve sum(const std::vector<Curve>& curves) {
+  Curve acc;  // zero
+  for (const Curve& c : curves) acc = sum(acc, c);
+  return acc;
+}
+
+Curve minimum(const Curve& a, const Curve& b) {
+  return combine_extremum(a, b, /*take_min=*/true);
+}
+
+Curve maximum(const Curve& a, const Curve& b) {
+  return combine_extremum(a, b, /*take_min=*/false);
+}
+
+Curve shift_left(const Curve& a, double d) {
+  AFDX_REQUIRE(d >= 0.0, "shift_left: negative shift");
+  if (d <= kEpsilon) return a;
+  std::vector<Point> pts{{0.0, a.value(d)}};
+  for (const Point& p : a.points()) {
+    if (p.x > d + kEpsilon) pts.push_back({p.x - d, p.y});
+  }
+  return Curve(std::move(pts), a.final_slope());
+}
+
+Curve convolve_concave(const Curve& a, const Curve& b) {
+  AFDX_REQUIRE(a.is_concave() && b.is_concave(),
+               "convolve_concave: inputs must be concave");
+  // For concave f, g:  (f (*) g) = f(0) + g(0) + min(f - f(0), g - g(0))
+  // (the min-plus convolution of concave curves through the origin is their
+  // pointwise minimum; constant offsets commute with the convolution).
+  const double a0 = a.value(0.0);
+  const double b0 = b.value(0.0);
+  auto rebase = [](const Curve& c, double offset) {
+    std::vector<Point> pts;
+    pts.reserve(c.points().size());
+    for (const Point& p : c.points()) pts.push_back({p.x, p.y + offset});
+    return Curve(std::move(pts), c.final_slope());
+  };
+  const Curve m = minimum(rebase(a, -a0), rebase(b, -b0));
+  return rebase(m, a0 + b0);
+}
+
+Curve convolve_convex(const Curve& a, const Curve& b) {
+  AFDX_REQUIRE(a.is_convex() && b.is_convex(),
+               "convolve_convex: inputs must be convex");
+  AFDX_REQUIRE(nearly_equal(a.value(0.0), 0.0) && nearly_equal(b.value(0.0), 0.0),
+               "convolve_convex: service curves must start at 0");
+  std::vector<Segment> segs = segments_of(a);
+  std::vector<Segment> bsegs = segments_of(b);
+  segs.insert(segs.end(), bsegs.begin(), bsegs.end());
+  std::stable_sort(segs.begin(), segs.end(),
+                   [](const Segment& u, const Segment& v) {
+                     return u.slope < v.slope;  // increasing slope
+                   });
+  std::vector<Segment> trimmed;
+  for (const Segment& s : segs) {
+    trimmed.push_back(s);
+    if (std::isinf(s.length)) break;
+  }
+  return curve_from_segments(0.0, std::move(trimmed));
+}
+
+Curve deconvolve_concave_rl(const Curve& a, double rate, double latency) {
+  AFDX_REQUIRE(a.is_concave() && a.is_non_decreasing(),
+               "deconvolve_concave_rl: alpha must be concave non-decreasing");
+  AFDX_REQUIRE(rate > 0.0, "deconvolve_concave_rl: rate must be positive");
+  AFDX_REQUIRE(a.final_slope() <= rate + kEpsilon,
+               "deconvolve_concave_rl: arrival rate exceeds service rate "
+               "(unbounded output)");
+  // (a (/) RL)(t) = sup_{u>=0} a(t+L+u) - R u.
+  // Because a is concave the sup is reached where a's slope crosses R:
+  // let t0 = end of the region where a's slope exceeds R; then
+  //   result(t) = a(t+L)                        for t+L >= t0
+  //   result(t) = a(t0) - R (t0 - t - L)        for t+L <  t0.
+  const Curve shifted = shift_left(a, latency);
+
+  // t0 relative to the *shifted* curve.
+  double t0 = 0.0;
+  const auto& pts = shifted.points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (shifted.slope_after(pts[i].x) > rate + kEpsilon) {
+      t0 = (i + 1 < pts.size()) ? pts[i + 1].x : pts[i].x;
+    }
+  }
+  if (t0 <= kEpsilon) return shifted;
+  // Replace the initial too-steep portion by the slope-`rate` line that ends
+  // at (t0, shifted(t0)); beyond t0 the supremum is reached at u = 0 and the
+  // result follows the shifted curve.
+  std::vector<Point> out{{0.0, shifted.value(t0) - rate * t0}};
+  out.push_back({t0, shifted.value(t0)});
+  for (const Point& p : shifted.points()) {
+    if (p.x > t0 + kEpsilon) out.push_back(p);
+  }
+  return Curve(std::move(out), shifted.final_slope());
+}
+
+double horizontal_deviation(const Curve& alpha, const Curve& beta) {
+  AFDX_REQUIRE(alpha.is_non_decreasing() && beta.is_non_decreasing(),
+               "horizontal_deviation: curves must be non-decreasing");
+  if (alpha.final_slope() > beta.final_slope() + kEpsilon) {
+    throw Error("horizontal_deviation: unbounded (arrival rate exceeds "
+                "service rate)");
+  }
+
+  // Candidate maximizers of g(t) = beta^{-1}(alpha(t)) - t: alpha's
+  // breakpoints and the preimages (under alpha) of beta's breakpoint values.
+  std::set<double> cand;
+  cand.insert(0.0);
+  for (const Point& p : alpha.points()) cand.insert(p.x);
+  for (const Point& p : beta.points()) {
+    if (p.y <= alpha.value(0.0) + kEpsilon) continue;
+    // Smallest t with alpha(t) >= p.y, when it exists.
+    if (alpha.final_slope() > kEpsilon ||
+        alpha.value(alpha.points().back().x) >= p.y - kEpsilon) {
+      cand.insert(alpha.pseudo_inverse(p.y));
+    }
+  }
+
+  double best = 0.0;
+  for (double t : cand) {
+    const double need = alpha.value(t);
+    double d;
+    try {
+      d = beta.pseudo_inverse(need) - t;
+    } catch (const Error&) {
+      throw Error("horizontal_deviation: unbounded (service never reaches "
+                  "arrival level)");
+    }
+    best = std::max(best, d);
+  }
+  return std::max(best, 0.0);
+}
+
+Curve residual_service(const Curve& beta, const Curve& alpha_higher,
+                       double blocking) {
+  AFDX_REQUIRE(beta.is_convex() && beta.is_non_decreasing(),
+               "residual_service: beta must be convex non-decreasing");
+  AFDX_REQUIRE(alpha_higher.is_concave(),
+               "residual_service: alpha must be concave");
+  AFDX_REQUIRE(blocking >= 0.0, "residual_service: negative blocking");
+  const double slope = beta.final_slope() - alpha_higher.final_slope();
+  AFDX_REQUIRE(slope > kEpsilon,
+               "residual_service: higher-priority traffic saturates the "
+               "server (no residual service)");
+
+  // diff(t) = beta(t) - alpha(t) - blocking is convex with positive final
+  // slope: it has a last zero t*, after which it increases. The residual
+  // service curve is 0 on [0, t*] and follows diff afterwards.
+  auto diff = [&](double t) {
+    return beta.value(t) - alpha_higher.value(t) - blocking;
+  };
+
+  // Candidate knees: breakpoints of both curves.
+  std::vector<double> grid;
+  for (const Point& p : beta.points()) grid.push_back(p.x);
+  for (const Point& p : alpha_higher.points()) grid.push_back(p.x);
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end(),
+                         [](double a, double b) { return nearly_equal(a, b); }),
+             grid.end());
+
+  // Last grid point where diff < 0 brackets the final zero crossing.
+  double lo = 0.0;
+  for (double x : grid) {
+    if (diff(x) < 0.0) lo = x;
+  }
+  double t_star;
+  if (diff(lo) >= -kEpsilon && lo == 0.0) {
+    t_star = 0.0;  // already non-negative everywhere
+  } else {
+    // Beyond the last negative grid point both curves are locally affine up
+    // to the next breakpoint; walk segments until diff turns positive.
+    double hi = lo;
+    for (double x : grid) {
+      if (x > lo && diff(x) >= 0.0) {
+        hi = x;
+        break;
+      }
+    }
+    if (hi <= lo) {  // crossing beyond the last breakpoint
+      hi = lo + std::max(1.0, (blocking + alpha_higher.value(lo)) / slope) * 2.0;
+      while (diff(hi) < 0.0) hi *= 2.0;
+    }
+    // diff is affine on [lo, hi'] between consecutive breakpoints; a few
+    // bisection rounds pin the zero exactly enough.
+    for (int it = 0; it < 100 && hi - lo > 1e-12 * (1.0 + hi); ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (diff(mid) < 0.0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    t_star = hi;
+  }
+
+  std::vector<Point> pts{{0.0, 0.0}};
+  if (t_star > kEpsilon) pts.push_back({t_star, 0.0});
+  for (double x : grid) {
+    if (x > t_star + kEpsilon) pts.push_back({x, std::max(0.0, diff(x))});
+  }
+  return Curve(std::move(pts), slope);
+}
+
+double vertical_deviation(const Curve& alpha, const Curve& beta) {
+  if (alpha.final_slope() > beta.final_slope() + kEpsilon) {
+    throw Error("vertical_deviation: unbounded");
+  }
+  double best = 0.0;
+  for (double x : merged_grid(alpha, beta)) {
+    best = std::max(best, alpha.value(x) - beta.value(x));
+  }
+  return std::max(best, 0.0);
+}
+
+}  // namespace afdx::minplus

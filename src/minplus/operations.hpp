@@ -1,0 +1,77 @@
+// (min,plus) operations on piecewise-linear curves.
+//
+// These are the network-calculus primitives:
+//   * sum / minimum / maximum  — pointwise combinations (exact, with
+//     crossing points inserted);
+//   * convolve_concave         — min-plus convolution of concave curves
+//     (aggregate arrival shaping);
+//   * convolve_convex          — min-plus convolution of convex service
+//     curves with f(0) = 0 (tandem of servers);
+//   * deconvolve_concave_rl    — output arrival curve alpha (/) beta for a
+//     concave alpha and a rate-latency beta (exact closed form);
+//   * horizontal_deviation     — the delay bound h(alpha, beta);
+//   * vertical_deviation       — the backlog bound v(alpha, beta).
+//
+// Operations throw afdx::Error when a bound does not exist (long-term
+// arrival rate above the service rate: the port is unstable).
+#pragma once
+
+#include <vector>
+
+#include "minplus/curve.hpp"
+
+namespace afdx::minplus {
+
+/// Pointwise sum.
+[[nodiscard]] Curve sum(const Curve& a, const Curve& b);
+
+/// Pointwise sum of many curves; returns the zero curve for an empty list.
+[[nodiscard]] Curve sum(const std::vector<Curve>& curves);
+
+/// Pointwise minimum (crossings become breakpoints).
+[[nodiscard]] Curve minimum(const Curve& a, const Curve& b);
+
+/// Pointwise maximum (crossings become breakpoints).
+[[nodiscard]] Curve maximum(const Curve& a, const Curve& b);
+
+/// The curve t -> a(t + d), for d >= 0 (drops the initial [0, d) part).
+[[nodiscard]] Curve shift_left(const Curve& a, double d);
+
+/// Min-plus convolution of two concave curves:
+/// (a (*) b)(t) = inf_{0<=s<=t} a(s) + b(t-s)
+///             = a(0) + b(0) + the segments of both, merged by decreasing
+///               slope. Requires both curves concave.
+[[nodiscard]] Curve convolve_concave(const Curve& a, const Curve& b);
+
+/// Min-plus convolution of two convex service curves with a(0) == b(0) == 0:
+/// segments merged by increasing slope (rate-latency (*) rate-latency ==
+/// rate-latency with summed latencies and min rate).
+[[nodiscard]] Curve convolve_convex(const Curve& a, const Curve& b);
+
+/// Exact deconvolution (a (/) beta)(t) = sup_{u>=0} a(t+u) - beta(u) of a
+/// concave, non-decreasing curve by the rate-latency curve of the given
+/// rate/latency. Throws when a's long-term rate exceeds `rate`.
+[[nodiscard]] Curve deconvolve_concave_rl(const Curve& a, double rate,
+                                          double latency);
+
+/// Delay bound: the horizontal deviation
+/// h(alpha, beta) = sup_{t>=0} inf { d >= 0 : alpha(t) <= beta(t + d) }.
+/// Requires non-decreasing curves; throws when unbounded (instability).
+[[nodiscard]] double horizontal_deviation(const Curve& alpha, const Curve& beta);
+
+/// Backlog bound: v(alpha, beta) = sup_{t>=0} alpha(t) - beta(t).
+/// Throws when unbounded.
+[[nodiscard]] double vertical_deviation(const Curve& alpha, const Curve& beta);
+
+/// Residual service left to a traffic class by a non-preemptive
+/// static-priority server: [beta - alpha_higher - blocking]+, where `beta`
+/// is the port's convex service curve, `alpha_higher` the concave arrival
+/// aggregate of all strictly higher-priority classes and `blocking` the
+/// largest lower-priority frame (bits) that can be in transmission.
+/// The difference is convex, so past its last zero it is a valid
+/// non-decreasing service curve. Throws when the higher-priority long-term
+/// rate reaches the server rate (no residual service).
+[[nodiscard]] Curve residual_service(const Curve& beta, const Curve& alpha_higher,
+                                     double blocking);
+
+}  // namespace afdx::minplus

@@ -1,0 +1,316 @@
+#include "netcalc/netcalc_analyzer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/error.hpp"
+#include "minplus/operations.hpp"
+
+namespace afdx::netcalc {
+
+namespace {
+
+using minplus::Curve;
+
+/// Per-port, per-priority-class delay bounds (the propagation state).
+using LevelDelays = std::map<std::uint8_t, Microseconds>;
+
+/// Sum of upstream port delays of `vl` before it reaches `port` (the delay
+/// already accumulated when its frames arrive there), using the VL's own
+/// priority class at every crossed port.
+Microseconds accumulated_delay(const TrafficConfig& config, VlId vl,
+                               LinkId port,
+                               const std::vector<LevelDelays>& port_delays) {
+  const VlRoute& route = config.route(vl);
+  const std::uint8_t level = config.vl(vl).priority;
+  Microseconds acc = 0.0;
+  for (LinkId l = route.predecessor(port); l != kInvalidLink;
+       l = route.predecessor(l)) {
+    auto it = port_delays[l].find(level);
+    if (it != port_delays[l].end()) acc += it->second;
+  }
+  return acc;
+}
+
+/// The per-port computation: aggregate the crossing VLs per priority class
+/// (with grouping when enabled), derive each class's residual service, and
+/// return the class delay bounds plus the port backlog bounds.
+struct PortBounds {
+  LevelDelays level_delays;
+  Bits backlog;
+  Bits queue_backlog;
+};
+
+/// Grouped arrival aggregates of the VLs crossing `port`, one curve per
+/// priority class (optionally excluding one VL).
+std::map<std::uint8_t, Curve> level_aggregates_at(
+    const TrafficConfig& config, LinkId port, const Options& options,
+    const std::vector<LevelDelays>& port_delays, VlId exclude) {
+  const Network& net = config.network();
+
+  // Partition the crossing VLs by priority class, then by the link their
+  // frames arrive on. VLs born at this port (source ES output) have no
+  // predecessor link and are not serialized with anything: each is its own
+  // group.
+  std::map<std::uint8_t, std::map<std::pair<bool, LinkId>, std::vector<VlId>>>
+      levels;
+  LinkId fresh_key = 0;
+  for (VlId v : config.vls_on_link(port)) {
+    if (v == exclude) continue;
+    auto& groups = levels[config.vl(v).priority];
+    const LinkId pred = config.route(v).predecessor(port);
+    if (pred == kInvalidLink) {
+      groups[{false, fresh_key++}].push_back(v);
+    } else {
+      groups[{true, pred}].push_back(v);
+    }
+  }
+
+  std::map<std::uint8_t, Curve> out;
+  for (const auto& [level, groups] : levels) {
+    Curve aggregate;  // zero curve
+    for (const auto& [key, members] : groups) {
+      Curve group_curve;
+      Bits largest_frame = 0.0;
+      for (VlId v : members) {
+        group_curve = minplus::sum(
+            group_curve, arrival_curve_at(config, v, port, port_delays));
+        largest_frame = std::max(largest_frame, config.vl(v).burst_bits());
+      }
+      if (options.grouping && key.first && members.size() >= 2) {
+        // Frames of the group are serialized by the shared input link: over
+        // any window of length t at most (rate * t + largest frame) bits
+        // can arrive. A lone flow on a link is not grouped with anything
+        // (the published grouping technique exploits serialization between
+        // flows).
+        const BitsPerMicrosecond upstream_rate = net.link(key.second).rate;
+        group_curve = minplus::minimum(
+            group_curve, Curve::affine(largest_frame, upstream_rate));
+      }
+      aggregate = minplus::sum(aggregate, group_curve);
+    }
+    out.emplace(level, std::move(aggregate));
+  }
+  return out;
+}
+
+PortBounds compute_port(const TrafficConfig& config, LinkId port,
+                        const Options& options,
+                        const std::vector<LevelDelays>& port_delays) {
+  const Network& net = config.network();
+  const Link& link = net.link(port);
+
+  Bits port_max_frame = 0.0;
+  for (VlId v : config.vls_on_link(port)) {
+    port_max_frame = std::max(port_max_frame, config.vl(v).burst_bits());
+  }
+
+  const std::map<std::uint8_t, Curve> level_aggregates =
+      level_aggregates_at(config, port, options, port_delays, kInvalidVl);
+  Curve total_aggregate;
+  for (const auto& [level, aggregate] : level_aggregates) {
+    total_aggregate = minplus::sum(total_aggregate, aggregate);
+  }
+
+  const Curve beta = Curve::rate_latency(link.rate, link.latency);
+  const Curve pure_rate = Curve::rate_latency(link.rate, 0.0);
+  try {
+    PortBounds bounds;
+    // Buffer sizing (the memory is shared by all classes of the port) with
+    // store-and-forward release: a frame occupies the FIFO until fully
+    // transmitted, so the fluid backlog is raised by one maximum frame.
+    bounds.backlog =
+        minplus::vertical_deviation(total_aggregate, beta) + port_max_frame;
+    bounds.queue_backlog =
+        minplus::vertical_deviation(total_aggregate, pure_rate);
+
+    // Per-class delays: class k is served after all higher classes and can
+    // be blocked by one lower-class frame already in transmission.
+    Curve higher;  // zero curve
+    for (auto it = level_aggregates.begin(); it != level_aggregates.end();
+         ++it) {
+      Bits blocking = 0.0;
+      for (auto low = std::next(it); low != level_aggregates.end(); ++low) {
+        for (VlId v : config.vls_on_link(port)) {
+          if (config.vl(v).priority == low->first) {
+            blocking = std::max(blocking, config.vl(v).burst_bits());
+          }
+        }
+      }
+      const bool only_class = level_aggregates.size() == 1;
+      const Curve service =
+          only_class ? beta : minplus::residual_service(beta, higher, blocking);
+      bounds.level_delays[it->first] =
+          minplus::horizontal_deviation(it->second, service);
+      higher = minplus::sum(higher, it->second);
+    }
+    return bounds;
+  } catch (const Error&) {
+    throw Error("WCNC: unstable output port " +
+                net.node(link.source).name + " -> " +
+                net.node(link.dest).name + " (utilization " +
+                std::to_string(config.utilization(port)) + ")");
+  }
+}
+
+/// Ports in propagation order: a port comes after every port some VL
+/// crosses immediately before it. Returns nullopt when the dependency graph
+/// has a cycle.
+std::optional<std::vector<LinkId>> propagation_order(
+    const TrafficConfig& config, const std::vector<LinkId>& used_ports) {
+  const std::size_t n = config.network().link_count();
+  std::vector<std::vector<LinkId>> successors(n);
+  std::vector<int> in_degree(n, 0);
+  for (LinkId port : used_ports) {
+    for (VlId v : config.vls_on_link(port)) {
+      const LinkId pred = config.route(v).predecessor(port);
+      if (pred != kInvalidLink) {
+        successors[pred].push_back(port);
+        ++in_degree[port];
+      }
+    }
+  }
+  std::deque<LinkId> ready;
+  for (LinkId port : used_ports) {
+    if (in_degree[port] == 0) ready.push_back(port);
+  }
+  std::vector<LinkId> order;
+  order.reserve(used_ports.size());
+  while (!ready.empty()) {
+    const LinkId p = ready.front();
+    ready.pop_front();
+    order.push_back(p);
+    for (LinkId s : successors[p]) {
+      if (--in_degree[s] == 0) ready.push_back(s);
+    }
+  }
+  if (order.size() != used_ports.size()) return std::nullopt;
+  return order;
+}
+
+PortReport report_from(const PortBounds& bounds, double utilization) {
+  PortReport report;
+  report.used = true;
+  report.level_delays = bounds.level_delays;
+  report.delay = 0.0;
+  for (const auto& [level, d] : bounds.level_delays) {
+    report.delay = std::max(report.delay, d);
+  }
+  report.backlog = bounds.backlog;
+  report.queue_backlog = bounds.queue_backlog;
+  report.utilization = utilization;
+  return report;
+}
+
+}  // namespace
+
+minplus::Curve arrival_curve_at(
+    const TrafficConfig& config, VlId vl, LinkId port,
+    const std::vector<std::map<std::uint8_t, Microseconds>>& port_delays) {
+  const VirtualLink& v = config.vl(vl);
+  AFDX_REQUIRE(config.route(vl).crosses(port),
+               "arrival_curve_at: VL does not cross the port");
+  const Microseconds acc = accumulated_delay(config, vl, port, port_delays);
+  // The source envelope delayed by up to (release jitter + upstream port
+  // delays): the burst grows by rho times the accumulated worst-case delay.
+  const Microseconds total_jitter = v.max_release_jitter + acc;
+  return minplus::Curve::affine(
+      v.burst_bits() + v.rate_bits_per_us() * total_jitter,
+      v.rate_bits_per_us());
+}
+
+minplus::Curve port_aggregate(
+    const TrafficConfig& config, LinkId port, const Options& options,
+    const std::vector<std::map<std::uint8_t, Microseconds>>& port_delays,
+    VlId exclude) {
+  Curve total;
+  for (const auto& [level, aggregate] :
+       level_aggregates_at(config, port, options, port_delays, exclude)) {
+    total = minplus::sum(total, aggregate);
+  }
+  return total;
+}
+
+std::vector<std::map<std::uint8_t, Microseconds>> delay_table(
+    const Result& result) {
+  std::vector<std::map<std::uint8_t, Microseconds>> out(result.ports.size());
+  for (std::size_t l = 0; l < result.ports.size(); ++l) {
+    if (result.ports[l].used) out[l] = result.ports[l].level_delays;
+  }
+  return out;
+}
+
+Microseconds Result::bound_for(const TrafficConfig& config, PathRef ref) const {
+  const auto& paths = config.all_paths();
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (paths[i].vl == ref.vl && paths[i].dest_index == ref.dest_index) {
+      return path_bounds[i];
+    }
+  }
+  throw Error("WCNC Result::bound_for: unknown path");
+}
+
+Result analyze(const TrafficConfig& config, const Options& options) {
+  const Network& net = config.network();
+  const std::size_t n_links = net.link_count();
+
+  std::vector<LinkId> used_ports;
+  for (LinkId l = 0; l < n_links; ++l) {
+    if (!config.vls_on_link(l).empty()) used_ports.push_back(l);
+  }
+
+  Result result;
+  result.ports.assign(n_links, PortReport{});
+  std::vector<LevelDelays> delays(n_links);
+
+  const auto order = propagation_order(config, used_ports);
+  if (order.has_value()) {
+    // Feed-forward: one pass in dependency order is exact.
+    for (LinkId port : *order) {
+      const PortBounds b = compute_port(config, port, options, delays);
+      delays[port] = b.level_delays;
+      result.ports[port] = report_from(b, config.utilization(port));
+    }
+    result.iterations = 1;
+  } else {
+    // Cyclic dependencies: monotone fixed point from below. Delays only
+    // grow between rounds; stop when stationary.
+    int round = 0;
+    for (; round < options.max_iterations; ++round) {
+      double max_change = 0.0;
+      for (LinkId port : used_ports) {
+        PortBounds b = compute_port(config, port, options, delays);
+        for (auto& [level, d] : b.level_delays) {
+          const Microseconds prev = delays[port].count(level)
+                                        ? delays[port][level]
+                                        : 0.0;
+          max_change = std::max(max_change, d - prev);
+          d = std::max(d, prev);
+          delays[port][level] = d;
+        }
+        result.ports[port] = report_from(b, config.utilization(port));
+      }
+      if (max_change <= kEpsilon) break;
+    }
+    AFDX_REQUIRE(round < options.max_iterations,
+                 "WCNC: fixed point did not converge (cyclic configuration "
+                 "too heavily loaded)");
+    result.iterations = round + 1;
+  }
+
+  result.path_bounds.reserve(config.all_paths().size());
+  for (const VlPath& p : config.all_paths()) {
+    const std::uint8_t level = config.vl(p.vl).priority;
+    Microseconds total = 0.0;
+    for (LinkId l : p.links) {
+      auto it = delays[l].find(level);
+      AFDX_ASSERT(it != delays[l].end(), "missing level delay");
+      total += it->second;
+    }
+    result.path_bounds.push_back(total);
+  }
+  return result;
+}
+
+}  // namespace afdx::netcalc

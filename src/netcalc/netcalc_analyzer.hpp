@@ -1,0 +1,107 @@
+// Worst-Case Network Calculus (WCNC) analyzer for AFDX, as used for A380
+// certification and described in Section II of the paper.
+//
+// Model:
+//   * each VL enters the network constrained by the leaky bucket
+//     alpha_v(t) = 8 s_max + (8 s_max / BAG) t;
+//   * each output port (ES or switch) offers the rate-latency service
+//     beta(t) = R (t - L)+ to the FIFO aggregate of its crossing VLs;
+//   * the port delay bound is the horizontal deviation h(aggregate, beta);
+//   * crossing a port with delay bound D inflates a VL's burst by rho * D
+//     (holistic propagation of the worst-case jitter);
+//   * end-to-end bound of a path = sum of its port delay bounds.
+//
+// Grouping technique (the paper's refinement, enabled by default): at a
+// switch port, the VLs arriving on one shared input link are serialized by
+// that link, so their joint arrival is additionally capped by the leaky
+// bucket (largest member frame, input-link rate). The vertical deviation of
+// the same curves gives the port backlog bound used for buffer sizing.
+//
+// Ports are processed following the propagation partial order; when VL
+// routes make that order cyclic the analyzer falls back to a monotone
+// fixed-point iteration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "minplus/curve.hpp"
+#include "vl/traffic_config.hpp"
+
+namespace afdx::netcalc {
+
+struct Options {
+  /// Apply the input-link serialization (grouping) refinement. Disabling it
+  /// gives the historical, more pessimistic WCNC (ablation E8 of DESIGN.md).
+  bool grouping = true;
+  /// Maximum rounds of the fixed-point fallback for cyclic configurations.
+  int max_iterations = 1000;
+};
+
+/// Analysis output for one output port.
+struct PortReport {
+  /// False when no VL crosses the port (other fields meaningless).
+  bool used = false;
+  /// Worst-case delay through the port (queueing + own transmission +
+  /// technological latency). With several static-priority classes this is
+  /// the worst class's delay; see level_delays for the per-class bounds.
+  Microseconds delay = 0.0;
+  /// Per-priority-class delay bounds (one entry per class crossing the
+  /// port; FIFO configurations have a single class 0). Classes are served
+  /// non-preemptively, highest (smallest value) first, FIFO within a class.
+  std::map<std::uint8_t, Microseconds> level_delays;
+  /// Worst-case FIFO buffer occupancy in bits (switch memory sizing),
+  /// against the full rate-latency service model.
+  Bits backlog = 0.0;
+  /// Worst-case queue content in bits against the pure-rate service (the
+  /// technological latency modelled at queue entry instead). This is the
+  /// "work ahead of an arriving frame" bound the trajectory analyzer uses
+  /// as its serialization cap; backlog - queue_backlog <= R * L.
+  Bits queue_backlog = 0.0;
+  /// Long-term utilization of the port.
+  double utilization = 0.0;
+};
+
+/// Full analysis result.
+struct Result {
+  /// Per-port reports, indexed by LinkId.
+  std::vector<PortReport> ports;
+  /// End-to-end bounds, aligned with TrafficConfig::all_paths().
+  std::vector<Microseconds> path_bounds;
+  /// Number of fixed-point rounds used (1 when the config is feed-forward).
+  int iterations = 0;
+
+  /// Bound for a specific path; throws when the path does not exist.
+  [[nodiscard]] Microseconds bound_for(const TrafficConfig& config,
+                                       PathRef ref) const;
+};
+
+/// Runs the WCNC analysis. Throws afdx::Error when some port is unstable
+/// (utilization > 1) or the fixed point does not converge.
+[[nodiscard]] Result analyze(const TrafficConfig& config,
+                             const Options& options = {});
+
+/// The arrival curve of VL `vl` when it reaches port `port`, given the
+/// already-known per-priority-class delays of upstream ports. Exposed for
+/// tests.
+[[nodiscard]] minplus::Curve arrival_curve_at(
+    const TrafficConfig& config, VlId vl, LinkId port,
+    const std::vector<std::map<std::uint8_t, Microseconds>>& port_delays);
+
+/// The grouped arrival aggregate of the VLs crossing `port` (all priority
+/// classes summed), optionally excluding one VL -- the cross-traffic curve
+/// other analyses (e.g. the SFA residual-service method) build on. Exposed
+/// as advanced API.
+[[nodiscard]] minplus::Curve port_aggregate(
+    const TrafficConfig& config, LinkId port, const Options& options,
+    const std::vector<std::map<std::uint8_t, Microseconds>>& port_delays,
+    VlId exclude = kInvalidVl);
+
+/// Reconstructs the per-port, per-class delay vector from an analysis
+/// result (the `port_delays` input of arrival_curve_at / port_aggregate).
+[[nodiscard]] std::vector<std::map<std::uint8_t, Microseconds>> delay_table(
+    const Result& result);
+
+}  // namespace afdx::netcalc

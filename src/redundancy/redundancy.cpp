@@ -1,0 +1,84 @@
+#include "redundancy/redundancy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace afdx::redundancy {
+
+const PathRedundancy& Result::for_path(const TrafficConfig& config_a,
+                                       PathRef ref) const {
+  const auto& all = config_a.all_paths();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].vl == ref.vl && all[i].dest_index == ref.dest_index) {
+      return paths[i];
+    }
+  }
+  throw Error("redundancy Result::for_path: unknown path");
+}
+
+void require_mirrored_vls(const TrafficConfig& a, const TrafficConfig& b) {
+  AFDX_REQUIRE(a.vl_count() == b.vl_count(),
+               "redundancy: the two networks carry different VL counts");
+  for (VlId v = 0; v < a.vl_count(); ++v) {
+    const VirtualLink& va = a.vl(v);
+    const VirtualLink& vb = b.vl(v);
+    AFDX_REQUIRE(va.name == vb.name,
+                 "redundancy: VL order/name mismatch at index " +
+                     std::to_string(v));
+    AFDX_REQUIRE(nearly_equal(va.bag, vb.bag) && va.s_min == vb.s_min &&
+                     va.s_max == vb.s_max && va.priority == vb.priority,
+                 "redundancy: VL " + va.name +
+                     " has different contracts on the two networks");
+    AFDX_REQUIRE(a.network().node(va.source).name ==
+                     b.network().node(vb.source).name,
+                 "redundancy: VL " + va.name + " has different sources");
+    AFDX_REQUIRE(va.destinations.size() == vb.destinations.size(),
+                 "redundancy: VL " + va.name +
+                     " has different destination counts");
+    for (std::size_t d = 0; d < va.destinations.size(); ++d) {
+      AFDX_REQUIRE(a.network().node(va.destinations[d]).name ==
+                       b.network().node(vb.destinations[d]).name,
+                   "redundancy: VL " + va.name +
+                       " has different destinations");
+    }
+  }
+}
+
+Microseconds path_floor(const TrafficConfig& config, const VlPath& path) {
+  const VirtualLink& vl = config.vl(path.vl);
+  Microseconds floor = 0.0;
+  for (LinkId l : path.links) {
+    floor += vl.max_transmission_time(config.network().link(l).rate);
+    if (config.route(path.vl).predecessor(l) != kInvalidLink) {
+      floor += config.network().link(l).latency;
+    }
+  }
+  return floor;
+}
+
+Result analyze(const TrafficConfig& a,
+               const std::vector<Microseconds>& bounds_a,
+               const TrafficConfig& b,
+               const std::vector<Microseconds>& bounds_b) {
+  require_mirrored_vls(a, b);
+  AFDX_REQUIRE(bounds_a.size() == a.all_paths().size() &&
+                   bounds_b.size() == b.all_paths().size(),
+               "redundancy: bounds misaligned with paths");
+  AFDX_REQUIRE(bounds_a.size() == bounds_b.size(),
+               "redundancy: the two networks expose different path counts");
+
+  Result result;
+  result.paths.reserve(bounds_a.size());
+  for (std::size_t i = 0; i < bounds_a.size(); ++i) {
+    const Microseconds floor_a = path_floor(a, a.all_paths()[i]);
+    const Microseconds floor_b = path_floor(b, b.all_paths()[i]);
+    PathRedundancy pr;
+    pr.first_arrival_bound = std::min(bounds_a[i], bounds_b[i]);
+    pr.skew_max = std::max(bounds_a[i] - floor_b, bounds_b[i] - floor_a);
+    result.paths.push_back(pr);
+  }
+  return result;
+}
+
+}  // namespace afdx::redundancy

@@ -1,0 +1,64 @@
+// ARINC 664 network redundancy analysis.
+//
+// The industrial configuration of the paper runs every VL over two
+// redundant AFDX sub-networks (A and B): each frame is sent on both, and
+// the receiving end system's redundancy management (RM) keeps the first
+// valid copy and discards the second. Two figures follow from the per-
+// network delay analyses:
+//
+//   * first-arrival bound — the worst case of min(delay_A, delay_B) is at
+//     most min(bound_A, bound_B): the latency the application actually
+//     experiences;
+//   * worst-case skew — the RM window must absorb the largest possible gap
+//     between the two copies of a frame, bounded by
+//     max(bound_A - floor_B, bound_B - floor_A), where floor_X is the
+//     jitter-free store-and-forward traversal of network X (a frame can
+//     never be faster than it).
+//
+// The two networks must carry the same VL set (same names, contracts,
+// sources and destinations); topologies and routes may differ.
+#pragma once
+
+#include <vector>
+
+#include "vl/traffic_config.hpp"
+
+namespace afdx::redundancy {
+
+/// Per-VL-path redundancy figures, aligned with TrafficConfig::all_paths()
+/// of network A (which network B must mirror path-for-path).
+struct PathRedundancy {
+  /// Upper bound on the delay of the first copy to arrive.
+  Microseconds first_arrival_bound = 0.0;
+  /// Upper bound on the arrival gap between the two copies (the minimum
+  /// receiver RM window that never drops a legitimate second copy).
+  Microseconds skew_max = 0.0;
+};
+
+struct Result {
+  std::vector<PathRedundancy> paths;
+
+  [[nodiscard]] const PathRedundancy& for_path(const TrafficConfig& config_a,
+                                               PathRef ref) const;
+};
+
+/// Checks that the two configurations carry the same VL set (names, BAG,
+/// frame sizes, priorities, source/destination end-system names, in the
+/// same order); throws afdx::Error otherwise.
+void require_mirrored_vls(const TrafficConfig& a, const TrafficConfig& b);
+
+/// Jitter-free store-and-forward traversal time of one path (the fastest a
+/// maximum-size frame can ever cross it).
+[[nodiscard]] Microseconds path_floor(const TrafficConfig& config,
+                                      const VlPath& path);
+
+/// Combines per-network delay bounds into the redundancy figures.
+/// `bounds_a` / `bounds_b` are aligned with the respective
+/// TrafficConfig::all_paths() (e.g. the combined bounds of
+/// analysis::compare).
+[[nodiscard]] Result analyze(const TrafficConfig& a,
+                             const std::vector<Microseconds>& bounds_a,
+                             const TrafficConfig& b,
+                             const std::vector<Microseconds>& bounds_b);
+
+}  // namespace afdx::redundancy

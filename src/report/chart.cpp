@@ -1,0 +1,111 @@
+#include "report/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "report/table.hpp"
+
+namespace afdx::report {
+
+void line_chart(std::ostream& out, const std::vector<Series>& series,
+                int width, int height, bool log_x) {
+  AFDX_REQUIRE(width >= 16 && height >= 6, "line_chart: grid too small");
+  double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+  bool any = false;
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.points) {
+      AFDX_REQUIRE(!log_x || x > 0.0, "line_chart: log axis needs x > 0");
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+      any = true;
+    }
+  }
+  AFDX_REQUIRE(any, "line_chart: no points");
+  if (xmax - xmin < 1e-12) xmax = xmin + 1.0;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1.0;
+
+  auto xpos = [&](double x) {
+    double t = log_x ? (std::log(x) - std::log(xmin)) /
+                           (std::log(xmax) - std::log(xmin))
+                     : (x - xmin) / (xmax - xmin);
+    return std::clamp(static_cast<int>(std::lround(t * (width - 1))), 0,
+                      width - 1);
+  };
+  auto ypos = [&](double y) {
+    const double t = (y - ymin) / (ymax - ymin);
+    return std::clamp(static_cast<int>(std::lround(t * (height - 1))), 0,
+                      height - 1);
+  };
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.points) {
+      grid[static_cast<std::size_t>(height - 1 - ypos(y))]
+          [static_cast<std::size_t>(xpos(x))] = s.marker;
+    }
+  }
+
+  for (int r = 0; r < height; ++r) {
+    const double yv = ymax - (ymax - ymin) * r / (height - 1);
+    out << (r % 4 == 0 ? fmt(yv, 1) : std::string())
+        << std::string(r % 4 == 0 ? std::max<std::size_t>(
+                                        1, 10 - fmt(yv, 1).size())
+                                  : 10,
+                       ' ')
+        << "|" << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  out << std::string(11, ' ') << "+" << std::string(static_cast<std::size_t>(width), '-')
+      << "\n";
+  out << std::string(12, ' ') << fmt(xmin, 1)
+      << std::string(static_cast<std::size_t>(std::max(1, width - 16)), ' ')
+      << fmt(xmax, 1) << (log_x ? "  (log x)" : "") << "\n";
+  for (const Series& s : series) {
+    out << "    " << s.marker << " = " << s.name << "\n";
+  }
+}
+
+void signed_heatmap(std::ostream& out,
+                    const std::vector<std::vector<double>>& values,
+                    const std::vector<std::string>& row_labels,
+                    const std::vector<std::string>& col_labels) {
+  AFDX_REQUIRE(!values.empty(), "signed_heatmap: no rows");
+  AFDX_REQUIRE(values.size() == row_labels.size(),
+               "signed_heatmap: row label mismatch");
+  double amax = 0.0;
+  for (const auto& row : values) {
+    AFDX_REQUIRE(row.size() == col_labels.size(),
+                 "signed_heatmap: column label mismatch");
+    for (double v : row) amax = std::max(amax, std::abs(v));
+  }
+  if (amax < 1e-12) amax = 1.0;
+
+  auto shade = [&](double v) -> char {
+    const double t = std::abs(v) / amax;
+    if (t < 0.02) return '0';
+    static const char pos[] = {'.', '+', 'P', '#'};
+    static const char neg[] = {',', '-', 'n', '%'};
+    const int level = std::min(3, static_cast<int>(t * 4.0));
+    return v > 0 ? pos[level] : neg[level];
+  };
+
+  std::size_t label_w = 0;
+  for (const auto& l : row_labels) label_w = std::max(label_w, l.size());
+  for (std::size_t r = 0; r < values.size(); ++r) {
+    out << row_labels[r] << std::string(label_w - row_labels[r].size(), ' ')
+        << " |";
+    for (double v : values[r]) out << shade(v);
+    out << "|\n";
+  }
+  out << std::string(label_w, ' ') << "  " << col_labels.front() << " .. "
+      << col_labels.back() << "\n";
+  out << "legend: '#','P','+','.' = positive (trajectory tighter), "
+         "'%','n','-',',' = negative, '0' = tie; magnitude scaled to "
+      << fmt(amax, 1) << "\n";
+}
+
+}  // namespace afdx::report

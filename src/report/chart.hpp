@@ -1,0 +1,32 @@
+// ASCII charts for the figure-reproduction benches: line charts for the
+// paper's Figures 5-8 and a signed heat map for Figure 9. Pure text output
+// so the benches stay dependency-free and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace afdx::report {
+
+/// One plotted series: (x, y) points, pre-sorted by x by the caller.
+struct Series {
+  std::string name;
+  char marker = '*';
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Renders series on a shared grid with axis annotations. `log_x` spaces
+/// the x axis logarithmically (used for the BAG sweeps).
+void line_chart(std::ostream& out, const std::vector<Series>& series,
+                int width = 72, int height = 20, bool log_x = false);
+
+/// Renders a matrix of signed values as a heat map: '+' shades where the
+/// value is positive, '-' shades where negative, '0' near zero.
+/// `row_labels` annotate the rows (first row printed on top).
+void signed_heatmap(std::ostream& out,
+                    const std::vector<std::vector<double>>& values,
+                    const std::vector<std::string>& row_labels,
+                    const std::vector<std::string>& col_labels);
+
+}  // namespace afdx::report

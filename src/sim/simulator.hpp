@@ -1,0 +1,75 @@
+// Frame-level discrete-event simulator of an AFDX network.
+//
+// The simulator implements exactly the model the analyzers bound:
+//   * every VL emits frames with its BAG as minimum (and here exact)
+//     inter-arrival time, starting at a configurable offset;
+//   * an output port is a FIFO queue served at the link rate;
+//   * a frame entering a port's queue first pays the port's technological
+//     latency; multicast frames are duplicated toward every successor link
+//     of the VL's tree.
+//
+// Any observed end-to-end delay is therefore a *lower* bound on the true
+// worst case: analytic bounds must dominate every simulation, which is the
+// soundness property the test suite checks over many random phasings. The
+// adversarial_offsets() helper builds a phasing that synchronizes every
+// interferer on a target path, typically landing close to the analytic
+// worst case.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "vl/traffic_config.hpp"
+
+namespace afdx::sim {
+
+/// How the per-VL emission offsets are chosen.
+enum class Phasing {
+  /// All VLs emit their first frame at t = 0.
+  kAligned,
+  /// Offsets drawn uniformly in [0, BAG) from `seed`.
+  kRandom,
+  /// Offsets given explicitly in `offsets`.
+  kExplicit,
+};
+
+struct Options {
+  /// Frames are generated in [0, horizon).
+  Microseconds horizon = microseconds_from_ms(400.0);
+  Phasing phasing = Phasing::kAligned;
+  /// Seed for Phasing::kRandom (and for random frame sizes).
+  std::uint64_t seed = 1;
+  /// Per-VL first-emission offsets for Phasing::kExplicit.
+  std::vector<Microseconds> offsets;
+  /// When true, frame sizes are drawn uniformly in [s_min, s_max] per frame;
+  /// otherwise every frame has size s_max (the analytic worst case).
+  bool randomize_sizes = false;
+};
+
+struct Result {
+  /// Worst observed end-to-end delay per path, aligned with
+  /// TrafficConfig::all_paths(). Zero when no frame of the path completed.
+  std::vector<Microseconds> max_path_delay;
+  /// Mean observed end-to-end delay per path (over delivered frames).
+  std::vector<Microseconds> mean_path_delay;
+  /// Worst observed FIFO occupancy per output port, in bits (LinkId index).
+  std::vector<Bits> max_port_backlog;
+  /// Total frames delivered to destination end systems.
+  std::uint64_t frames_delivered = 0;
+
+  [[nodiscard]] Microseconds max_delay_for(const TrafficConfig& config,
+                                           PathRef ref) const;
+};
+
+/// Runs the simulation. Deterministic for a given (config, options).
+[[nodiscard]] Result simulate(const TrafficConfig& config,
+                              const Options& options = {});
+
+/// Offsets that make every VL sharing a port with `target` deliver a frame
+/// to the first shared node at the same instant as the target's first frame
+/// (contention-free timing): a near-worst-case phasing for the target path.
+[[nodiscard]] std::vector<Microseconds> adversarial_offsets(
+    const TrafficConfig& config, PathRef target);
+
+}  // namespace afdx::sim

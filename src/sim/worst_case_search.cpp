@@ -1,0 +1,147 @@
+#include "sim/worst_case_search.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace afdx::sim {
+
+namespace {
+
+/// VLs whose tree shares at least one output port with the target path
+/// (the only offsets that can influence the target's delay), target
+/// excluded.
+std::vector<VlId> interferers_of(const TrafficConfig& config,
+                                 const VlPath& path) {
+  std::vector<VlId> out;
+  for (VlId v = 0; v < config.vl_count(); ++v) {
+    if (v == path.vl) continue;
+    for (LinkId l : path.links) {
+      if (config.route(v).crosses(l)) {
+        out.push_back(v);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SearchResult worst_case_search(const TrafficConfig& config, PathRef target,
+                               const SearchOptions& options) {
+  AFDX_REQUIRE(options.steps_per_vl >= 1, "worst_case_search: need >= 1 step");
+  const VlPath& path = config.path(target);
+  const std::vector<VlId> interferers = interferers_of(config, path);
+
+  Microseconds max_bag = 0.0;
+  for (VlId v = 0; v < config.vl_count(); ++v) {
+    max_bag = std::max(max_bag, config.vl(v).bag);
+  }
+
+  Options sim_options;
+  sim_options.phasing = Phasing::kExplicit;
+  sim_options.horizon =
+      options.horizon > 0.0 ? options.horizon : 2.0 * max_bag + 1.0;
+
+  SearchResult result;
+  result.offsets.assign(config.vl_count(), 0.0);
+  // Give the target one max-BAG headstart so interferers with longer
+  // approach paths can be phased both before and after it.
+  std::vector<Microseconds> base(config.vl_count(), 0.0);
+  base[target.vl] = max_bag;
+
+  auto evaluate = [&](const std::vector<Microseconds>& offsets) {
+    sim_options.offsets = offsets;
+    ++result.schedules_tried;
+    const Microseconds d =
+        simulate(config, sim_options).max_delay_for(config, target);
+    if (d > result.worst_delay) {
+      result.worst_delay = d;
+      result.offsets = offsets;
+    }
+    return d;
+  };
+
+  // Always include the two heuristics as starting points.
+  evaluate(base);
+  evaluate(adversarial_offsets(config, target));
+
+  if (interferers.empty()) {
+    result.exhaustive = true;  // nothing can shift the target's delay
+    return result;
+  }
+
+  const auto steps = static_cast<std::uint64_t>(options.steps_per_vl);
+  std::uint64_t combinations = 1;
+  bool overflow = interferers.empty();
+  for (std::size_t i = 0; i < interferers.size(); ++i) {
+    if (combinations > options.max_exhaustive_schedules / steps) {
+      overflow = true;
+      break;
+    }
+    combinations *= steps;
+  }
+
+  auto grid_offset = [&](VlId v, int step) {
+    return config.vl(v).bag * static_cast<double>(step) /
+           static_cast<double>(options.steps_per_vl);
+  };
+
+  if (!overflow && combinations <= options.max_exhaustive_schedules) {
+    // Exhaustive sweep over the interferer offset grid.
+    result.exhaustive = true;
+    std::vector<int> idx(interferers.size(), 0);
+    std::vector<Microseconds> offsets = base;
+    for (;;) {
+      for (std::size_t i = 0; i < interferers.size(); ++i) {
+        offsets[interferers[i]] = grid_offset(interferers[i], idx[i]);
+      }
+      evaluate(offsets);
+      std::size_t carry = 0;
+      while (carry < idx.size() && ++idx[carry] == options.steps_per_vl) {
+        idx[carry++] = 0;
+      }
+      if (carry == idx.size()) break;
+    }
+    return result;
+  }
+
+  // Coordinate descent from several starts.
+  Rng rng(options.seed);
+  std::vector<std::vector<Microseconds>> starts{result.offsets};
+  for (int r = 0; r < options.random_restarts; ++r) {
+    std::vector<Microseconds> start = base;
+    for (VlId v : interferers) {
+      start[v] = rng.uniform_real(0.0, config.vl(v).bag);
+    }
+    starts.push_back(std::move(start));
+  }
+
+  for (const auto& start : starts) {
+    std::vector<Microseconds> current = start;
+    Microseconds best = evaluate(current);
+    for (int round = 0; round < options.max_rounds; ++round) {
+      bool improved = false;
+      for (VlId v : interferers) {
+        const Microseconds saved = current[v];
+        Microseconds best_offset = saved;
+        for (int s = 0; s < options.steps_per_vl; ++s) {
+          current[v] = grid_offset(v, s);
+          const Microseconds d = evaluate(current);
+          if (d > best + kEpsilon) {
+            best = d;
+            best_offset = current[v];
+            improved = true;
+          }
+        }
+        current[v] = best_offset;
+      }
+      if (!improved) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace afdx::sim

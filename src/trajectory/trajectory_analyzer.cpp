@@ -1,0 +1,316 @@
+#include "trajectory/trajectory_analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+#include "netcalc/netcalc_analyzer.hpp"
+
+namespace afdx::trajectory {
+
+namespace {
+
+/// Number of frames of a sporadic flow (period T, arrival window widened by
+/// the jitter term a) that can interfere with a packet generated at t.
+double frame_count(Microseconds t, Microseconds a, Microseconds period) {
+  const double window = t + a;
+  if (window < -kEpsilon) return 0.0;
+  return std::floor(window / period + 1e-9) + 1.0;
+}
+
+}  // namespace
+
+Microseconds Result::bound_for(const TrafficConfig& config, PathRef ref) const {
+  const auto& paths = config.all_paths();
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (paths[i].vl == ref.vl && paths[i].dest_index == ref.dest_index) {
+      return path_bounds[i];
+    }
+  }
+  throw Error("Trajectory Result::bound_for: unknown path");
+}
+
+Analyzer::Analyzer(const TrafficConfig& config, const Options& options)
+    : cfg_(config), opt_(options) {
+  // The trajectory approach is a FIFO analysis; static-priority
+  // configurations are handled by the network-calculus analyzer only.
+  for (VlId v = 0; v < cfg_.vl_count(); ++v) {
+    AFDX_REQUIRE(cfg_.vl(v).priority == cfg_.vl(0).priority,
+                 "trajectory: the trajectory approach supports FIFO ports "
+                 "only (VL " + cfg_.vl(v).name +
+                 " uses a different priority class)");
+  }
+}
+
+const std::vector<Microseconds>& Analyzer::backlog_caps() {
+  if (!backlog_caps_.has_value()) {
+    backlog_caps_.emplace(cfg_.network().link_count(),
+                          std::numeric_limits<Microseconds>::infinity());
+    if (opt_.serialization) {
+      // The envelope analysis can fail only on unstable ports, where the
+      // trajectory busy period diverges anyway; fall back to uncapped.
+      try {
+        const netcalc::Result nc = netcalc::analyze(cfg_);
+        for (LinkId l = 0; l < cfg_.network().link_count(); ++l) {
+          if (nc.ports[l].used) {
+            (*backlog_caps_)[l] =
+                nc.ports[l].queue_backlog / cfg_.network().link(l).rate;
+          }
+        }
+      } catch (const Error&) {
+      }
+    }
+  }
+  return *backlog_caps_;
+}
+
+Microseconds Analyzer::min_arrival_at(VlId vl, LinkId link) const {
+  const VlRoute& route = cfg_.route(vl);
+  AFDX_REQUIRE(route.crosses(link), "min_arrival_at: VL does not cross link");
+  // Walk the unique tree prefix backwards: each earlier node adds its
+  // (smallest-frame) transmission time, each node after the first adds its
+  // technological latency.
+  Microseconds acc = 0.0;
+  LinkId cur = link;
+  for (LinkId pred = route.predecessor(cur); pred != kInvalidLink;
+       pred = route.predecessor(cur)) {
+    acc += cfg_.vl(vl).min_transmission_time(cfg_.network().link(pred).rate);
+    acc += cfg_.network().link(cur).latency;
+    cur = pred;
+  }
+  return acc;
+}
+
+Microseconds Analyzer::max_arrival_at(VlId vl, LinkId link) {
+  const VlRoute& route = cfg_.route(vl);
+  AFDX_REQUIRE(route.crosses(link), "max_arrival_at: VL does not cross link");
+  const LinkId pred = route.predecessor(link);
+  if (pred == kInvalidLink) return 0.0;  // queued at generation time
+  return bound_to_link(vl, pred) + cfg_.network().link(link).latency;
+}
+
+Microseconds Analyzer::bound_to_link(VlId vl, LinkId link) {
+  const std::uint64_t k = key(vl, link);
+  if (auto it = memo_.find(k); it != memo_.end()) return it->second;
+  AFDX_REQUIRE(in_progress_.insert(k).second,
+               "trajectory: cyclic prefix dependency involving VL " +
+                   cfg_.vl(vl).name +
+                   " (the trajectory approach requires a feed-forward "
+                   "configuration)");
+  const Microseconds bound = compute_prefix(vl, link);
+  in_progress_.erase(k);
+  memo_.emplace(k, bound);
+  return bound;
+}
+
+Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
+  const Network& net = cfg_.network();
+  const VlRoute& route_i = cfg_.route(i);
+  AFDX_REQUIRE(route_i.crosses(last), "compute_prefix: VL does not cross link");
+
+  // The unique tree prefix l_0 .. l_{m-1} ending at `last`.
+  std::vector<LinkId> sub;
+  for (LinkId l = last; l != kInvalidLink; l = route_i.predecessor(l)) {
+    sub.push_back(l);
+  }
+  std::reverse(sub.begin(), sub.end());
+  const std::size_t m = sub.size();
+
+  auto c_of = [&](VlId j, LinkId l) {
+    return cfg_.vl(j).max_transmission_time(net.link(l).rate);
+  };
+
+  // --- Interference segments -------------------------------------------------
+  // A flow j contributes one term per maximal run of consecutive shared
+  // nodes; the run is "consecutive" only when j actually travels along i's
+  // path (its predecessor at node k is node k-1).
+  struct Segment {
+    Microseconds a = 0.0;      // jitter window widening A_ij
+    Microseconds c = 0.0;      // largest per-node transmission time in the run
+    Microseconds period = 0.0; // BAG of j
+  };
+  std::vector<Segment> segments;
+  std::size_t own_segment = 0;  // index of i's own (first) segment
+  // Open segment per flow: index into `segments`, and last covered node.
+  std::map<VlId, std::pair<std::size_t, std::size_t>> open;
+
+  // Segments grouped by their starting node (for the FIFO backlog caps) and
+  // by (starting node, input link) (for the simultaneity surcharge of the
+  // non-serialized variant). i's own segment is excluded from both.
+  std::vector<std::vector<std::size_t>> node_first_met(m);
+  struct LinkGroup {
+    Microseconds sum_c = 0.0;
+    Microseconds max_c = 0.0;
+    int members = 0;
+  };
+  std::map<std::pair<std::size_t, LinkId>, LinkGroup> link_groups;
+
+  for (std::size_t idx = 0; idx < m; ++idx) {
+    const LinkId lk = sub[idx];
+    for (VlId j : cfg_.vls_on_link(lk)) {
+      auto it = open.find(j);
+      const LinkId pred_j = cfg_.route(j).predecessor(lk);
+      if (it != open.end() && idx > 0 && it->second.second == idx - 1 &&
+          pred_j == sub[idx - 1]) {
+        // j keeps travelling along i's path: extend its segment.
+        Segment& seg = segments[it->second.first];
+        seg.c = std::max(seg.c, c_of(j, lk));
+        it->second.second = idx;
+        continue;
+      }
+      // New segment starting at node lk. The arrival window of j at this
+      // node is widened by its source release jitter plus the spread
+      // between its best- and worst-case prefix traversal.
+      const Microseconds max_arr_j =
+          cfg_.vl(j).max_release_jitter +
+          ((pred_j == kInvalidLink)
+               ? 0.0
+               : bound_to_link(j, pred_j) + net.link(lk).latency);
+      const Microseconds jitter_j = max_arr_j - min_arrival_at(j, lk);
+      Microseconds jitter_i = 0.0;
+      if (j != i || idx > 0) {
+        // The study packet's own release instant is the time origin, so
+        // only its traversal spread (not its release jitter) widens the
+        // window.
+        const Microseconds max_arr_i =
+            (idx == 0) ? 0.0
+                       : bound_to_link(i, sub[idx - 1]) + net.link(lk).latency;
+        jitter_i = max_arr_i - min_arrival_at(i, lk);
+      }
+      Segment seg;
+      seg.a = jitter_j + jitter_i;
+      seg.c = c_of(j, lk);
+      seg.period = cfg_.vl(j).bag;
+      segments.push_back(seg);
+      open[j] = {segments.size() - 1, idx};
+
+      if (j == i && idx == 0) {
+        own_segment = segments.size() - 1;
+        continue;
+      }
+      node_first_met[idx].push_back(segments.size() - 1);
+      if (pred_j != kInvalidLink) {
+        LinkGroup& g = link_groups[{idx, pred_j}];
+        g.sum_c += seg.c;
+        g.max_c = std::max(g.max_c, seg.c);
+        ++g.members;
+      }
+    }
+  }
+
+  // --- Constant terms --------------------------------------------------------
+  // Double-counted busy-period boundary packet at every node after the
+  // first: bounded by the largest frame of a VL met in that node (the
+  // paper's stated over-approximation), plus the technological latencies.
+  Microseconds delta_sum = 0.0;
+  Microseconds latency_sum = 0.0;
+  for (std::size_t idx = 1; idx < m; ++idx) {
+    const LinkId lk = sub[idx];
+    Microseconds biggest = 0.0;
+    for (VlId j : cfg_.vls_on_link(lk)) {
+      // The boundary packet closes the busy period of node idx-1 and opens
+      // the one of node idx, so it physically travels that transition;
+      // only flows routed through it qualify (always at least flow i).
+      // The loose variant keeps the paper's wording: any VL met in the node.
+      if (!opt_.loose_boundary_packet &&
+          cfg_.route(j).predecessor(lk) != sub[idx - 1]) {
+        continue;
+      }
+      biggest = std::max(biggest, c_of(j, lk));
+    }
+    delta_sum += biggest;
+    latency_sum += net.link(lk).latency;
+  }
+
+  // Non-serialized variant: the assumed-simultaneous first frames of each
+  // shared-input-link group cost their serialization span on top (Fig. 3
+  // versus Fig. 4 of the paper).
+  Microseconds surcharge = 0.0;
+  if (!opt_.serialization) {
+    for (const auto& [key, g] : link_groups) {
+      if (g.members >= 2) surcharge += g.sum_c - g.max_c;
+    }
+  }
+
+  const Microseconds c_first = c_of(i, sub.front());
+  const Microseconds c_last = c_of(i, sub.back());
+  const Microseconds consts =
+      delta_sum + latency_sum + surcharge - c_first + c_last;
+
+  // Serialization caps: per node, the first-met flows cannot have more work
+  // queued in front of the packet than the port's worst-case FIFO backlog.
+  const std::vector<Microseconds>& caps = backlog_caps();
+
+  auto response = [&](Microseconds t) {
+    Microseconds w =
+        frame_count(t, segments[own_segment].a, segments[own_segment].period) *
+        segments[own_segment].c;
+    for (std::size_t idx = 0; idx < m; ++idx) {
+      Microseconds node_sum = 0.0;
+      for (std::size_t s : node_first_met[idx]) {
+        node_sum += frame_count(t, segments[s].a, segments[s].period) *
+                    segments[s].c;
+      }
+      if (opt_.serialization) {
+        node_sum = std::min(node_sum, caps[sub[idx]]);
+      }
+      w += node_sum;
+    }
+    return w + consts - t;
+  };
+
+  // --- Busy period ------------------------------------------------------------
+  Microseconds busy = std::max<Microseconds>(response(0.0), 0.0);
+  int rounds = 0;
+  for (; rounds < opt_.max_busy_iterations; ++rounds) {
+    const Microseconds next = response(busy) + busy;  // workload at `busy`
+    if (next <= busy + kEpsilon) break;
+    busy = next;
+    AFDX_REQUIRE(busy < 1e12,
+                 "trajectory: busy period diverges for VL " + cfg_.vl(i).name +
+                     " (summed path utilization >= 1)");
+  }
+  AFDX_REQUIRE(rounds < opt_.max_busy_iterations,
+               "trajectory: busy-period fixed point did not converge for VL " +
+                   cfg_.vl(i).name);
+
+  // --- Maximize over the candidate generation instants ------------------------
+  // R(t) decreases with slope -1 between frame-count jumps (the caps are
+  // constants), so the max is attained at t = 0 or at a jump.
+  Microseconds best = response(0.0);
+  for (const Segment& s : segments) {
+    for (int k = 1;; ++k) {
+      const Microseconds t = k * s.period - s.a;
+      if (t > busy + kEpsilon) break;
+      if (t >= 0.0) best = std::max(best, response(t));
+    }
+  }
+
+  // The bound can never beat the jitter-free store-and-forward traversal.
+  Microseconds floor_bound = c_last;
+  for (std::size_t idx = 0; idx + 1 < m; ++idx) floor_bound += c_of(i, sub[idx]);
+  floor_bound += latency_sum;
+  return std::max(best, floor_bound);
+}
+
+Microseconds Analyzer::path_bound(PathRef ref) {
+  const VlPath& p = cfg_.path(ref);
+  return bound_to_link(p.vl, p.links.back());
+}
+
+Result Analyzer::analyze() {
+  Result result;
+  result.path_bounds.reserve(cfg_.all_paths().size());
+  for (const VlPath& p : cfg_.all_paths()) {
+    result.path_bounds.push_back(bound_to_link(p.vl, p.links.back()));
+  }
+  return result;
+}
+
+Result analyze(const TrafficConfig& config, const Options& options) {
+  Analyzer analyzer(config, options);
+  return analyzer.analyze();
+}
+
+}  // namespace afdx::trajectory

@@ -1,0 +1,125 @@
+// Trajectory-approach analyzer for AFDX FIFO networks.
+//
+// Reconstructed from the DATE 2010 paper, Martin & Minet (IPDPS 2006) and
+// Bauer et al. (ETFA 2009) -- see DESIGN.md section 3.2. For a flow i whose
+// path crosses the output ports (h_1 ... h_q), the worst-case end-to-end
+// delay of a packet generated at time t within the first-node busy period
+// is bounded by R_i(t) = W_i(t) + C_i(h_q) - t with
+//
+//   W_i(t) = sum over flows j crossing the path (segment by segment, first
+//            shared node f) of N_j(t) * C_j,
+//            N_j(t) = (1 + floor((t + A_ij) / BAG_j))+,
+//            A_ij   = jitter of j at f + jitter of i at f,
+//          + sum over h_2..h_q of max_{j in fl(h_k)} C_j(h_k)   [the
+//            double-counted busy-period boundary packet -- the paper's
+//            stated pessimism source for flows with small s_max]
+//          + sum over h_2..h_q of technological latencies
+//          - C_i(h_1),
+//
+// maximized exactly over the finite candidate set of t (frame-count jump
+// points) within the first busy period.
+//
+// Serialization refinement (enabled by default; the paper's "grouping
+// technique successfully introduced in the trajectory approach"): under
+// FIFO, the flows first met at node f can only delay the packet through
+// frames that are *queued at f when the packet arrives* (later frames stay
+// behind it on the rest of the shared route). Their counted work is
+// therefore capped by the worst-case FIFO backlog of the port, obtained
+// from the same leaky-bucket envelopes the AFDX admission control
+// guarantees (vertical deviation, see netcalc). This reconstruction is
+// validated two ways (DESIGN.md): analytic bounds dominate every simulated
+// schedule, and the published qualitative behaviours emerge.
+//
+// With `serialization = false` the analyzer reproduces the historical,
+// pre-grouping trajectory approach instead: the worst-case scenario then
+// assumes the first frames of flows sharing an input link reach the merge
+// node simultaneously -- an impossible pattern (paper Fig. 3) whose cost is
+// the serialization surcharge sum_g (sum_{j in g} C_j - max_{j in g} C_j).
+//
+// The jitter of a flow at a node is obtained by running the analysis
+// recursively on the flow's path prefix (memoized per (VL, link); a cyclic
+// dependency between prefixes is reported as an error -- industrial AFDX
+// configurations are feed-forward).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "vl/traffic_config.hpp"
+
+namespace afdx::trajectory {
+
+struct Options {
+  /// Apply the serialization (grouping) refinement. When false, the
+  /// historical simultaneous-arrival worst case is used instead.
+  bool serialization = true;
+  /// Bound the double-counted busy-period boundary packet by the largest
+  /// frame of ANY VL met in the node (the paper's wording) instead of the
+  /// refined set of VLs actually routed through the node transition.
+  bool loose_boundary_packet = false;
+  /// Hard cap on busy-period fixed-point rounds (guards divergence when the
+  /// summed path utilization is >= 1).
+  int max_busy_iterations = 10000;
+};
+
+/// Full analysis result.
+struct Result {
+  /// End-to-end bounds, aligned with TrafficConfig::all_paths().
+  std::vector<Microseconds> path_bounds;
+
+  /// Bound for a specific path; throws when the path does not exist.
+  [[nodiscard]] Microseconds bound_for(const TrafficConfig& config,
+                                       PathRef ref) const;
+};
+
+/// Trajectory analyzer. Holds the memoized per-(VL, link) prefix bounds so
+/// repeated queries stay cheap.
+class Analyzer {
+ public:
+  explicit Analyzer(const TrafficConfig& config, const Options& options = {});
+
+  /// Bounds for every VL path of the configuration.
+  [[nodiscard]] Result analyze();
+
+  /// Bound for one path.
+  [[nodiscard]] Microseconds path_bound(PathRef ref);
+
+  /// Worst-case time from generation to the end of transmission on `link`
+  /// (a link of the VL's tree). This is the prefix bound the recursion is
+  /// built on; exposed for tests.
+  [[nodiscard]] Microseconds bound_to_link(VlId vl, LinkId link);
+
+  /// Best-case (jitter-free) time from generation to *arrival in the queue*
+  /// of `link`. Exposed for tests.
+  [[nodiscard]] Microseconds min_arrival_at(VlId vl, LinkId link) const;
+
+  /// Worst-case time from generation to *arrival in the queue* of `link`.
+  [[nodiscard]] Microseconds max_arrival_at(VlId vl, LinkId link);
+
+ private:
+  Microseconds compute_prefix(VlId vl, LinkId last);
+
+  /// Worst-case FIFO backlog of every used port, in time units at the
+  /// port's rate (the serialization caps). Computed lazily from the
+  /// leaky-bucket envelopes; empty when the refinement is disabled or the
+  /// envelope analysis is infeasible.
+  const std::vector<Microseconds>& backlog_caps();
+
+  static std::uint64_t key(VlId vl, LinkId link) {
+    return (static_cast<std::uint64_t>(vl) << 32) | link;
+  }
+
+  const TrafficConfig& cfg_;
+  Options opt_;
+  std::unordered_map<std::uint64_t, Microseconds> memo_;
+  std::unordered_set<std::uint64_t> in_progress_;
+  std::optional<std::vector<Microseconds>> backlog_caps_;
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] Result analyze(const TrafficConfig& config,
+                             const Options& options = {});
+
+}  // namespace afdx::trajectory

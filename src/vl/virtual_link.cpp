@@ -1,0 +1,24 @@
+#include "vl/virtual_link.hpp"
+
+#include "common/error.hpp"
+
+namespace afdx {
+
+void VirtualLink::validate() const {
+  AFDX_REQUIRE(!name.empty(), "VL name must not be empty");
+  AFDX_REQUIRE(source != kInvalidNode, "VL " + name + " has no source");
+  AFDX_REQUIRE(!destinations.empty(), "VL " + name + " has no destination");
+  AFDX_REQUIRE(bag > 0.0, "VL " + name + " must have a positive BAG");
+  AFDX_REQUIRE(s_min <= s_max,
+               "VL " + name + ": s_min must not exceed s_max");
+  AFDX_REQUIRE(s_min >= kMinEthernetFrame && s_max <= kMaxEthernetFrame,
+               "VL " + name + ": frame sizes must be within the Ethernet "
+               "64..1518 byte range");
+  AFDX_REQUIRE(max_release_jitter >= 0.0,
+               "VL " + name + ": release jitter must be non-negative");
+  for (NodeId d : destinations) {
+    AFDX_REQUIRE(d != source, "VL " + name + " lists its source as destination");
+  }
+}
+
+}  // namespace afdx

@@ -1,0 +1,79 @@
+// ARINC 664 Virtual Link definition.
+//
+// A Virtual Link (VL) is a statically defined, unidirectional, mono-emitter
+// multicast flow. Its traffic contract is the pair (BAG, s_max):
+//   * BAG — Bandwidth Allocation Gap, the minimum separation between two
+//     consecutive frames of the VL at the source end system;
+//   * s_min / s_max — minimum / maximum Ethernet frame size in bytes.
+// The contract induces the leaky-bucket envelope used by network calculus
+// (burst 8*s_max bits, rate 8*s_max/BAG) and the sporadic flow model used by
+// the trajectory approach (period BAG, per-node transmission time
+// 8*s_max/R).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "topology/network.hpp"
+
+namespace afdx {
+
+/// Index of a virtual link inside a TrafficConfig.
+using VlId = std::uint32_t;
+
+inline constexpr VlId kInvalidVl = static_cast<VlId>(-1);
+
+/// Minimum / maximum legal Ethernet frame sizes on an AFDX network (bytes,
+/// including headers and CRC, per ARINC 664 part 7).
+inline constexpr Bytes kMinEthernetFrame = 64;
+inline constexpr Bytes kMaxEthernetFrame = 1518;
+
+/// Static definition of a virtual link.
+struct VirtualLink {
+  std::string name;
+  /// Source end system (the unique emitter).
+  NodeId source = kInvalidNode;
+  /// Destination end systems (>= 1; more than one makes the VL multicast).
+  std::vector<NodeId> destinations;
+  /// Bandwidth Allocation Gap: minimum inter-frame time at the source.
+  Microseconds bag = 0.0;
+  /// Frame size bounds in bytes.
+  Bytes s_min = kMinEthernetFrame;
+  Bytes s_max = kMinEthernetFrame;
+  /// Maximum release jitter at the source end system: a frame nominally due
+  /// at k*BAG may be enqueued anywhere in [k*BAG, k*BAG + jitter]. Zero for
+  /// an ideal shaping unit (the paper's model); companion papers study the
+  /// effect of end-system scheduling with non-zero jitter.
+  Microseconds max_release_jitter = 0.0;
+  /// Static priority class: 0 is the highest. With a single class every
+  /// port is plain FIFO (the paper's model); with several, ports serve the
+  /// non-empty queue of the smallest value, non-preemptively, FIFO within a
+  /// class (the SPQ extension studied in the authors' companion papers).
+  std::uint8_t priority = 0;
+
+  /// Leaky-bucket burst: the largest frame, in bits.
+  [[nodiscard]] Bits burst_bits() const noexcept { return bits_from_bytes(s_max); }
+
+  /// Leaky-bucket long-term rate in bits/us.
+  [[nodiscard]] BitsPerMicrosecond rate_bits_per_us() const noexcept {
+    return burst_bits() / bag;
+  }
+
+  /// Transmission time of the largest frame on a link of rate `link_rate`.
+  [[nodiscard]] Microseconds max_transmission_time(BitsPerMicrosecond link_rate) const noexcept {
+    return transmission_time(burst_bits(), link_rate);
+  }
+
+  /// Transmission time of the smallest frame on a link of rate `link_rate`.
+  [[nodiscard]] Microseconds min_transmission_time(BitsPerMicrosecond link_rate) const noexcept {
+    return transmission_time(bits_from_bytes(s_min), link_rate);
+  }
+
+  /// Checks the contract fields (positive BAG, frame-size ordering and legal
+  /// Ethernet range); throws afdx::Error on violation.
+  void validate() const;
+};
+
+}  // namespace afdx

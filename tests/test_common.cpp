@@ -1,0 +1,103 @@
+// Unit tests for units, error handling and the RNG wrapper.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace afdx {
+namespace {
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(bits_from_bytes(500.0), 4000.0);
+  EXPECT_DOUBLE_EQ(microseconds_from_ms(4.0), 4000.0);
+  EXPECT_DOUBLE_EQ(rate_from_mbps(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(transmission_time(4000.0, 100.0), 40.0);
+}
+
+TEST(Units, NearlyEqual) {
+  EXPECT_TRUE(nearly_equal(1.0, 1.0 + 1e-9));
+  EXPECT_FALSE(nearly_equal(1.0, 1.001));
+  EXPECT_TRUE(nearly_equal(1.0, 1.5, 0.6));
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(format_us(123.456), "123.456 us");
+  EXPECT_EQ(format_percent(0.1234), "12.34 %");
+}
+
+TEST(ErrorHandling, RequireThrowsAfdxError) {
+  EXPECT_THROW(AFDX_REQUIRE(false, "boom"), Error);
+  EXPECT_NO_THROW(AFDX_REQUIRE(true, "fine"));
+}
+
+TEST(ErrorHandling, AssertThrowsLogicErrorWithLocation) {
+  try {
+    AFDX_ASSERT(1 == 2, "impossible");
+    FAIL() << "expected LogicError";
+  } catch (const LogicError& e) {
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("impossible"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(1);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit over 500 draws
+}
+
+TEST(Rng, UniformRealRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform_real(1.5, 2.5);
+    EXPECT_GE(v, 1.5);
+    EXPECT_LT(v, 2.5);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(4);
+  int hits0 = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto idx = rng.weighted_index({0.9, 0.1});
+    if (idx == 0) ++hits0;
+  }
+  EXPECT_GT(hits0, 1600);
+  EXPECT_LT(hits0, 1999);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace afdx

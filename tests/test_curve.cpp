@@ -1,0 +1,152 @@
+// Unit tests for the piecewise-linear curve representation.
+#include "minplus/curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace afdx::minplus {
+namespace {
+
+TEST(Curve, DefaultIsZeroFunction) {
+  Curve c;
+  EXPECT_DOUBLE_EQ(c.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.value(123.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.final_slope(), 0.0);
+}
+
+TEST(Curve, AffineEvaluation) {
+  const Curve c = Curve::affine(4000.0, 1.0);
+  EXPECT_DOUBLE_EQ(c.value(0.0), 4000.0);
+  EXPECT_DOUBLE_EQ(c.value(10.0), 4010.0);
+  EXPECT_DOUBLE_EQ(c.value(1000.0), 5000.0);
+}
+
+TEST(Curve, RateLatencyEvaluation) {
+  const Curve c = Curve::rate_latency(100.0, 16.0);
+  EXPECT_DOUBLE_EQ(c.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.value(16.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.value(17.0), 100.0);
+  EXPECT_DOUBLE_EQ(c.value(26.0), 1000.0);
+}
+
+TEST(Curve, RateLatencyWithZeroLatencyHasOnePoint) {
+  const Curve c = Curve::rate_latency(100.0, 0.0);
+  EXPECT_EQ(c.points().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.value(2.0), 200.0);
+}
+
+TEST(Curve, ConstantCurve) {
+  const Curve c = Curve::constant(7.5);
+  EXPECT_DOUBLE_EQ(c.value(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(c.value(1e6), 7.5);
+}
+
+TEST(Curve, MultiSegmentEvaluation) {
+  // 0 -> 10 with slope 2 until x=5, then slope 0.5.
+  const Curve c({{0.0, 0.0}, {5.0, 10.0}}, 0.5);
+  EXPECT_DOUBLE_EQ(c.value(2.5), 5.0);
+  EXPECT_DOUBLE_EQ(c.value(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.value(7.0), 11.0);
+}
+
+TEST(Curve, SlopeAfterQueriesSegments) {
+  const Curve c({{0.0, 0.0}, {5.0, 10.0}}, 0.5);
+  EXPECT_DOUBLE_EQ(c.slope_after(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(c.slope_after(4.9), 2.0);
+  EXPECT_DOUBLE_EQ(c.slope_after(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(c.slope_after(100.0), 0.5);
+}
+
+TEST(Curve, NormalizationRemovesCollinearPoints) {
+  const Curve c({{0.0, 0.0}, {1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}}, 2.0);
+  // All points lie on y = 2x: only the origin should remain.
+  EXPECT_EQ(c.points().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.value(2.7), 5.4);
+}
+
+TEST(Curve, NormalizationKeepsRealBreakpoints) {
+  const Curve c({{0.0, 0.0}, {1.0, 2.0}, {2.0, 3.0}}, 1.0);
+  EXPECT_EQ(c.points().size(), 2u);  // final slope equals last segment slope
+}
+
+TEST(Curve, RejectsEmptyPointList) {
+  EXPECT_THROW(Curve({}, 0.0), Error);
+}
+
+TEST(Curve, RejectsFirstPointNotAtZero) {
+  EXPECT_THROW(Curve({{1.0, 0.0}}, 0.0), Error);
+}
+
+TEST(Curve, RejectsNonIncreasingX) {
+  EXPECT_THROW(Curve({{0.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}}, 0.0), Error);
+}
+
+TEST(Curve, RejectsNegativeEvaluation) {
+  const Curve c = Curve::affine(1.0, 1.0);
+  EXPECT_THROW((void)c.value(-5.0), Error);
+}
+
+TEST(Curve, ConcavityChecks) {
+  EXPECT_TRUE(Curve::affine(10.0, 2.0).is_concave());
+  EXPECT_TRUE(Curve::affine(10.0, 2.0).is_convex());  // affine is both
+  EXPECT_TRUE(Curve::rate_latency(100.0, 16.0).is_convex());
+  EXPECT_FALSE(Curve::rate_latency(100.0, 16.0).is_concave());
+  const Curve concave({{0.0, 0.0}, {1.0, 10.0}}, 1.0);
+  EXPECT_TRUE(concave.is_concave());
+  EXPECT_FALSE(concave.is_convex());
+}
+
+TEST(Curve, NonDecreasingCheck) {
+  EXPECT_TRUE(Curve::affine(5.0, 0.0).is_non_decreasing());
+  const Curve dec({{0.0, 10.0}, {1.0, 5.0}}, 0.0);
+  EXPECT_FALSE(dec.is_non_decreasing());
+  const Curve neg_tail({{0.0, 0.0}}, -1.0);
+  EXPECT_FALSE(neg_tail.is_non_decreasing());
+}
+
+TEST(Curve, PseudoInverseOfRateLatency) {
+  const Curve beta = Curve::rate_latency(100.0, 16.0);
+  EXPECT_DOUBLE_EQ(beta.pseudo_inverse(0.0), 0.0);
+  EXPECT_NEAR(beta.pseudo_inverse(4000.0), 16.0 + 40.0, 1e-9);
+  EXPECT_NEAR(beta.pseudo_inverse(100.0), 17.0, 1e-9);
+}
+
+TEST(Curve, PseudoInverseOfAffine) {
+  const Curve a = Curve::affine(100.0, 2.0);
+  EXPECT_DOUBLE_EQ(a.pseudo_inverse(50.0), 0.0);   // already above
+  EXPECT_NEAR(a.pseudo_inverse(200.0), 50.0, 1e-9);
+}
+
+TEST(Curve, PseudoInverseUnreachableThrows) {
+  const Curve flat = Curve::constant(10.0);
+  EXPECT_THROW((void)flat.pseudo_inverse(20.0), Error);
+}
+
+TEST(Curve, PseudoInverseOnFlatSegmentPicksEnd) {
+  // Flat from x=1..3 at y=2, then rises.
+  const Curve c({{0.0, 0.0}, {1.0, 2.0}, {3.0, 2.0}}, 1.0);
+  EXPECT_NEAR(c.pseudo_inverse(2.0), 1.0, 1e-9);
+  EXPECT_NEAR(c.pseudo_inverse(3.0), 4.0, 1e-9);
+}
+
+TEST(Curve, DominatedBy) {
+  const Curve small = Curve::affine(10.0, 1.0);
+  const Curve big = Curve::affine(20.0, 2.0);
+  EXPECT_TRUE(small.dominated_by(big));
+  EXPECT_FALSE(big.dominated_by(small));
+  EXPECT_TRUE(small.dominated_by(small));
+}
+
+TEST(Curve, EqualityIsStructural) {
+  EXPECT_EQ(Curve::affine(10.0, 1.0), Curve::affine(10.0, 1.0));
+  EXPECT_FALSE(Curve::affine(10.0, 1.0) == Curve::affine(10.0, 2.0));
+}
+
+TEST(Curve, ToStringMentionsBreakpoints) {
+  const std::string s = Curve::rate_latency(100.0, 16.0).to_string();
+  EXPECT_NE(s.find("(16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace afdx::minplus

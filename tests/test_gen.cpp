@@ -1,0 +1,149 @@
+// Tests for the synthetic industrial configuration generator: the generated
+// configurations must carry the paper's published macroscopic statistics.
+#include "gen/industrial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "trajectory/trajectory_analyzer.hpp"
+
+namespace afdx::gen {
+namespace {
+
+TEST(Industrial, HarmonicBagLadder) {
+  const auto bags = harmonic_bags();
+  ASSERT_EQ(bags.size(), 7u);
+  EXPECT_DOUBLE_EQ(bags.front(), 2000.0);
+  EXPECT_DOUBLE_EQ(bags.back(), 128000.0);
+  for (std::size_t i = 1; i < bags.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bags[i], 2.0 * bags[i - 1]);
+  }
+}
+
+TEST(Industrial, DefaultConfigurationShape) {
+  const TrafficConfig cfg = industrial_config();
+  EXPECT_EQ(cfg.vl_count(), 500u);
+  EXPECT_EQ(cfg.network().switches().size(), 8u);
+  EXPECT_EQ(cfg.network().end_systems().size(), 60u);
+  EXPECT_GT(cfg.all_paths().size(), cfg.vl_count());  // multicast present
+  EXPECT_TRUE(cfg.stable());
+}
+
+TEST(Industrial, RespectsUtilizationCap) {
+  IndustrialOptions o;
+  o.vl_count = 300;
+  const TrafficConfig cfg = industrial_config(o);
+  EXPECT_LE(cfg.max_utilization(), o.max_port_utilization + 1e-9);
+}
+
+TEST(Industrial, ContractsWithinPublishedRanges) {
+  const TrafficConfig cfg = industrial_config();
+  const auto bags = harmonic_bags();
+  const std::set<Microseconds> bag_set(bags.begin(), bags.end());
+  std::size_t multicast = 0;
+  for (VlId v = 0; v < cfg.vl_count(); ++v) {
+    const VirtualLink& vl = cfg.vl(v);
+    EXPECT_TRUE(bag_set.count(vl.bag)) << vl.name << " BAG " << vl.bag;
+    EXPECT_GE(vl.s_max, kMinEthernetFrame);
+    EXPECT_LE(vl.s_max, kMaxEthernetFrame);
+    EXPECT_EQ(vl.s_min, kMinEthernetFrame);
+    if (vl.destinations.size() > 1) ++multicast;
+    EXPECT_LE(vl.destinations.size(), 6u);
+  }
+  // ~40 % multicast requested; allow generous slack.
+  const double frac = static_cast<double>(multicast) / cfg.vl_count();
+  EXPECT_GT(frac, 0.25);
+  EXPECT_LT(frac, 0.55);
+}
+
+TEST(Industrial, PathLengthsMatchPaperScale) {
+  const TrafficConfig cfg = industrial_config();
+  for (const VlPath& p : cfg.all_paths()) {
+    EXPECT_GE(p.links.size(), 2u);  // ES port + at least one switch port
+    EXPECT_LE(p.links.size(), 6u);  // shallow core/edge backbone
+  }
+}
+
+TEST(Industrial, GeneratedConfigurationIsFeedForward) {
+  // The trajectory analyzer throws on cyclic prefix dependencies; the tree
+  // backbone must prevent them.
+  IndustrialOptions o;
+  o.vl_count = 80;
+  o.end_system_count = 24;
+  const TrafficConfig cfg = industrial_config(o);
+  EXPECT_NO_THROW(trajectory::analyze(cfg));
+}
+
+TEST(Industrial, DeterministicPerSeed) {
+  IndustrialOptions o;
+  o.vl_count = 50;
+  o.end_system_count = 16;
+  const TrafficConfig a = industrial_config(o);
+  const TrafficConfig b = industrial_config(o);
+  ASSERT_EQ(a.vl_count(), b.vl_count());
+  for (VlId v = 0; v < a.vl_count(); ++v) {
+    EXPECT_EQ(a.vl(v).name, b.vl(v).name);
+    EXPECT_EQ(a.vl(v).s_max, b.vl(v).s_max);
+    EXPECT_DOUBLE_EQ(a.vl(v).bag, b.vl(v).bag);
+    EXPECT_EQ(a.vl(v).destinations, b.vl(v).destinations);
+  }
+}
+
+TEST(Industrial, SeedsProduceDifferentConfigurations) {
+  IndustrialOptions a, b;
+  a.vl_count = b.vl_count = 50;
+  a.end_system_count = b.end_system_count = 16;
+  b.seed = a.seed + 1;
+  const TrafficConfig ca = industrial_config(a);
+  const TrafficConfig cb = industrial_config(b);
+  bool differs = false;
+  for (VlId v = 0; v < ca.vl_count() && !differs; ++v) {
+    differs = ca.vl(v).s_max != cb.vl(v).s_max ||
+              ca.vl(v).destinations != cb.vl(v).destinations;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Industrial, EverySwitchHostsAnEndSystem) {
+  const TrafficConfig cfg = industrial_config();
+  const Network& net = cfg.network();
+  for (NodeId sw : net.switches()) {
+    bool has_es = false;
+    for (LinkId l : net.links_from(sw)) {
+      has_es = has_es || net.is_end_system(net.link(l).dest);
+    }
+    EXPECT_TRUE(has_es) << net.node(sw).name;
+  }
+}
+
+TEST(Industrial, InfeasibleParametersRejected) {
+  IndustrialOptions o;
+  o.end_system_count = 1;
+  EXPECT_THROW(industrial_config(o), Error);
+
+  IndustrialOptions cap;
+  cap.vl_count = 5000;
+  cap.end_system_count = 4;
+  cap.switch_count = 1;
+  cap.max_port_utilization = 0.05;  // cannot possibly fit
+  EXPECT_THROW(industrial_config(cap), Error);
+
+  IndustrialOptions frac;
+  frac.multicast_fraction = 1.5;
+  EXPECT_THROW(industrial_config(frac), Error);
+}
+
+TEST(Industrial, SingleSwitchDegenerateCase) {
+  IndustrialOptions o;
+  o.switch_count = 1;
+  o.end_system_count = 8;
+  o.vl_count = 20;
+  const TrafficConfig cfg = industrial_config(o);
+  EXPECT_EQ(cfg.vl_count(), 20u);
+  for (const VlPath& p : cfg.all_paths()) EXPECT_EQ(p.links.size(), 2u);
+}
+
+}  // namespace
+}  // namespace afdx::gen

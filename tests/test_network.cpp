@@ -1,0 +1,185 @@
+// Unit tests for the topology model.
+#include "topology/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace afdx {
+namespace {
+
+Network two_switch_net() {
+  Network net;
+  const NodeId e1 = net.add_end_system("e1");
+  const NodeId e2 = net.add_end_system("e2");
+  const NodeId s1 = net.add_switch("S1");
+  const NodeId s2 = net.add_switch("S2");
+  net.connect(e1, s1);
+  net.connect(s1, s2);
+  net.connect(s2, e2);
+  return net;
+}
+
+TEST(Network, AddAndQueryNodes) {
+  Network net;
+  const NodeId e = net.add_end_system("e1");
+  const NodeId s = net.add_switch("S1");
+  EXPECT_TRUE(net.is_end_system(e));
+  EXPECT_TRUE(net.is_switch(s));
+  EXPECT_EQ(net.node(e).name, "e1");
+  EXPECT_EQ(net.node_count(), 2u);
+}
+
+TEST(Network, FindNodeByName) {
+  const Network net = two_switch_net();
+  EXPECT_TRUE(net.find_node("S2").has_value());
+  EXPECT_FALSE(net.find_node("S9").has_value());
+}
+
+TEST(Network, DuplicateNameRejected) {
+  Network net;
+  net.add_end_system("e1");
+  EXPECT_THROW(net.add_switch("e1"), Error);
+}
+
+TEST(Network, EmptyNameRejected) {
+  Network net;
+  EXPECT_THROW(net.add_switch(""), Error);
+}
+
+TEST(Network, ConnectCreatesBothDirections) {
+  Network net;
+  const NodeId e = net.add_end_system("e1");
+  const NodeId s = net.add_switch("S1");
+  const LinkId fwd = net.connect(e, s);
+  EXPECT_EQ(net.link_count(), 2u);
+  EXPECT_EQ(net.link(fwd).source, e);
+  EXPECT_EQ(net.link(fwd).dest, s);
+  const LinkId bwd = net.reverse(fwd);
+  EXPECT_EQ(net.link(bwd).source, s);
+  EXPECT_EQ(net.link(bwd).dest, e);
+  EXPECT_EQ(net.reverse(bwd), fwd);
+}
+
+TEST(Network, PortLatencyDependsOnSourceKind) {
+  Network net;
+  const NodeId e = net.add_end_system("e1");
+  const NodeId s = net.add_switch("S1");
+  LinkParams lp;
+  lp.switch_latency = 16.0;
+  lp.end_system_latency = 2.0;
+  const LinkId fwd = net.connect(e, s, lp);
+  EXPECT_DOUBLE_EQ(net.link(fwd).latency, 2.0);               // ES port
+  EXPECT_DOUBLE_EQ(net.link(net.reverse(fwd)).latency, 16.0);  // switch port
+}
+
+TEST(Network, SelfLoopRejected) {
+  Network net;
+  const NodeId s = net.add_switch("S1");
+  EXPECT_THROW(net.connect(s, s), Error);
+}
+
+TEST(Network, EndSystemToEndSystemRejected) {
+  Network net;
+  const NodeId a = net.add_end_system("e1");
+  const NodeId b = net.add_end_system("e2");
+  EXPECT_THROW(net.connect(a, b), Error);
+}
+
+TEST(Network, DuplicateCableRejected) {
+  Network net;
+  const NodeId e = net.add_end_system("e1");
+  const NodeId s = net.add_switch("S1");
+  net.connect(e, s);
+  EXPECT_THROW(net.connect(s, e), Error);
+}
+
+TEST(Network, LinkBetween) {
+  const Network net = two_switch_net();
+  const NodeId s1 = *net.find_node("S1");
+  const NodeId s2 = *net.find_node("S2");
+  const auto l = net.link_between(s1, s2);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_EQ(net.link(*l).dest, s2);
+  EXPECT_FALSE(net.link_between(*net.find_node("e1"), s2).has_value());
+}
+
+TEST(Network, LinksFromAndInto) {
+  const Network net = two_switch_net();
+  const NodeId s1 = *net.find_node("S1");
+  EXPECT_EQ(net.links_from(s1).size(), 2u);  // to e1 and to S2
+  EXPECT_EQ(net.links_into(s1).size(), 2u);
+}
+
+TEST(Network, EndSystemAndSwitchLists) {
+  const Network net = two_switch_net();
+  EXPECT_EQ(net.end_systems().size(), 2u);
+  EXPECT_EQ(net.switches().size(), 2u);
+}
+
+TEST(Network, ShortestPathAcrossSwitches) {
+  const Network net = two_switch_net();
+  const auto p = net.shortest_path(*net.find_node("e1"), *net.find_node("e2"));
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->size(), 3u);
+  EXPECT_EQ(net.link(p->front()).source, *net.find_node("e1"));
+  EXPECT_EQ(net.link(p->back()).dest, *net.find_node("e2"));
+}
+
+TEST(Network, ShortestPathDoesNotForwardThroughEndSystems) {
+  // e1 - S1, e1 - ... an ES with two links is invalid, so build a net where
+  // the only geometric shortcut would pass through an end system: S1 - e -
+  // S2 is impossible by construction; instead verify unreachable case.
+  Network net;
+  const NodeId e1 = net.add_end_system("e1");
+  const NodeId s1 = net.add_switch("S1");
+  const NodeId e2 = net.add_end_system("e2");
+  const NodeId s2 = net.add_switch("S2");
+  net.connect(e1, s1);
+  net.connect(e2, s2);
+  EXPECT_FALSE(net.shortest_path(e1, e2).has_value());
+}
+
+TEST(Network, ShortestPathPicksFewestHops) {
+  Network net;
+  const NodeId e1 = net.add_end_system("e1");
+  const NodeId e2 = net.add_end_system("e2");
+  const NodeId s1 = net.add_switch("S1");
+  const NodeId s2 = net.add_switch("S2");
+  const NodeId s3 = net.add_switch("S3");
+  net.connect(e1, s1);
+  net.connect(s1, s2);
+  net.connect(s2, s3);
+  net.connect(s1, s3);  // shortcut
+  net.connect(s3, e2);
+  const auto p = net.shortest_path(e1, e2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 3u);  // e1->S1->S3->e2
+}
+
+TEST(Network, ValidatePassesOnWellFormed) {
+  EXPECT_NO_THROW(two_switch_net().validate());
+}
+
+TEST(Network, ValidateRejectsDisconnectedEndSystem) {
+  Network net;
+  net.add_end_system("e1");
+  net.add_switch("S1");
+  EXPECT_THROW(net.validate(), Error);
+}
+
+TEST(Network, ValidateRejectsIsolatedSwitch) {
+  Network net = two_switch_net();
+  net.add_switch("S3");
+  EXPECT_THROW(net.validate(), Error);
+}
+
+TEST(Network, OutOfRangeIdsThrow) {
+  const Network net = two_switch_net();
+  EXPECT_THROW((void)net.node(99), Error);
+  EXPECT_THROW((void)net.link(99), Error);
+  EXPECT_THROW((void)net.links_from(99), Error);
+}
+
+}  // namespace
+}  // namespace afdx

@@ -1,0 +1,389 @@
+// Unit and property tests for the (min,plus) operations.
+#include "minplus/operations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace afdx::minplus {
+namespace {
+
+TEST(Sum, AffinePlusAffine) {
+  const Curve s = sum(Curve::affine(10.0, 1.0), Curve::affine(20.0, 2.0));
+  EXPECT_DOUBLE_EQ(s.value(0.0), 30.0);
+  EXPECT_DOUBLE_EQ(s.value(10.0), 60.0);
+  EXPECT_DOUBLE_EQ(s.final_slope(), 3.0);
+}
+
+TEST(Sum, WithRateLatencyKeepsBreakpoint) {
+  const Curve s = sum(Curve::affine(5.0, 1.0), Curve::rate_latency(10.0, 2.0));
+  EXPECT_DOUBLE_EQ(s.value(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.value(2.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.value(3.0), 18.0);
+}
+
+TEST(Sum, VectorOverloadAndEmpty) {
+  EXPECT_DOUBLE_EQ(sum(std::vector<Curve>{}).value(100.0), 0.0);
+  const Curve s =
+      sum({Curve::affine(1.0, 1.0), Curve::affine(2.0, 2.0), Curve::affine(3.0, 3.0)});
+  EXPECT_DOUBLE_EQ(s.value(1.0), 12.0);
+}
+
+TEST(Minimum, OfCrossingAffines) {
+  // 10 + t and 0 + 3t cross at t = 5.
+  const Curve m = minimum(Curve::affine(10.0, 1.0), Curve::affine(0.0, 3.0));
+  EXPECT_DOUBLE_EQ(m.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.value(5.0), 15.0);
+  EXPECT_DOUBLE_EQ(m.value(10.0), 20.0);
+  EXPECT_DOUBLE_EQ(m.final_slope(), 1.0);
+  EXPECT_TRUE(m.is_concave());
+}
+
+TEST(Minimum, CrossingBeyondLastBreakpointIsFound) {
+  // Curves equal-valued breakpoints early, cross far out on final slopes.
+  const Curve a = Curve::affine(0.0, 2.0);
+  const Curve b = Curve::affine(100.0, 1.0);  // crosses a at t = 100
+  const Curve m = minimum(a, b);
+  EXPECT_DOUBLE_EQ(m.value(50.0), 100.0);
+  EXPECT_DOUBLE_EQ(m.value(100.0), 200.0);
+  EXPECT_DOUBLE_EQ(m.value(200.0), 300.0);
+  EXPECT_DOUBLE_EQ(m.final_slope(), 1.0);
+}
+
+TEST(Maximum, OfCrossingAffines) {
+  const Curve m = maximum(Curve::affine(10.0, 1.0), Curve::affine(0.0, 3.0));
+  EXPECT_DOUBLE_EQ(m.value(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.value(5.0), 15.0);
+  EXPECT_DOUBLE_EQ(m.value(10.0), 30.0);
+  EXPECT_DOUBLE_EQ(m.final_slope(), 3.0);
+  EXPECT_TRUE(m.is_convex());
+}
+
+TEST(ShiftLeft, DropsInitialPart) {
+  const Curve c = Curve::rate_latency(100.0, 16.0);
+  const Curve s = shift_left(c, 16.0);
+  EXPECT_DOUBLE_EQ(s.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(1.0), 100.0);
+  const Curve s2 = shift_left(c, 20.0);
+  EXPECT_DOUBLE_EQ(s2.value(0.0), 400.0);
+}
+
+TEST(ShiftLeft, ZeroShiftIsIdentity) {
+  const Curve c = Curve::affine(5.0, 2.0);
+  EXPECT_EQ(shift_left(c, 0.0), c);
+}
+
+TEST(ConvolveConcave, TwoLeakyBuckets) {
+  // (sigma1 + rho1 t) (*) (sigma2 + rho2 t) = sigma1 + sigma2 + min-rate t.
+  const Curve c = convolve_concave(Curve::affine(10.0, 1.0), Curve::affine(5.0, 3.0));
+  EXPECT_DOUBLE_EQ(c.value(0.0), 15.0);
+  EXPECT_DOUBLE_EQ(c.final_slope(), 1.0);
+}
+
+TEST(ConvolveConcave, EqualsPointwiseMinimumAfterRebasing) {
+  // a: slope 4 until x=1, then 1; b: slope 2 until x=2, then 0.5. With both
+  // through the origin, the concave convolution is the pointwise minimum.
+  const Curve a({{0.0, 0.0}, {1.0, 4.0}}, 1.0);
+  const Curve b({{0.0, 0.0}, {2.0, 4.0}}, 0.5);
+  const Curve c = convolve_concave(a, b);
+  EXPECT_DOUBLE_EQ(c.value(1.0), 2.0);   // min(4, 2)
+  EXPECT_DOUBLE_EQ(c.value(3.0), 4.5);   // min(6, 4.5)
+  EXPECT_DOUBLE_EQ(c.final_slope(), 0.5);
+  // Exactness against the definition inf_s a(s) + b(t - s) on a grid.
+  for (double t = 0.0; t <= 6.0; t += 0.5) {
+    double best = 1e300;
+    for (double s = 0.0; s <= t + 1e-12; s += 0.01) {
+      best = std::min(best, a.value(s) + b.value(t - s));
+    }
+    EXPECT_NEAR(c.value(t), best, 1e-2) << "t=" << t;
+  }
+}
+
+TEST(ConvolveConcave, RejectsConvexInput) {
+  EXPECT_THROW(
+      convolve_concave(Curve::rate_latency(10.0, 1.0), Curve::affine(1.0, 1.0)),
+      Error);
+}
+
+TEST(ConvolveConvex, RateLatencyTandem) {
+  const Curve c = convolve_convex(Curve::rate_latency(100.0, 16.0),
+                                  Curve::rate_latency(50.0, 10.0));
+  EXPECT_EQ(c, Curve::rate_latency(50.0, 26.0));
+}
+
+TEST(ConvolveConvex, RejectsNonZeroStart) {
+  EXPECT_THROW(
+      convolve_convex(Curve::affine(5.0, 1.0), Curve::rate_latency(10.0, 1.0)),
+      Error);
+}
+
+TEST(Deconvolve, AffineThroughRateLatency) {
+  // (sigma + rho t) (/) RL(R, L) = sigma + rho L + rho t  when rho <= R.
+  const Curve out = deconvolve_concave_rl(Curve::affine(4000.0, 1.0), 100.0, 16.0);
+  EXPECT_NEAR(out.value(0.0), 4016.0, 1e-9);
+  EXPECT_DOUBLE_EQ(out.final_slope(), 1.0);
+}
+
+TEST(Deconvolve, SteepInitialSegmentGetsRateSmoothed) {
+  // alpha rises at slope 300 (> R = 100) until x=1, then slope 50.
+  const Curve alpha({{0.0, 0.0}, {1.0, 300.0}}, 50.0);
+  const Curve out = deconvolve_concave_rl(alpha, 100.0, 0.0);
+  // sup_u alpha(t+u) - 100 u: at t=0 the best is u=1: 300 - 100 = 200.
+  EXPECT_NEAR(out.value(0.0), 200.0, 1e-9);
+  // For large t the output follows alpha.
+  EXPECT_NEAR(out.value(10.0), alpha.value(10.0), 1e-9);
+}
+
+TEST(Deconvolve, UnstableThrows) {
+  EXPECT_THROW(deconvolve_concave_rl(Curve::affine(0.0, 200.0), 100.0, 0.0),
+               Error);
+}
+
+TEST(HorizontalDeviation, LeakyBucketVsRateLatency) {
+  // Classic: h = L + sigma / R.
+  const double d = horizontal_deviation(Curve::affine(4000.0, 1.0),
+                                        Curve::rate_latency(100.0, 16.0));
+  EXPECT_NEAR(d, 16.0 + 40.0, 1e-9);
+}
+
+TEST(HorizontalDeviation, AggregateOfBuckets) {
+  const Curve agg = sum(Curve::affine(4000.0, 1.0), Curve::affine(4000.0, 1.0));
+  const double d = horizontal_deviation(agg, Curve::rate_latency(100.0, 16.0));
+  EXPECT_NEAR(d, 16.0 + 80.0, 1e-9);
+}
+
+TEST(HorizontalDeviation, ConcaveArrivalMaxAtBreakpoint) {
+  // Two-slope concave arrival: burst 100 at rate 50 until x=2, then rate 1.
+  const Curve alpha({{0.0, 100.0}, {2.0, 200.0}}, 1.0);
+  const Curve beta = Curve::rate_latency(100.0, 0.0);
+  // g(t) = alpha(t)/100 - t maximized at t=0: 1.0 (alpha(2)/100-2 = 0).
+  EXPECT_NEAR(horizontal_deviation(alpha, beta), 1.0, 1e-9);
+}
+
+TEST(HorizontalDeviation, UnstableThrows) {
+  EXPECT_THROW((void)horizontal_deviation(Curve::affine(0.0, 200.0),
+                                          Curve::rate_latency(100.0, 0.0)),
+               Error);
+}
+
+TEST(HorizontalDeviation, EqualRatesIsFinite) {
+  const double d = horizontal_deviation(Curve::affine(100.0, 100.0),
+                                        Curve::rate_latency(100.0, 5.0));
+  EXPECT_NEAR(d, 5.0 + 1.0, 1e-9);
+}
+
+TEST(VerticalDeviation, LeakyBucketVsRateLatency) {
+  // v = sigma + rho L for stable leaky bucket.
+  const double v = vertical_deviation(Curve::affine(4000.0, 1.0),
+                                      Curve::rate_latency(100.0, 16.0));
+  EXPECT_NEAR(v, 4000.0 + 16.0, 1e-9);
+}
+
+TEST(VerticalDeviation, UnstableThrows) {
+  EXPECT_THROW((void)vertical_deviation(Curve::affine(0.0, 200.0),
+                                        Curve::rate_latency(100.0, 0.0)),
+               Error);
+}
+
+// --- Property tests over random curves -------------------------------------
+
+class RandomCurveProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// Random concave non-decreasing curve (random burst + decreasing slopes).
+  static Curve random_concave(Rng& rng) {
+    const double burst = rng.uniform_real(0.0, 1000.0);
+    std::vector<Point> pts{{0.0, burst}};
+    double x = 0.0, y = burst;
+    double slope = rng.uniform_real(50.0, 200.0);
+    const int n = static_cast<int>(rng.uniform_int(0, 4));
+    for (int i = 0; i < n; ++i) {
+      const double dx = rng.uniform_real(0.5, 20.0);
+      x += dx;
+      y += slope * dx;
+      pts.push_back({x, y});
+      slope *= rng.uniform_real(0.3, 0.95);
+    }
+    return Curve(std::move(pts), slope);
+  }
+};
+
+TEST_P(RandomCurveProperty, SumEvaluatesPointwise) {
+  Rng rng(GetParam());
+  const Curve a = random_concave(rng);
+  const Curve b = random_concave(rng);
+  const Curve s = sum(a, b);
+  for (double x = 0.0; x < 100.0; x += 3.7) {
+    EXPECT_NEAR(s.value(x), a.value(x) + b.value(x), 1e-6);
+  }
+}
+
+TEST_P(RandomCurveProperty, MinimumEvaluatesPointwise) {
+  Rng rng(GetParam() + 1000);
+  const Curve a = random_concave(rng);
+  const Curve b = random_concave(rng);
+  const Curve m = minimum(a, b);
+  for (double x = 0.0; x < 100.0; x += 1.9) {
+    EXPECT_NEAR(m.value(x), std::min(a.value(x), b.value(x)), 1e-6);
+  }
+}
+
+TEST_P(RandomCurveProperty, MaximumEvaluatesPointwise) {
+  Rng rng(GetParam() + 2000);
+  const Curve a = random_concave(rng);
+  const Curve b = random_concave(rng);
+  const Curve m = maximum(a, b);
+  for (double x = 0.0; x < 100.0; x += 1.9) {
+    EXPECT_NEAR(m.value(x), std::max(a.value(x), b.value(x)), 1e-6);
+  }
+}
+
+TEST_P(RandomCurveProperty, MinimumOfConcaveIsConcave) {
+  Rng rng(GetParam() + 3000);
+  const Curve m = minimum(random_concave(rng), random_concave(rng));
+  EXPECT_TRUE(m.is_concave()) << m.to_string();
+}
+
+TEST_P(RandomCurveProperty, ConvolutionIsDominatedByBothInputsPlusOffset) {
+  Rng rng(GetParam() + 4000);
+  const Curve a = random_concave(rng);
+  const Curve b = random_concave(rng);
+  const Curve c = convolve_concave(a, b);
+  // (a (*) b)(t) <= a(t) + b(0) and <= b(t) + a(0).
+  for (double x = 0.0; x < 60.0; x += 2.3) {
+    EXPECT_LE(c.value(x), a.value(x) + b.value(0.0) + 1e-6);
+    EXPECT_LE(c.value(x), b.value(x) + a.value(0.0) + 1e-6);
+  }
+}
+
+TEST_P(RandomCurveProperty, DeconvolutionDominatesInput) {
+  Rng rng(GetParam() + 5000);
+  const Curve a = random_concave(rng);
+  const double rate = a.slope_after(0.0) + rng.uniform_real(1.0, 50.0);
+  const double latency = rng.uniform_real(0.0, 10.0);
+  const Curve out = deconvolve_concave_rl(a, rate, latency);
+  // alpha (/) beta >= alpha always (beta(0) = 0 admissible u = 0 at t).
+  for (double x = 0.0; x < 60.0; x += 2.3) {
+    EXPECT_GE(out.value(x), a.value(x) - 1e-6);
+  }
+}
+
+TEST_P(RandomCurveProperty, HorizontalDeviationIsAchievedNowhereExceeded) {
+  Rng rng(GetParam() + 6000);
+  const Curve alpha = random_concave(rng);
+  const double rate = alpha.final_slope() + rng.uniform_real(1.0, 100.0);
+  const double latency = rng.uniform_real(0.0, 20.0);
+  const Curve beta = Curve::rate_latency(rate, latency);
+  const double h = horizontal_deviation(alpha, beta);
+  // Definition check on a dense grid: alpha(t) <= beta(t + h).
+  for (double t = 0.0; t < 120.0; t += 0.37) {
+    EXPECT_LE(alpha.value(t), beta.value(t + h) + 1e-5)
+        << "t=" << t << " h=" << h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCurveProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace afdx::minplus
+
+namespace afdx::minplus {
+namespace {
+
+// --- Brute-force checks against the textbook definitions --------------------
+
+class BruteForce : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static Curve random_concave(Rng& rng) {
+    const double burst = rng.uniform_real(0.0, 500.0);
+    std::vector<Point> pts{{0.0, burst}};
+    double x = 0.0, y = burst;
+    double slope = rng.uniform_real(40.0, 150.0);
+    const int n = static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < n; ++i) {
+      const double dx = rng.uniform_real(1.0, 15.0);
+      x += dx;
+      y += slope * dx;
+      pts.push_back({x, y});
+      slope *= rng.uniform_real(0.4, 0.9);
+    }
+    return Curve(std::move(pts), slope);
+  }
+};
+
+TEST_P(BruteForce, HorizontalDeviationMatchesDefinition) {
+  Rng rng(GetParam() + 100);
+  const Curve alpha = random_concave(rng);
+  const double rate = alpha.final_slope() + rng.uniform_real(5.0, 80.0);
+  const double latency = rng.uniform_real(0.0, 30.0);
+  const Curve beta = Curve::rate_latency(rate, latency);
+  const double h = horizontal_deviation(alpha, beta);
+
+  // sup over a dense grid of inf{d : alpha(t) <= beta(t+d)}.
+  double brute = 0.0;
+  for (double t = 0.0; t <= 200.0; t += 0.1) {
+    // beta^{-1}(alpha(t)) - t computed directly for rate-latency beta.
+    const double need = alpha.value(t);
+    const double d = (need <= 0.0 ? 0.0 : latency + need / rate) - t;
+    brute = std::max(brute, d);
+  }
+  EXPECT_NEAR(h, brute, 0.2) << "h must match the definition's sup";
+  EXPECT_GE(h, brute - 1e-9) << "h must never be below the definition";
+}
+
+TEST_P(BruteForce, VerticalDeviationMatchesDefinition) {
+  Rng rng(GetParam() + 200);
+  const Curve alpha = random_concave(rng);
+  const double rate = alpha.final_slope() + rng.uniform_real(5.0, 80.0);
+  const Curve beta = Curve::rate_latency(rate, rng.uniform_real(0.0, 30.0));
+  const double v = vertical_deviation(alpha, beta);
+  double brute = 0.0;
+  for (double t = 0.0; t <= 200.0; t += 0.1) {
+    brute = std::max(brute, alpha.value(t) - beta.value(t));
+  }
+  EXPECT_GE(v, brute - 1e-9);
+  // The brute-force grid (step 0.1) undershoots the sup by at most
+  // step * (alpha slope + rate).
+  EXPECT_NEAR(v, brute, 30.0);
+}
+
+TEST_P(BruteForce, ConvexConvolutionMatchesDefinition) {
+  Rng rng(GetParam() + 300);
+  const Curve a = Curve::rate_latency(rng.uniform_real(10.0, 100.0),
+                                      rng.uniform_real(0.0, 20.0));
+  const Curve b = Curve::rate_latency(rng.uniform_real(10.0, 100.0),
+                                      rng.uniform_real(0.0, 20.0));
+  const Curve c = convolve_convex(a, b);
+  for (double t = 0.0; t <= 80.0; t += 2.1) {
+    double brute = 1e300;
+    for (double s = 0.0; s <= t + 1e-12; s += 0.05) {
+      brute = std::min(brute, a.value(s) + b.value(t - s));
+    }
+    // The sampled inf overshoots the true inf by at most step * max rate.
+    EXPECT_LE(c.value(t), brute + 1e-9) << "t=" << t;
+    EXPECT_NEAR(c.value(t), brute, 6.0) << "t=" << t;
+  }
+}
+
+TEST_P(BruteForce, ResidualServiceMatchesDefinition) {
+  Rng rng(GetParam() + 400);
+  const Curve alpha = random_concave(rng);
+  const double rate = alpha.final_slope() + rng.uniform_real(10.0, 120.0);
+  const Curve beta = Curve::rate_latency(rate, rng.uniform_real(0.0, 20.0));
+  const double blocking = rng.uniform_real(0.0, 2000.0);
+  const Curve r = residual_service(beta, alpha, blocking);
+  for (double t = 0.0; t <= 300.0; t += 1.3) {
+    const double expected =
+        std::max(0.0, beta.value(t) - alpha.value(t) - blocking);
+    EXPECT_NEAR(r.value(t), expected, 1e-3) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForce,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace afdx::minplus

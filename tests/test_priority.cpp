@@ -1,0 +1,239 @@
+// Tests for the static-priority-queueing (SPQ) extension: residual-service
+// calculus, the priority-aware simulator, FIFO degeneracy, and soundness of
+// the per-class bounds. (The paper analyzes FIFO ports; SPQ is the
+// extension its conclusion and the authors' companion papers point to.)
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "gen/industrial.hpp"
+#include "minplus/operations.hpp"
+#include "netcalc/netcalc_analyzer.hpp"
+#include "sim/simulator.hpp"
+#include "trajectory/trajectory_analyzer.hpp"
+
+namespace afdx {
+namespace {
+
+using minplus::Curve;
+
+// --- residual service (min-plus layer) --------------------------------------
+
+TEST(ResidualService, BlockingOnlyShiftsTheLatency) {
+  // RL(100, 16) minus a 4000-bit blocking frame: zero until
+  // t* = (16*100 + 4000)/100 = 56, then full rate.
+  const Curve r = minplus::residual_service(
+      Curve::rate_latency(100.0, 16.0), Curve(), 4000.0);
+  EXPECT_NEAR(r.value(56.0), 0.0, 1e-6);
+  EXPECT_NEAR(r.value(66.0), 1000.0, 1e-3);
+  EXPECT_NEAR(r.final_slope(), 100.0, 1e-9);
+}
+
+TEST(ResidualService, HigherPriorityLeakyBucket) {
+  // RL(100, 16) minus affine(4000, 1): zero until
+  // t* = (1600 + 4000)/99 = 56.5657, then slope 99.
+  const Curve r = minplus::residual_service(
+      Curve::rate_latency(100.0, 16.0), Curve::affine(4000.0, 1.0), 0.0);
+  const double t_star = 5600.0 / 99.0;
+  EXPECT_NEAR(r.value(t_star), 0.0, 1e-3);
+  EXPECT_NEAR(r.value(t_star + 1.0), 99.0, 1e-3);
+  EXPECT_NEAR(r.final_slope(), 99.0, 1e-9);
+}
+
+TEST(ResidualService, MatchesPointwiseDefinition) {
+  const Curve beta = Curve::rate_latency(100.0, 16.0);
+  const Curve alpha = Curve::affine(2000.0, 5.0);
+  const Curve r = minplus::residual_service(beta, alpha, 1000.0);
+  for (double t = 0.0; t <= 200.0; t += 3.7) {
+    const double expected =
+        std::max(0.0, beta.value(t) - alpha.value(t) - 1000.0);
+    EXPECT_NEAR(r.value(t), expected, 1e-4) << "t=" << t;
+  }
+}
+
+TEST(ResidualService, SaturatedServerThrows) {
+  EXPECT_THROW(minplus::residual_service(Curve::rate_latency(100.0, 0.0),
+                                         Curve::affine(0.0, 100.0), 0.0),
+               Error);
+}
+
+TEST(ResidualService, RejectsBadShapes) {
+  EXPECT_THROW(minplus::residual_service(Curve::affine(10.0, 1.0) /*concave w/burst, fine*/,
+                                         Curve::rate_latency(5.0, 1.0) /*convex*/,
+                                         0.0),
+               Error);
+  EXPECT_THROW(minplus::residual_service(Curve::rate_latency(10.0, 1.0),
+                                         Curve::affine(0.0, 1.0), -1.0),
+               Error);
+}
+
+// --- a hand-computed two-class configuration --------------------------------
+
+TrafficConfig two_class_config(Bytes low_smax = 500) {
+  Network net;
+  const NodeId e_hi = net.add_end_system("e_hi");
+  const NodeId e_lo = net.add_end_system("e_lo");
+  const NodeId sink = net.add_end_system("sink");
+  const NodeId s1 = net.add_switch("S1");
+  net.connect(e_hi, s1);
+  net.connect(e_lo, s1);
+  net.connect(s1, sink);
+  VirtualLink hi{"hi", e_hi, {sink}, microseconds_from_ms(4.0), 64, 500};
+  hi.priority = 0;
+  VirtualLink lo{"lo", e_lo, {sink}, microseconds_from_ms(4.0), 64, low_smax};
+  lo.priority = 1;
+  return TrafficConfig(std::move(net), {hi, lo});
+}
+
+TEST(PriorityNetcalc, HandComputedTwoClassBounds) {
+  const TrafficConfig cfg = two_class_config();
+  const netcalc::Result r = netcalc::analyze(cfg);
+  // hi: ES port 40, switch port: residual RL(100, 56) against the 4000-bit
+  // low blocking frame, burst 4040 => 56 + 40.4 = 96.4.
+  EXPECT_NEAR(r.path_bounds[0], 40.0 + 96.4, 1e-6);
+  // lo: ES port 40, switch port: residual after alpha_hi = affine(4040, 1):
+  // t* = 5640/99, then slope 99; burst 4040 => t* + 4040/99.
+  EXPECT_NEAR(r.path_bounds[1], 40.0 + 5640.0 / 99.0 + 4040.0 / 99.0, 1e-6);
+}
+
+TEST(PriorityNetcalc, ClassesBracketTheFifoBound) {
+  const TrafficConfig spq = two_class_config();
+  // Same flows, single class -> plain FIFO.
+  Network net;
+  const NodeId e_hi = net.add_end_system("e_hi");
+  const NodeId e_lo = net.add_end_system("e_lo");
+  const NodeId sink = net.add_end_system("sink");
+  const NodeId s1 = net.add_switch("S1");
+  net.connect(e_hi, s1);
+  net.connect(e_lo, s1);
+  net.connect(s1, sink);
+  const TrafficConfig fifo(
+      std::move(net),
+      {{"hi", e_hi, {sink}, microseconds_from_ms(4.0), 64, 500},
+       {"lo", e_lo, {sink}, microseconds_from_ms(4.0), 64, 500}});
+
+  const auto spq_bounds = netcalc::analyze(spq).path_bounds;
+  const auto fifo_bounds = netcalc::analyze(fifo).path_bounds;
+  EXPECT_LT(spq_bounds[0], fifo_bounds[0]);  // high class gains
+  EXPECT_GT(spq_bounds[1], fifo_bounds[1]);  // low class pays
+}
+
+TEST(PriorityNetcalc, HighClassOnlySeesLowClassBlocking) {
+  // Growing the low-priority frame size moves the high bound only through
+  // the one-frame blocking term (burst-size increase: +8 bits per byte/R).
+  const Microseconds small = netcalc::analyze(two_class_config(500)).path_bounds[0];
+  const Microseconds big = netcalc::analyze(two_class_config(1518)).path_bounds[0];
+  // Blocking grows by (1518-500)*8 bits / 100 bits/us = 81.44 us.
+  EXPECT_NEAR(big - small, bits_from_bytes(1518 - 500) / 100.0, 1e-6);
+}
+
+TEST(PriorityNetcalc, PortReportExposesLevelDelays) {
+  const TrafficConfig cfg = two_class_config();
+  const Network& net = cfg.network();
+  const netcalc::Result r = netcalc::analyze(cfg);
+  const LinkId port =
+      *net.link_between(*net.find_node("S1"), *net.find_node("sink"));
+  ASSERT_EQ(r.ports[port].level_delays.size(), 2u);
+  EXPECT_LT(r.ports[port].level_delays.at(0), r.ports[port].level_delays.at(1));
+  EXPECT_NEAR(r.ports[port].delay, r.ports[port].level_delays.at(1), 1e-12);
+}
+
+// --- simulator ---------------------------------------------------------------
+
+TEST(PrioritySim, HighClassOvertakesQueuedLowFrames) {
+  // Two low-priority VLs and one high-priority VL converge on one port.
+  Network net;
+  const NodeId e1 = net.add_end_system("e1");
+  const NodeId e2 = net.add_end_system("e2");
+  const NodeId e3 = net.add_end_system("e3");
+  const NodeId sink = net.add_end_system("sink");
+  const NodeId s1 = net.add_switch("S1");
+  net.connect(e1, s1);
+  net.connect(e2, s1);
+  net.connect(e3, s1);
+  net.connect(s1, sink);
+  VirtualLink lo1{"lo1", e1, {sink}, microseconds_from_ms(4.0), 64, 500};
+  VirtualLink lo2{"lo2", e2, {sink}, microseconds_from_ms(4.0), 64, 500};
+  VirtualLink hi{"hi", e3, {sink}, microseconds_from_ms(4.0), 64, 500};
+  lo1.priority = lo2.priority = 1;
+  hi.priority = 0;
+  const TrafficConfig cfg(std::move(net), {lo1, lo2, hi});
+
+  sim::Options o;
+  o.phasing = sim::Phasing::kExplicit;
+  o.offsets = {0.0, 0.0, 5.0};
+  o.horizon = microseconds_from_ms(4.0);
+  const sim::Result r = sim::simulate(cfg, o);
+  // Arrivals at the shared port: lo1 @56, lo2 @56, hi @61. Non-preemptive:
+  // lo1 56..96, then hi (96..136, delay 131), then lo2 (136..176).
+  EXPECT_NEAR(r.max_path_delay[2], 131.0, 1e-9);
+  EXPECT_NEAR(r.max_path_delay[0], 96.0, 1e-9);
+  EXPECT_NEAR(r.max_path_delay[1], 176.0, 1e-9);
+}
+
+TEST(PrioritySim, SingleClassKeepsFifoTimeline) {
+  // With equal priorities the same scenario serves strictly in FIFO order.
+  Network net;
+  const NodeId e1 = net.add_end_system("e1");
+  const NodeId e2 = net.add_end_system("e2");
+  const NodeId e3 = net.add_end_system("e3");
+  const NodeId sink = net.add_end_system("sink");
+  const NodeId s1 = net.add_switch("S1");
+  net.connect(e1, s1);
+  net.connect(e2, s1);
+  net.connect(e3, s1);
+  net.connect(s1, sink);
+  const TrafficConfig cfg(
+      std::move(net),
+      {{"a", e1, {sink}, microseconds_from_ms(4.0), 64, 500},
+       {"b", e2, {sink}, microseconds_from_ms(4.0), 64, 500},
+       {"c", e3, {sink}, microseconds_from_ms(4.0), 64, 500}});
+  sim::Options o;
+  o.phasing = sim::Phasing::kExplicit;
+  o.offsets = {0.0, 0.0, 5.0};
+  o.horizon = microseconds_from_ms(4.0);
+  const sim::Result r = sim::simulate(cfg, o);
+  EXPECT_NEAR(r.max_path_delay[2], 171.0, 1e-9);  // c waits behind a and b
+}
+
+// --- cross-cutting -----------------------------------------------------------
+
+TEST(Priority, TrajectoryRejectsMultiClassConfigurations) {
+  const TrafficConfig cfg = two_class_config();
+  EXPECT_THROW(trajectory::analyze(cfg), Error);
+}
+
+class PrioritySoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrioritySoundness, SimulatedDelaysStayBelowClassBounds) {
+  gen::IndustrialOptions o;
+  o.seed = GetParam();
+  o.vl_count = 40;
+  o.end_system_count = 14;
+  o.switch_count = 5;
+  o.priority_levels = 3;
+  const TrafficConfig cfg = gen::industrial_config(o);
+
+  // The generator must actually produce several classes.
+  std::set<int> classes;
+  for (VlId v = 0; v < cfg.vl_count(); ++v) classes.insert(cfg.vl(v).priority);
+  EXPECT_GE(classes.size(), 2u);
+
+  const auto bounds = netcalc::analyze(cfg).path_bounds;
+  for (std::uint64_t s = 0; s <= 3; ++s) {
+    sim::Options so;
+    so.phasing = s == 0 ? sim::Phasing::kAligned : sim::Phasing::kRandom;
+    so.seed = GetParam() * 7 + s;
+    const sim::Result r = sim::simulate(cfg, so);
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      EXPECT_LE(r.max_path_delay[i], bounds[i] + 1e-6) << "path " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrioritySoundness,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace afdx

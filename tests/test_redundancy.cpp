@@ -1,0 +1,139 @@
+// Tests for the dual-network redundancy analysis.
+#include "redundancy/redundancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/comparison.hpp"
+#include "common/error.hpp"
+#include "config/samples.hpp"
+#include "config/serialization.hpp"
+#include "sim/simulator.hpp"
+
+namespace afdx::redundancy {
+namespace {
+
+/// An exact copy of the sample configuration (network B mirrors A).
+TrafficConfig mirrored_sample() {
+  return config::load_config_string(
+      config::save_config_string(config::sample_config()));
+}
+
+/// Sample configuration with a slower switch latency (a degraded network
+/// B: same wiring and VLs, higher technological latency).
+TrafficConfig degraded_sample() {
+  config::SampleOptions o;
+  o.switch_latency = 40.0;
+  return config::sample_config(o);
+}
+
+TEST(Redundancy, IdenticalNetworksGiveBoundAndPositiveSkew) {
+  const TrafficConfig a = config::sample_config();
+  const TrafficConfig b = mirrored_sample();
+  const auto ca = analysis::compare(a);
+  const auto cb = analysis::compare(b);
+  const Result r = analyze(a, ca.combined, b, cb.combined);
+
+  ASSERT_EQ(r.paths.size(), a.all_paths().size());
+  for (std::size_t i = 0; i < r.paths.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.paths[i].first_arrival_bound, ca.combined[i]);
+    // Skew = bound - floor on identical networks.
+    const Microseconds floor = path_floor(a, a.all_paths()[i]);
+    EXPECT_NEAR(r.paths[i].skew_max, ca.combined[i] - floor, 1e-9);
+    EXPECT_GE(r.paths[i].skew_max, 0.0);
+    // Contended paths (v1..v4) have real queueing slack, so a real skew.
+    if (i < 4) EXPECT_GT(r.paths[i].skew_max, 0.0);
+  }
+}
+
+TEST(Redundancy, HandComputedSkewOnIsolatedFlow) {
+  // v5 is alone: bound 272?? no -- v5: 96 us on network A. Floor of v5:
+  // two hops of 40 us plus one switch latency of 16 us = 96 us, so the skew
+  // on identical networks is exactly 0 for a contention-free flow.
+  const TrafficConfig a = config::sample_config();
+  const TrafficConfig b = mirrored_sample();
+  const auto ca = analysis::compare(a);
+  const auto cb = analysis::compare(b);
+  const Result r = analyze(a, ca.combined, b, cb.combined);
+  const VlId v5 = *a.find_vl("v5");
+  EXPECT_NEAR(r.for_path(a, PathRef{v5, 0}).skew_max, 0.0, 1e-9);
+  EXPECT_NEAR(r.for_path(a, PathRef{v5, 0}).first_arrival_bound, 96.0, 1e-9);
+}
+
+TEST(Redundancy, AsymmetricNetworksTakeTheBetterBoundAndWiderSkew) {
+  const TrafficConfig a = config::sample_config();
+  const TrafficConfig b = degraded_sample();  // 40 us switch latency
+  const auto ca = analysis::compare(a);
+  const auto cb = analysis::compare(b);
+  const Result r = analyze(a, ca.combined, b, cb.combined);
+  for (std::size_t i = 0; i < r.paths.size(); ++i) {
+    // The faster network A dominates the first arrival.
+    EXPECT_DOUBLE_EQ(r.paths[i].first_arrival_bound, ca.combined[i]);
+    // The slow copy may lag: skew driven by network B's bound against A's
+    // floor.
+    EXPECT_NEAR(r.paths[i].skew_max,
+                cb.combined[i] - path_floor(a, a.all_paths()[i]), 1e-9);
+  }
+}
+
+TEST(Redundancy, PathFloorHandComputed) {
+  const TrafficConfig a = config::sample_config();
+  const VlId v1 = *a.find_vl("v1");
+  // Three 40 us hops and two 16 us switch latencies.
+  EXPECT_NEAR(path_floor(a, a.path(PathRef{v1, 0})), 3 * 40.0 + 2 * 16.0,
+              1e-9);
+}
+
+TEST(Redundancy, SkewBoundsObservedSkewInSimulation) {
+  // Simulate both identical networks with different phasings (models the
+  // asynchronous A/B switches) and check every observed copy gap.
+  const TrafficConfig a = config::sample_config();
+  const TrafficConfig b = mirrored_sample();
+  const auto ca = analysis::compare(a);
+  const auto cb = analysis::compare(b);
+  const Result r = analyze(a, ca.combined, b, cb.combined);
+
+  sim::Options oa, ob;
+  oa.phasing = sim::Phasing::kRandom;
+  oa.seed = 3;
+  ob.phasing = sim::Phasing::kRandom;
+  ob.seed = 9;
+  const sim::Result ra = sim::simulate(a, oa);
+  const sim::Result rb = sim::simulate(b, ob);
+  for (std::size_t i = 0; i < r.paths.size(); ++i) {
+    // Conservative observable check: worst copy gap <= max observed delay
+    // difference bound.
+    const Microseconds gap =
+        std::max(ra.max_path_delay[i] - path_floor(b, b.all_paths()[i]),
+                 rb.max_path_delay[i] - path_floor(a, a.all_paths()[i]));
+    EXPECT_LE(gap, r.paths[i].skew_max + 1e-6);
+  }
+}
+
+TEST(Redundancy, RejectsMismatchedVlSets) {
+  const TrafficConfig a = config::sample_config();
+  config::SampleOptions o;
+  o.s_max_v1 = 1000;  // different contract on network B
+  const TrafficConfig b = config::sample_config(o);
+  EXPECT_THROW(require_mirrored_vls(a, b), Error);
+
+  const TrafficConfig c = config::illustrative_config();
+  EXPECT_THROW(require_mirrored_vls(a, c), Error);
+}
+
+TEST(Redundancy, RejectsMisalignedBounds) {
+  const TrafficConfig a = config::sample_config();
+  const TrafficConfig b = mirrored_sample();
+  EXPECT_THROW(analyze(a, {1.0}, b, {1.0}), Error);
+}
+
+TEST(Redundancy, ForPathLookupValidates) {
+  const TrafficConfig a = config::sample_config();
+  const TrafficConfig b = mirrored_sample();
+  const auto ca = analysis::compare(a);
+  const auto cb = analysis::compare(b);
+  const Result r = analyze(a, ca.combined, b, cb.combined);
+  EXPECT_THROW(r.for_path(a, PathRef{99, 0}), Error);
+}
+
+}  // namespace
+}  // namespace afdx::redundancy

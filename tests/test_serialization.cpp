@@ -1,0 +1,143 @@
+// Round-trip and error-handling tests for the text configuration format.
+#include "config/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/comparison.hpp"
+#include "common/error.hpp"
+#include "config/samples.hpp"
+#include "gen/industrial.hpp"
+
+namespace afdx::config {
+namespace {
+
+TEST(Serialization, SampleRoundTripPreservesEverything) {
+  const TrafficConfig original = sample_config();
+  const TrafficConfig loaded = load_config_string(save_config_string(original));
+
+  ASSERT_EQ(loaded.vl_count(), original.vl_count());
+  ASSERT_EQ(loaded.network().node_count(), original.network().node_count());
+  ASSERT_EQ(loaded.network().link_count(), original.network().link_count());
+  for (VlId v = 0; v < original.vl_count(); ++v) {
+    EXPECT_EQ(loaded.vl(v).name, original.vl(v).name);
+    EXPECT_DOUBLE_EQ(loaded.vl(v).bag, original.vl(v).bag);
+    EXPECT_EQ(loaded.vl(v).s_max, original.vl(v).s_max);
+    EXPECT_EQ(loaded.vl(v).s_min, original.vl(v).s_min);
+    EXPECT_EQ(loaded.route(v).paths(), original.route(v).paths());
+  }
+}
+
+TEST(Serialization, RoundTripPreservesAnalysisResults) {
+  const TrafficConfig original = illustrative_config();
+  const TrafficConfig loaded = load_config_string(save_config_string(original));
+  const auto a = analysis::compare(original);
+  const auto b = analysis::compare(loaded);
+  ASSERT_EQ(a.netcalc.size(), b.netcalc.size());
+  for (std::size_t i = 0; i < a.netcalc.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.netcalc[i], b.netcalc[i]);
+    EXPECT_DOUBLE_EQ(a.trajectory[i], b.trajectory[i]);
+  }
+}
+
+TEST(Serialization, GeneratedConfigRoundTrip) {
+  gen::IndustrialOptions o;
+  o.vl_count = 40;
+  o.end_system_count = 12;
+  o.switch_count = 4;
+  const TrafficConfig original = gen::industrial_config(o);
+  const TrafficConfig loaded = load_config_string(save_config_string(original));
+  EXPECT_EQ(loaded.vl_count(), original.vl_count());
+  EXPECT_EQ(loaded.all_paths().size(), original.all_paths().size());
+  EXPECT_NEAR(loaded.max_utilization(), original.max_utilization(), 1e-12);
+}
+
+TEST(Serialization, ParsesCommentsAndBlankLines) {
+  const TrafficConfig cfg = load_config_string(
+      "afdx-config v1\n"
+      "# a comment line\n"
+      "\n"
+      "node es e1   # trailing comment\n"
+      "node es e2\n"
+      "node sw S1\n"
+      "link e1 S1 rate=100 swlat=16 eslat=0\n"
+      "link S1 e2 rate=100 swlat=16 eslat=0\n"
+      "vl v1 src=e1 dst=e2 bag=4000 smin=64 smax=500\n");
+  EXPECT_EQ(cfg.vl_count(), 1u);
+  EXPECT_EQ(cfg.route(0).paths()[0].size(), 2u);  // auto-routed
+}
+
+TEST(Serialization, MissingHeaderRejected) {
+  EXPECT_THROW(load_config_string("node es e1\n"), Error);
+  EXPECT_THROW(load_config_string(""), Error);
+}
+
+TEST(Serialization, UnknownDirectiveRejected) {
+  EXPECT_THROW(load_config_string("afdx-config v1\nfrobnicate x\n"), Error);
+}
+
+TEST(Serialization, BadNodeKindRejected) {
+  EXPECT_THROW(load_config_string("afdx-config v1\nnode router R1\n"), Error);
+}
+
+TEST(Serialization, UnknownNodeInLinkRejected) {
+  EXPECT_THROW(load_config_string("afdx-config v1\nnode es e1\n"
+                                  "link e1 S9 rate=100\n"),
+               Error);
+}
+
+TEST(Serialization, BadNumberRejected) {
+  EXPECT_THROW(load_config_string("afdx-config v1\nnode es e1\nnode sw S1\n"
+                                  "link e1 S1 rate=fast\n"),
+               Error);
+}
+
+TEST(Serialization, MalformedKeyValueRejected) {
+  EXPECT_THROW(load_config_string("afdx-config v1\nnode es e1\nnode sw S1\n"
+                                  "link e1 S1 rate\n"),
+               Error);
+}
+
+TEST(Serialization, RouteForUnknownVlRejected) {
+  EXPECT_THROW(load_config_string("afdx-config v1\nnode es e1\nnode es e2\n"
+                                  "node sw S1\nlink e1 S1\nlink S1 e2\n"
+                                  "route ghost 0 e1>S1 S1>e2\n"),
+               Error);
+}
+
+TEST(Serialization, RouteWithMissingLinkRejected) {
+  EXPECT_THROW(
+      load_config_string("afdx-config v1\nnode es e1\nnode es e2\n"
+                         "node sw S1\nnode sw S2\nlink e1 S1\nlink S1 e2\n"
+                         "link S1 S2\n"
+                         "vl v1 src=e1 dst=e2 bag=4000 smin=64 smax=500\n"
+                         "route v1 0 e1>S1 S2>e2\n"),
+      Error);
+}
+
+TEST(Serialization, BadRouteHopSyntaxRejected) {
+  EXPECT_THROW(
+      load_config_string("afdx-config v1\nnode es e1\nnode es e2\n"
+                         "node sw S1\nlink e1 S1\nlink S1 e2\n"
+                         "vl v1 src=e1 dst=e2 bag=4000 smin=64 smax=500\n"
+                         "route v1 0 e1-S1\n"),
+      Error);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/afdx_roundtrip.cfg";
+  const TrafficConfig original = sample_config();
+  save_config_file(original, path);
+  const TrafficConfig loaded = load_config_file(path);
+  EXPECT_EQ(loaded.vl_count(), original.vl_count());
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, MissingFileThrows) {
+  EXPECT_THROW(load_config_file("/nonexistent/path/to.cfg"), Error);
+}
+
+}  // namespace
+}  // namespace afdx::config

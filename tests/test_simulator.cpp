@@ -1,0 +1,189 @@
+// Unit tests for the discrete-event AFDX simulator. Hand-traced timelines
+// on the paper's sample configuration (all offsets 0):
+//   e-ports transmit 0..40, switch arrival at 56 (40 + 16 us latency);
+//   S1 serves v1 then v2 (event order), S2 serves v3 then v4;
+//   S3->e6 arrivals: v1 @112, v3 @112, v2 @152, v4 @152;
+//   deliveries: v1 @152, v3 @192, v2 @232, v4 @272.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "config/samples.hpp"
+#include "netcalc/netcalc_analyzer.hpp"
+
+namespace afdx::sim {
+namespace {
+
+TEST(Simulator, IsolatedFlowDeliversAtStoreAndForwardTime) {
+  Network net;
+  const NodeId e1 = net.add_end_system("e1");
+  const NodeId e2 = net.add_end_system("e2");
+  const NodeId s1 = net.add_switch("S1");
+  net.connect(e1, s1);
+  net.connect(s1, e2);
+  std::vector<VirtualLink> vls{
+      {"v", e1, {e2}, microseconds_from_ms(4.0), 64, 500}};
+  const TrafficConfig cfg(std::move(net), std::move(vls));
+
+  Options o;
+  o.horizon = microseconds_from_ms(40.0);
+  const Result r = simulate(cfg, o);
+  EXPECT_NEAR(r.max_path_delay[0], 96.0, 1e-9);   // 40 + 16 + 40
+  EXPECT_NEAR(r.mean_path_delay[0], 96.0, 1e-9);  // every frame identical
+  EXPECT_EQ(r.frames_delivered, 10u);             // 40 ms / 4 ms
+}
+
+TEST(Simulator, SampleConfigAlignedTimeline) {
+  const TrafficConfig cfg = config::sample_config();
+  Options o;
+  o.horizon = microseconds_from_ms(4.0);  // a single frame per VL
+  const Result r = simulate(cfg, o);
+  EXPECT_NEAR(r.max_path_delay[0], 152.0, 1e-9);  // v1
+  EXPECT_NEAR(r.max_path_delay[1], 232.0, 1e-9);  // v2
+  EXPECT_NEAR(r.max_path_delay[2], 192.0, 1e-9);  // v3
+  EXPECT_NEAR(r.max_path_delay[3], 272.0, 1e-9);  // v4
+  EXPECT_NEAR(r.max_path_delay[4], 96.0, 1e-9);   // v5 alone
+  EXPECT_EQ(r.frames_delivered, 5u);
+}
+
+TEST(Simulator, AchievesTheTrajectoryBoundOnTheSampleConfig) {
+  // The aligned schedule realizes 272 us for v4 -- exactly the trajectory
+  // bound, proving the bound tight on this configuration.
+  const TrafficConfig cfg = config::sample_config();
+  const Result r = simulate(cfg, Options{});
+  EXPECT_NEAR(r.max_delay_for(cfg, PathRef{*cfg.find_vl("v4"), 0}), 272.0,
+              1e-9);
+}
+
+TEST(Simulator, PortBacklogTracksQueueContent) {
+  const TrafficConfig cfg = config::sample_config();
+  const Network& net = cfg.network();
+  const Result r = simulate(cfg, Options{});
+  const LinkId s3_port =
+      *net.link_between(*net.find_node("S3"), *net.find_node("e6"));
+  // At t = 152: v3 in service plus v2 and v4 queued = 12000 bits.
+  EXPECT_NEAR(r.max_port_backlog[s3_port], 12000.0, 1e-9);
+  // Never above the network-calculus buffer bound.
+  const auto nc = netcalc::analyze(cfg);
+  for (LinkId l = 0; l < net.link_count(); ++l) {
+    if (nc.ports[l].used) {
+      EXPECT_LE(r.max_port_backlog[l], nc.ports[l].backlog + 1e-6);
+    }
+  }
+}
+
+TEST(Simulator, ExplicitOffsetsShiftContention) {
+  const TrafficConfig cfg = config::sample_config();
+  Options o;
+  o.phasing = Phasing::kExplicit;
+  // Spread the emitters 500 us apart: no two frames ever meet.
+  o.offsets = {0.0, 500.0, 1000.0, 1500.0, 2000.0};
+  o.horizon = microseconds_from_ms(4.0);
+  const Result r = simulate(cfg, o);
+  for (int p = 0; p < 5; ++p) {
+    EXPECT_NEAR(r.max_path_delay[p], 96.0 + (p < 4 ? 16.0 + 40.0 : 0.0),
+                1e-9)
+        << "path " << p;  // three hops for v1..v4, two for v5
+  }
+}
+
+TEST(Simulator, ExplicitOffsetsValidated) {
+  const TrafficConfig cfg = config::sample_config();
+  Options o;
+  o.phasing = Phasing::kExplicit;
+  o.offsets = {0.0, 0.0};  // wrong size
+  EXPECT_THROW(simulate(cfg, o), Error);
+  o.offsets = {0.0, 0.0, 0.0, 0.0, -1.0};
+  EXPECT_THROW(simulate(cfg, o), Error);
+}
+
+TEST(Simulator, RandomPhasingIsDeterministicPerSeed) {
+  const TrafficConfig cfg = config::sample_config();
+  Options o;
+  o.phasing = Phasing::kRandom;
+  o.seed = 7;
+  const Result a = simulate(cfg, o);
+  const Result b = simulate(cfg, o);
+  EXPECT_EQ(a.max_path_delay, b.max_path_delay);
+  o.seed = 8;
+  const Result c = simulate(cfg, o);
+  EXPECT_NE(a.max_path_delay, c.max_path_delay);
+}
+
+TEST(Simulator, RandomizedSizesStayWithinAnalyticBounds) {
+  const TrafficConfig cfg = config::sample_config();
+  Options random_sizes;
+  random_sizes.randomize_sizes = true;
+  random_sizes.seed = 3;
+  const Result rs = simulate(cfg, random_sizes);
+  const auto nc = netcalc::analyze(cfg);
+  for (std::size_t p = 0; p < rs.max_path_delay.size(); ++p) {
+    EXPECT_LE(rs.max_path_delay[p], nc.path_bounds[p] + 1e-6);
+    EXPECT_GT(rs.max_path_delay[p], 0.0);
+  }
+}
+
+TEST(Simulator, MeanNeverExceedsMax) {
+  const TrafficConfig cfg = config::illustrative_config();
+  Options o;
+  o.phasing = Phasing::kRandom;
+  o.seed = 11;
+  const Result r = simulate(cfg, o);
+  for (std::size_t p = 0; p < r.max_path_delay.size(); ++p) {
+    EXPECT_LE(r.mean_path_delay[p], r.max_path_delay[p] + 1e-9);
+    EXPECT_GT(r.max_path_delay[p], 0.0) << "every path must deliver frames";
+  }
+}
+
+TEST(Simulator, MulticastDeliversToEveryDestination) {
+  const TrafficConfig cfg = config::illustrative_config();
+  Options o;
+  o.horizon = microseconds_from_ms(200.0);
+  const Result r = simulate(cfg, o);
+  const VlId v6 = *cfg.find_vl("v6");
+  EXPECT_GT(r.max_delay_for(cfg, PathRef{v6, 0}), 0.0);
+  EXPECT_GT(r.max_delay_for(cfg, PathRef{v6, 1}), 0.0);
+}
+
+TEST(Simulator, AdversarialOffsetsAreWellFormed) {
+  const TrafficConfig cfg = config::sample_config();
+  const auto offsets = adversarial_offsets(cfg, PathRef{*cfg.find_vl("v1"), 0});
+  ASSERT_EQ(offsets.size(), cfg.vl_count());
+  for (Microseconds off : offsets) EXPECT_GE(off, 0.0);
+}
+
+TEST(Simulator, AdversarialPhasingDominatesMostRandomOnes) {
+  const TrafficConfig cfg = config::sample_config();
+  const PathRef target{*cfg.find_vl("v4"), 0};
+  Options adv;
+  adv.phasing = Phasing::kExplicit;
+  adv.offsets = adversarial_offsets(cfg, target);
+  const Microseconds adv_delay = simulate(cfg, adv).max_delay_for(cfg, target);
+  Options rnd;
+  rnd.phasing = Phasing::kRandom;
+  int not_worse = 0;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    rnd.seed = s;
+    if (simulate(cfg, rnd).max_delay_for(cfg, target) <= adv_delay + 1e-9) {
+      ++not_worse;
+    }
+  }
+  EXPECT_GE(not_worse, 8);
+}
+
+TEST(Simulator, RejectsNonPositiveHorizon) {
+  const TrafficConfig cfg = config::sample_config();
+  Options o;
+  o.horizon = 0.0;
+  EXPECT_THROW(simulate(cfg, o), Error);
+}
+
+TEST(Simulator, MaxDelayForUnknownPathThrows) {
+  const TrafficConfig cfg = config::sample_config();
+  const Result r = simulate(cfg, Options{});
+  EXPECT_THROW(r.max_delay_for(cfg, PathRef{42, 0}), Error);
+}
+
+}  // namespace
+}  // namespace afdx::sim

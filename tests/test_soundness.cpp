@@ -1,0 +1,144 @@
+// Soundness property suite: on randomly generated configurations, every
+// analytic bound (both methods, both variants) must dominate every delay the
+// simulator can realize, and the buffer bounds must dominate every observed
+// backlog. This is the safety net behind the trajectory-formula
+// reconstruction documented in DESIGN.md section 3.2.
+#include <gtest/gtest.h>
+
+#include "analysis/comparison.hpp"
+#include "config/samples.hpp"
+#include "gen/industrial.hpp"
+#include "netcalc/netcalc_analyzer.hpp"
+#include "sim/simulator.hpp"
+#include "trajectory/trajectory_analyzer.hpp"
+
+namespace afdx {
+namespace {
+
+TrafficConfig random_config(std::uint64_t seed) {
+  gen::IndustrialOptions o;
+  o.seed = seed;
+  o.switch_count = 4 + static_cast<int>(seed % 4);
+  o.end_system_count = 12 + static_cast<int>(seed % 9);
+  o.vl_count = 30 + static_cast<int>(seed % 31);
+  o.multicast_fraction = 0.25 + 0.05 * static_cast<double>(seed % 5);
+  o.max_release_jitter = 60.0 * static_cast<double>(seed % 3);
+  return gen::industrial_config(o);
+}
+
+void expect_dominates(const TrafficConfig& cfg,
+                      const std::vector<Microseconds>& bounds,
+                      const sim::Result& observed, const char* what) {
+  ASSERT_EQ(bounds.size(), observed.max_path_delay.size());
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_LE(observed.max_path_delay[i], bounds[i] + 1e-6)
+        << what << " violated on path " << i << " (VL "
+        << cfg.vl(cfg.all_paths()[i].vl).name << ")";
+  }
+}
+
+class Soundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Soundness, AllBoundsDominateAllSchedules) {
+  const TrafficConfig cfg = random_config(GetParam());
+  const analysis::Comparison c = analysis::compare(cfg);
+
+  trajectory::Options naive;
+  naive.serialization = false;
+  const auto traj_naive = trajectory::analyze(cfg, naive).path_bounds;
+  netcalc::Options plain;
+  plain.grouping = false;
+  const auto nc_plain = netcalc::analyze(cfg, plain).path_bounds;
+
+  std::vector<sim::Options> schedules;
+  schedules.push_back({});  // aligned
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    sim::Options o;
+    o.phasing = sim::Phasing::kRandom;
+    o.seed = GetParam() * 10 + s;
+    schedules.push_back(o);
+  }
+  {
+    // Adversarial phasing against a handful of paths.
+    for (std::size_t p = 0; p < cfg.all_paths().size(); p += 17) {
+      sim::Options o;
+      o.phasing = sim::Phasing::kExplicit;
+      const VlPath& path = cfg.all_paths()[p];
+      o.offsets =
+          sim::adversarial_offsets(cfg, PathRef{path.vl, path.dest_index});
+      schedules.push_back(o);
+    }
+  }
+
+  for (const sim::Options& schedule : schedules) {
+    const sim::Result observed = sim::simulate(cfg, schedule);
+    expect_dominates(cfg, c.trajectory, observed, "trajectory");
+    expect_dominates(cfg, c.netcalc, observed, "wcnc");
+    expect_dominates(cfg, c.combined, observed, "combined");
+    expect_dominates(cfg, traj_naive, observed, "trajectory(no-serial)");
+    expect_dominates(cfg, nc_plain, observed, "wcnc(no-grouping)");
+  }
+}
+
+TEST_P(Soundness, BacklogBoundsDominateObservedBacklogs) {
+  const TrafficConfig cfg = random_config(GetParam());
+  const netcalc::Result nc = netcalc::analyze(cfg);
+  sim::Options o;
+  o.phasing = sim::Phasing::kRandom;
+  o.seed = GetParam();
+  const sim::Result observed = sim::simulate(cfg, o);
+  for (LinkId l = 0; l < cfg.network().link_count(); ++l) {
+    if (!nc.ports[l].used) {
+      EXPECT_DOUBLE_EQ(observed.max_port_backlog[l], 0.0);
+      continue;
+    }
+    EXPECT_LE(observed.max_port_backlog[l], nc.ports[l].backlog + 1e-6)
+        << "port " << l;
+  }
+}
+
+TEST_P(Soundness, RefinementsOnlyEverTighten) {
+  const TrafficConfig cfg = random_config(GetParam());
+
+  const auto traj = trajectory::analyze(cfg).path_bounds;
+  trajectory::Options naive;
+  naive.serialization = false;
+  const auto traj_naive = trajectory::analyze(cfg, naive).path_bounds;
+  trajectory::Options loose;
+  loose.loose_boundary_packet = true;
+  const auto traj_loose = trajectory::analyze(cfg, loose).path_bounds;
+
+  const auto nc = netcalc::analyze(cfg).path_bounds;
+  netcalc::Options plain;
+  plain.grouping = false;
+  const auto nc_plain = netcalc::analyze(cfg, plain).path_bounds;
+
+  for (std::size_t i = 0; i < traj.size(); ++i) {
+    EXPECT_LE(traj[i], traj_naive[i] + 1e-6);
+    EXPECT_LE(traj[i], traj_loose[i] + 1e-6);
+    EXPECT_LE(nc[i], nc_plain[i] + 1e-6);
+  }
+}
+
+TEST_P(Soundness, BoundsRespectStoreAndForwardFloor) {
+  const TrafficConfig cfg = random_config(GetParam());
+  const analysis::Comparison c = analysis::compare(cfg);
+  for (std::size_t i = 0; i < c.combined.size(); ++i) {
+    const VlPath& p = cfg.all_paths()[i];
+    Microseconds floor = 0.0;
+    for (LinkId l : p.links) {
+      floor += cfg.vl(p.vl).max_transmission_time(cfg.network().link(l).rate);
+      if (cfg.route(p.vl).predecessor(l) != kInvalidLink) {
+        floor += cfg.network().link(l).latency;
+      }
+    }
+    EXPECT_GE(c.trajectory[i], floor - 1e-6);
+    EXPECT_GE(c.netcalc[i], floor - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Soundness,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace afdx

@@ -1,0 +1,213 @@
+// Unit tests for the trajectory-approach analyzer. Expected values on the
+// paper's sample configuration are hand-derived (DESIGN.md section 3.2) and
+// cross-checked against the simulator, which achieves 272 us on this
+// configuration -- the trajectory bound is exactly tight there.
+#include "trajectory/trajectory_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "config/samples.hpp"
+#include "netcalc/netcalc_analyzer.hpp"
+
+namespace afdx::trajectory {
+namespace {
+
+TrafficConfig chain_config(int switches) {
+  Network net;
+  const NodeId src = net.add_end_system("src");
+  const NodeId dst = net.add_end_system("dst");
+  std::vector<NodeId> sw;
+  for (int i = 0; i < switches; ++i) {
+    sw.push_back(net.add_switch("S" + std::to_string(i + 1)));
+    if (i > 0) net.connect(sw[i - 1], sw[i]);
+  }
+  net.connect(src, sw.front());
+  net.connect(sw.back(), dst);
+  std::vector<VirtualLink> vls{
+      {"v", src, {dst}, microseconds_from_ms(4.0), 64, 500}};
+  return TrafficConfig(std::move(net), std::move(vls));
+}
+
+TEST(Trajectory, IsolatedFlowIsStoreAndForwardExact) {
+  // One switch: C + L + C = 40 + 16 + 40.
+  EXPECT_NEAR(analyze(chain_config(1)).path_bounds[0], 96.0, 1e-9);
+  // Three switches: 4 C + 3 L.
+  EXPECT_NEAR(analyze(chain_config(3)).path_bounds[0], 4 * 40.0 + 3 * 16.0,
+              1e-9);
+}
+
+TEST(Trajectory, SampleConfigBounds) {
+  const TrafficConfig cfg = config::sample_config();
+  const Result r = analyze(cfg);
+  // v1..v4 are symmetric: 272 us (achieved by the simulator => tight).
+  for (int p = 0; p < 4; ++p) EXPECT_NEAR(r.path_bounds[p], 272.0, 1e-6);
+  EXPECT_NEAR(r.path_bounds[4], 96.0, 1e-9);  // v5 is alone
+}
+
+TEST(Trajectory, NonSerializedVariantAddsSimultaneitySurcharge) {
+  const TrafficConfig cfg = config::sample_config();
+  Options naive;
+  naive.serialization = false;
+  const Result r = analyze(cfg, naive);
+  // The paper's Fig. 3 scenario: v3 and v4 (and the symmetric pair) assumed
+  // simultaneous: + 40 us over the serialized bound.
+  for (int p = 0; p < 4; ++p) EXPECT_NEAR(r.path_bounds[p], 312.0, 1e-6);
+  EXPECT_NEAR(r.path_bounds[4], 96.0, 1e-9);
+}
+
+TEST(Trajectory, SerializationNeverLoosens) {
+  const TrafficConfig cfg = config::illustrative_config();
+  Options naive;
+  naive.serialization = false;
+  const Result enhanced = analyze(cfg);
+  const Result plain = analyze(cfg, naive);
+  for (std::size_t i = 0; i < enhanced.path_bounds.size(); ++i) {
+    EXPECT_LE(enhanced.path_bounds[i], plain.path_bounds[i] + 1e-9);
+  }
+}
+
+TEST(Trajectory, LooseBoundaryPacketNeverTightens) {
+  const TrafficConfig cfg = config::illustrative_config();
+  Options loose;
+  loose.loose_boundary_packet = true;
+  const Result refined = analyze(cfg);
+  const Result paper_worded = analyze(cfg, loose);
+  for (std::size_t i = 0; i < refined.path_bounds.size(); ++i) {
+    EXPECT_LE(refined.path_bounds[i], paper_worded.path_bounds[i] + 1e-9);
+  }
+}
+
+TEST(Trajectory, PrefixBoundsOnSampleConfig) {
+  const TrafficConfig cfg = config::sample_config();
+  const Network& net = cfg.network();
+  Analyzer an(cfg);
+  const VlId v1 = *cfg.find_vl("v1");
+  const auto& path = cfg.route(v1).paths()[0];
+  EXPECT_NEAR(an.bound_to_link(v1, path[0]), 40.0, 1e-9);   // alone at e1
+  EXPECT_NEAR(an.bound_to_link(v1, path[1]), 136.0, 1e-6);  // behind v2
+  EXPECT_NEAR(an.bound_to_link(v1, path[2]), 272.0, 1e-6);
+  (void)net;
+}
+
+TEST(Trajectory, ArrivalTimeAccessors) {
+  const TrafficConfig cfg = config::sample_config();
+  Analyzer an(cfg);
+  const VlId v1 = *cfg.find_vl("v1");
+  const auto& path = cfg.route(v1).paths()[0];
+  EXPECT_NEAR(an.min_arrival_at(v1, path[0]), 0.0, 1e-12);
+  // 64-byte best case: 5.12 us transmission + 16 us latency per stage.
+  EXPECT_NEAR(an.min_arrival_at(v1, path[1]), 5.12 + 16.0, 1e-9);
+  EXPECT_NEAR(an.min_arrival_at(v1, path[2]), 2 * (5.12 + 16.0), 1e-9);
+  EXPECT_NEAR(an.max_arrival_at(v1, path[0]), 0.0, 1e-12);
+  EXPECT_NEAR(an.max_arrival_at(v1, path[2]), 136.0 + 16.0, 1e-6);
+}
+
+TEST(Trajectory, BoundIsInsensitiveToOwnBag) {
+  // The paper's Figure 8: the trajectory bound of v1 does not move with
+  // BAG(v1).
+  for (double ms : {1.0, 2.0, 8.0, 64.0, 128.0}) {
+    config::SampleOptions o;
+    o.bag_v1 = microseconds_from_ms(ms);
+    const Result r = analyze(config::sample_config(o));
+    EXPECT_NEAR(r.path_bounds[0], 272.0, 1e-6) << "BAG(v1) = " << ms << " ms";
+  }
+}
+
+TEST(Trajectory, CrossoverAgainstNetcalcInSmax) {
+  // The paper's Figure 7: WCNC is tighter for small s_max(v1), the
+  // trajectory approach for s_max(v1) >= the other VLs' 500 B.
+  {
+    config::SampleOptions o;
+    o.s_max_v1 = 100;
+    const TrafficConfig cfg = config::sample_config(o);
+    EXPECT_GT(analyze(cfg).path_bounds[0],
+              netcalc::analyze(cfg).path_bounds[0]);
+  }
+  {
+    const TrafficConfig cfg = config::sample_config();
+    EXPECT_LT(analyze(cfg).path_bounds[0],
+              netcalc::analyze(cfg).path_bounds[0]);
+  }
+}
+
+TEST(Trajectory, GrowsMonotonicallyWithOwnSmax) {
+  Microseconds prev = 0.0;
+  for (Bytes s : {100u, 300u, 500u, 900u, 1500u}) {
+    config::SampleOptions o;
+    o.s_max_v1 = s;
+    const Microseconds b = analyze(config::sample_config(o)).path_bounds[0];
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Trajectory, MulticastPathsBoundedIndependently) {
+  const TrafficConfig cfg = config::illustrative_config();
+  Analyzer an(cfg);
+  const VlId v6 = *cfg.find_vl("v6");
+  const Microseconds b0 = an.path_bound(PathRef{v6, 0});
+  const Microseconds b1 = an.path_bound(PathRef{v6, 1});
+  EXPECT_GT(b0, 0.0);
+  EXPECT_GT(b1, 0.0);
+  // Both include at least the store-and-forward floor of three hops.
+  const Microseconds c = cfg.vl(v6).max_transmission_time(100.0);
+  EXPECT_GE(b0, 3 * c + 2 * 16.0 - 1e-9);
+}
+
+TEST(Trajectory, CyclicConfigurationThrows) {
+  Network net;
+  const NodeId s1 = net.add_switch("S1");
+  const NodeId s2 = net.add_switch("S2");
+  const NodeId s3 = net.add_switch("S3");
+  const NodeId a = net.add_end_system("a");
+  const NodeId b = net.add_end_system("b");
+  const NodeId c = net.add_end_system("c");
+  net.connect(s1, s2);
+  net.connect(s2, s3);
+  net.connect(s3, s1);
+  net.connect(a, s1);
+  net.connect(b, s2);
+  net.connect(c, s3);
+  auto link = [&](NodeId x, NodeId y) { return *net.link_between(x, y); };
+  std::vector<VirtualLink> vls{
+      {"f1", a, {c}, microseconds_from_ms(4.0), 64, 500},
+      {"f2", b, {a}, microseconds_from_ms(4.0), 64, 500},
+      {"f3", c, {b}, microseconds_from_ms(4.0), 64, 500}};
+  std::vector<std::vector<std::vector<LinkId>>> routes{
+      {{link(a, s1), link(s1, s2), link(s2, s3), link(s3, c)}},
+      {{link(b, s2), link(s2, s3), link(s3, s1), link(s1, a)}},
+      {{link(c, s3), link(s3, s1), link(s1, s2), link(s2, b)}}};
+  const TrafficConfig cfg(std::move(net), std::move(vls), std::move(routes));
+  EXPECT_THROW(analyze(cfg), Error);
+}
+
+TEST(Trajectory, ResultLookupAndErrors) {
+  const TrafficConfig cfg = config::sample_config();
+  const Result r = analyze(cfg);
+  EXPECT_NEAR(r.bound_for(cfg, PathRef{*cfg.find_vl("v2"), 0}), 272.0, 1e-6);
+  EXPECT_THROW(r.bound_for(cfg, PathRef{99, 0}), Error);
+}
+
+TEST(Trajectory, DeterministicAcrossAnalyzerInstances) {
+  const TrafficConfig cfg = config::illustrative_config();
+  const Result a = analyze(cfg);
+  const Result b = analyze(cfg);
+  ASSERT_EQ(a.path_bounds.size(), b.path_bounds.size());
+  for (std::size_t i = 0; i < a.path_bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.path_bounds[i], b.path_bounds[i]);
+  }
+}
+
+TEST(Trajectory, HigherInterferingLoadRaisesBound) {
+  // Shrinking the other VLs' BAG below the busy period makes their second
+  // frames interfere.
+  config::SampleOptions tight;
+  tight.bag_others = 150.0;  // us; busy period exceeds one period
+  const TrafficConfig cfg = config::sample_config(tight);
+  const TrafficConfig base = config::sample_config();
+  EXPECT_GT(analyze(cfg).path_bounds[0], analyze(base).path_bounds[0]);
+}
+
+}  // namespace
+}  // namespace afdx::trajectory

@@ -1,0 +1,110 @@
+// Tests for the worst-case schedule search: it must bracket the analytic
+// bounds from below and reach them where they are known to be tight.
+#include "sim/worst_case_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/comparison.hpp"
+#include "common/error.hpp"
+#include "config/samples.hpp"
+#include "gen/industrial.hpp"
+
+namespace afdx::sim {
+namespace {
+
+TEST(WorstCaseSearch, IsolatedFlowIsExact) {
+  Network net;
+  const NodeId e1 = net.add_end_system("e1");
+  const NodeId e2 = net.add_end_system("e2");
+  const NodeId s1 = net.add_switch("S1");
+  net.connect(e1, s1);
+  net.connect(s1, e2);
+  const TrafficConfig cfg(std::move(net),
+                          {{"v", e1, {e2}, microseconds_from_ms(4.0), 64, 500}});
+  const SearchResult r = worst_case_search(cfg, PathRef{0, 0});
+  EXPECT_NEAR(r.worst_delay, 96.0, 1e-9);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(WorstCaseSearch, ReachesTheTrajectoryBoundOnTheSampleConfig) {
+  // The trajectory bound of the sample configuration (272 us) is tight; the
+  // exhaustive sweep must find a schedule achieving it.
+  const TrafficConfig cfg = config::sample_config();
+  const VlId v4 = *cfg.find_vl("v4");
+  const SearchResult r = worst_case_search(cfg, PathRef{v4, 0});
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_NEAR(r.worst_delay, 272.0, 1e-6);
+}
+
+TEST(WorstCaseSearch, ReturnedScheduleReproducesTheDelay) {
+  const TrafficConfig cfg = config::sample_config();
+  const VlId v1 = *cfg.find_vl("v1");
+  const SearchResult r = worst_case_search(cfg, PathRef{v1, 0});
+  Options o;
+  o.phasing = Phasing::kExplicit;
+  o.offsets = r.offsets;
+  o.horizon = microseconds_from_ms(10.0);
+  const Result replay = simulate(cfg, o);
+  EXPECT_NEAR(replay.max_delay_for(cfg, PathRef{v1, 0}), r.worst_delay, 1e-9);
+}
+
+TEST(WorstCaseSearch, NeverExceedsAnalyticBounds) {
+  gen::IndustrialOptions go;
+  go.vl_count = 30;
+  go.end_system_count = 10;
+  go.switch_count = 4;
+  const TrafficConfig cfg = gen::industrial_config(go);
+  const analysis::Comparison c = analysis::compare(cfg);
+  SearchOptions so;
+  so.steps_per_vl = 4;
+  so.random_restarts = 1;
+  so.max_rounds = 2;
+  for (std::size_t p = 0; p < cfg.all_paths().size(); p += 11) {
+    const VlPath& path = cfg.all_paths()[p];
+    const SearchResult r =
+        worst_case_search(cfg, PathRef{path.vl, path.dest_index}, so);
+    EXPECT_LE(r.worst_delay, c.combined[p] + 1e-6) << "path " << p;
+    EXPECT_GT(r.worst_delay, 0.0);
+  }
+}
+
+TEST(WorstCaseSearch, CoordinateDescentBeatsHeuristicsSometimes) {
+  // On a larger interferer set the search must at least match the
+  // adversarial heuristic.
+  gen::IndustrialOptions go;
+  go.vl_count = 40;
+  go.end_system_count = 12;
+  go.switch_count = 4;
+  const TrafficConfig cfg = gen::industrial_config(go);
+  const VlPath& path = cfg.all_paths().front();
+  const PathRef target{path.vl, path.dest_index};
+
+  Options adv;
+  adv.phasing = Phasing::kExplicit;
+  adv.offsets = adversarial_offsets(cfg, target);
+  const Microseconds heuristic =
+      simulate(cfg, adv).max_delay_for(cfg, target);
+
+  SearchOptions so;
+  so.steps_per_vl = 4;
+  const SearchResult r = worst_case_search(cfg, target, so);
+  EXPECT_GE(r.worst_delay, heuristic - 1e-9);
+}
+
+TEST(WorstCaseSearch, DeterministicForFixedOptions) {
+  const TrafficConfig cfg = config::sample_config();
+  const SearchResult a = worst_case_search(cfg, PathRef{0, 0});
+  const SearchResult b = worst_case_search(cfg, PathRef{0, 0});
+  EXPECT_DOUBLE_EQ(a.worst_delay, b.worst_delay);
+  EXPECT_EQ(a.schedules_tried, b.schedules_tried);
+}
+
+TEST(WorstCaseSearch, ValidatesOptions) {
+  const TrafficConfig cfg = config::sample_config();
+  SearchOptions so;
+  so.steps_per_vl = 0;
+  EXPECT_THROW(worst_case_search(cfg, PathRef{0, 0}, so), Error);
+}
+
+}  // namespace
+}  // namespace afdx::sim

@@ -1,0 +1,214 @@
+// afdx_analyze -- command-line front end to the delay-analysis library.
+//
+// Usage:
+//   afdx_analyze <config-file> [options]
+//   afdx_analyze --generate[=seed] [options]
+//
+// Options:
+//   --method=netcalc|trajectory|sfa|all        bounds to compute (default all)
+//   --csv                                      CSV instead of a text table
+//   --ports                                    also print per-port report
+//   --simulate=N                               cross-check with N random
+//                                              schedules (reports violations)
+//   --no-grouping                              WCNC without the grouping
+//   --no-serialization                         trajectory without the
+//                                              serialization refinement
+//
+// Exit status: 0 on success, 1 on usage/config errors, 2 when a simulated
+// delay exceeds a reported bound (a soundness violation).
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "analysis/comparison.hpp"
+#include "common/error.hpp"
+#include "config/serialization.hpp"
+#include "gen/industrial.hpp"
+#include "report/table.hpp"
+#include "sfa/sfa_analyzer.hpp"
+#include "sim/simulator.hpp"
+
+using namespace afdx;
+
+namespace {
+
+struct CliOptions {
+  std::optional<std::string> config_file;
+  std::optional<std::uint64_t> generate_seed;
+  std::string method = "all";
+  bool csv = false;
+  bool ports = false;
+  int simulate = 0;
+  netcalc::Options nc;
+  trajectory::Options tj;
+};
+
+void print_usage(std::ostream& out) {
+  out << "usage: afdx_analyze <config-file> [options]\n"
+         "       afdx_analyze --generate[=seed] [options]\n"
+         "options: --method=netcalc|trajectory|sfa|all  --csv  --ports\n"
+         "         --simulate=N  --no-grouping  --no-serialization\n";
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--generate") {
+      opts.generate_seed = 42;
+    } else if (arg.rfind("--generate=", 0) == 0) {
+      opts.generate_seed = std::strtoull(arg.c_str() + 11, nullptr, 10);
+    } else if (arg.rfind("--method=", 0) == 0) {
+      opts.method = arg.substr(9);
+      if (opts.method != "netcalc" && opts.method != "trajectory" &&
+          opts.method != "sfa" && opts.method != "all") {
+        std::cerr << "unknown method: " << opts.method << "\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--csv") {
+      opts.csv = true;
+    } else if (arg == "--ports") {
+      opts.ports = true;
+    } else if (arg.rfind("--simulate=", 0) == 0) {
+      opts.simulate = std::atoi(arg.c_str() + 11);
+    } else if (arg == "--no-grouping") {
+      opts.nc.grouping = false;
+    } else if (arg == "--no-serialization") {
+      opts.tj.serialization = false;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option: " << arg << "\n";
+      return std::nullopt;
+    } else if (!opts.config_file.has_value()) {
+      opts.config_file = arg;
+    } else {
+      std::cerr << "unexpected argument: " << arg << "\n";
+      return std::nullopt;
+    }
+  }
+  if (opts.config_file.has_value() == opts.generate_seed.has_value()) {
+    std::cerr << "provide either a config file or --generate\n";
+    return std::nullopt;
+  }
+  return opts;
+}
+
+int run(const CliOptions& opts) {
+  const TrafficConfig config =
+      opts.config_file.has_value()
+          ? config::load_config_file(*opts.config_file)
+          : [&] {
+              gen::IndustrialOptions go;
+              go.seed = *opts.generate_seed;
+              return gen::industrial_config(go);
+            }();
+
+  const bool want_nc = opts.method == "netcalc" || opts.method == "all";
+  const bool want_tj = opts.method == "trajectory" || opts.method == "all";
+  const bool want_sfa = opts.method == "sfa" || opts.method == "all";
+
+  std::optional<netcalc::Result> nc;
+  std::optional<trajectory::Result> tj;
+  std::optional<sfa::Result> sf;
+  if (want_nc || opts.ports) nc = netcalc::analyze(config, opts.nc);
+  if (want_tj) tj = trajectory::analyze(config, opts.tj);
+  if (want_sfa) sf = sfa::analyze(config);
+
+  std::vector<std::string> headers{"vl", "destination", "hops"};
+  if (want_nc) headers.push_back("wcnc_us");
+  if (want_tj) headers.push_back("trajectory_us");
+  if (want_sfa) headers.push_back("sfa_us");
+  if (want_nc && want_tj) headers.push_back("combined_us");
+  report::Table table(headers);
+
+  std::vector<Microseconds> reported(config.all_paths().size(), 0.0);
+  for (std::size_t i = 0; i < config.all_paths().size(); ++i) {
+    const VlPath& p = config.all_paths()[i];
+    std::vector<std::string> row{
+        config.vl(p.vl).name,
+        config.network().node(config.vl(p.vl).destinations[p.dest_index]).name,
+        std::to_string(p.links.size())};
+    Microseconds best = 1e300;
+    if (want_nc) {
+      row.push_back(report::fmt(nc->path_bounds[i]));
+      best = std::min(best, nc->path_bounds[i]);
+    }
+    if (want_tj) {
+      row.push_back(report::fmt(tj->path_bounds[i]));
+      best = std::min(best, tj->path_bounds[i]);
+    }
+    if (want_sfa) {
+      row.push_back(report::fmt(sf->path_bounds[i]));
+      best = std::min(best, sf->path_bounds[i]);
+    }
+    if (want_nc && want_tj) row.push_back(report::fmt(best));
+    reported[i] = best;
+    table.add_row(std::move(row));
+  }
+  if (opts.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  if (opts.ports && nc.has_value()) {
+    std::cout << "\n";
+    report::Table ports({"port", "class_delays_us", "buffer_bits", "util_%"});
+    const Network& net = config.network();
+    for (LinkId l = 0; l < net.link_count(); ++l) {
+      if (!nc->ports[l].used) continue;
+      std::string levels;
+      for (const auto& [level, d] : nc->ports[l].level_delays) {
+        if (!levels.empty()) levels += " ";
+        levels += "P" + std::to_string(level) + ":" + report::fmt(d);
+      }
+      ports.add_row({net.node(net.link(l).source).name + ">" +
+                         net.node(net.link(l).dest).name,
+                     levels, report::fmt(nc->ports[l].backlog, 0),
+                     report::fmt(nc->ports[l].utilization * 100.0, 1)});
+    }
+    if (opts.csv) {
+      ports.print_csv(std::cout);
+    } else {
+      ports.print(std::cout);
+    }
+  }
+
+  if (opts.simulate > 0) {
+    int violations = 0;
+    for (int s = 0; s < opts.simulate; ++s) {
+      sim::Options so;
+      so.phasing = s == 0 ? sim::Phasing::kAligned : sim::Phasing::kRandom;
+      so.seed = static_cast<std::uint64_t>(s);
+      const sim::Result r = sim::simulate(config, so);
+      for (std::size_t i = 0; i < reported.size(); ++i) {
+        if (r.max_path_delay[i] > reported[i] + 1e-6) {
+          ++violations;
+          std::cerr << "VIOLATION: schedule " << s << " path " << i
+                    << " observed " << r.max_path_delay[i] << " us > bound "
+                    << reported[i] << " us\n";
+        }
+      }
+    }
+    std::cout << "\nsimulated " << opts.simulate
+              << " schedules: " << violations << " bound violations\n";
+    if (violations > 0) return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse_args(argc, argv);
+  if (!opts.has_value()) {
+    print_usage(std::cerr);
+    return 1;
+  }
+  try {
+    return run(*opts);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
