@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bound_tightness.dir/bound_tightness.cpp.o"
+  "CMakeFiles/bound_tightness.dir/bound_tightness.cpp.o.d"
+  "bound_tightness"
+  "bound_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bound_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sfa_baseline.dir/ext_sfa_baseline.cpp.o"
+  "CMakeFiles/ext_sfa_baseline.dir/ext_sfa_baseline.cpp.o.d"
+  "ext_sfa_baseline"
+  "ext_sfa_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sfa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

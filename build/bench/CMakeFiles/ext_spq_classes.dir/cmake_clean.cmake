@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_spq_classes.dir/ext_spq_classes.cpp.o"
+  "CMakeFiles/ext_spq_classes.dir/ext_spq_classes.cpp.o.d"
+  "ext_spq_classes"
+  "ext_spq_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_spq_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fig4_scenarios.dir/fig3_fig4_scenarios.cpp.o"
+  "CMakeFiles/fig3_fig4_scenarios.dir/fig3_fig4_scenarios.cpp.o.d"
+  "fig3_fig4_scenarios"
+  "fig3_fig4_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fig4_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

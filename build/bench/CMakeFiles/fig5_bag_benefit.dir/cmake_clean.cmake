@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bag_benefit.dir/fig5_bag_benefit.cpp.o"
+  "CMakeFiles/fig5_bag_benefit.dir/fig5_bag_benefit.cpp.o.d"
+  "fig5_bag_benefit"
+  "fig5_bag_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bag_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

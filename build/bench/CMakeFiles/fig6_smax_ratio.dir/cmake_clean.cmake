@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_smax_ratio.dir/fig6_smax_ratio.cpp.o"
+  "CMakeFiles/fig6_smax_ratio.dir/fig6_smax_ratio.cpp.o.d"
+  "fig6_smax_ratio"
+  "fig6_smax_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_smax_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_surface.dir/fig9_surface.cpp.o"
+  "CMakeFiles/fig9_surface.dir/fig9_surface.cpp.o.d"
+  "fig9_surface"
+  "fig9_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certification_report.dir/certification_report.cpp.o"
+  "CMakeFiles/certification_report.dir/certification_report.cpp.o.d"
+  "certification_report"
+  "certification_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certification_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_design.dir/incremental_design.cpp.o"
+  "CMakeFiles/incremental_design.dir/incremental_design.cpp.o.d"
+  "incremental_design"
+  "incremental_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundant_network.dir/redundant_network.cpp.o"
+  "CMakeFiles/redundant_network.dir/redundant_network.cpp.o.d"
+  "redundant_network"
+  "redundant_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundant_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("topology")
+subdirs("vl")
+subdirs("minplus")
+subdirs("config")
+subdirs("netcalc")
+subdirs("trajectory")
+subdirs("sim")
+subdirs("gen")
+subdirs("analysis")
+subdirs("redundancy")
+subdirs("sfa")
+subdirs("report")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_analysis.dir/comparison.cpp.o"
+  "CMakeFiles/afdx_analysis.dir/comparison.cpp.o.d"
+  "libafdx_analysis.a"
+  "libafdx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

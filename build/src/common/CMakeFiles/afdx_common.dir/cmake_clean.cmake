@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_common.dir/error.cpp.o"
+  "CMakeFiles/afdx_common.dir/error.cpp.o.d"
+  "CMakeFiles/afdx_common.dir/rng.cpp.o"
+  "CMakeFiles/afdx_common.dir/rng.cpp.o.d"
+  "CMakeFiles/afdx_common.dir/units.cpp.o"
+  "CMakeFiles/afdx_common.dir/units.cpp.o.d"
+  "libafdx_common.a"
+  "libafdx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_config.dir/samples.cpp.o"
+  "CMakeFiles/afdx_config.dir/samples.cpp.o.d"
+  "CMakeFiles/afdx_config.dir/serialization.cpp.o"
+  "CMakeFiles/afdx_config.dir/serialization.cpp.o.d"
+  "libafdx_config.a"
+  "libafdx_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_gen.dir/industrial.cpp.o"
+  "CMakeFiles/afdx_gen.dir/industrial.cpp.o.d"
+  "libafdx_gen.a"
+  "libafdx_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minplus/curve.cpp" "src/minplus/CMakeFiles/afdx_minplus.dir/curve.cpp.o" "gcc" "src/minplus/CMakeFiles/afdx_minplus.dir/curve.cpp.o.d"
+  "/root/repo/src/minplus/operations.cpp" "src/minplus/CMakeFiles/afdx_minplus.dir/operations.cpp.o" "gcc" "src/minplus/CMakeFiles/afdx_minplus.dir/operations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/afdx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

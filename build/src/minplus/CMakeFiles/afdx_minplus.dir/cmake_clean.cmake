@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_minplus.dir/curve.cpp.o"
+  "CMakeFiles/afdx_minplus.dir/curve.cpp.o.d"
+  "CMakeFiles/afdx_minplus.dir/operations.cpp.o"
+  "CMakeFiles/afdx_minplus.dir/operations.cpp.o.d"
+  "libafdx_minplus.a"
+  "libafdx_minplus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_minplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

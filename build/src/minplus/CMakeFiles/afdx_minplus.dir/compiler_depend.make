@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for afdx_minplus.
+# This may be replaced when dependencies are built.

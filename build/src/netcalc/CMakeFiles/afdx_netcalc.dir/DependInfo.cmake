@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netcalc/netcalc_analyzer.cpp" "src/netcalc/CMakeFiles/afdx_netcalc.dir/netcalc_analyzer.cpp.o" "gcc" "src/netcalc/CMakeFiles/afdx_netcalc.dir/netcalc_analyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vl/CMakeFiles/afdx_vl.dir/DependInfo.cmake"
+  "/root/repo/build/src/minplus/CMakeFiles/afdx_minplus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/afdx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/afdx_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_netcalc.dir/netcalc_analyzer.cpp.o"
+  "CMakeFiles/afdx_netcalc.dir/netcalc_analyzer.cpp.o.d"
+  "libafdx_netcalc.a"
+  "libafdx_netcalc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_netcalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

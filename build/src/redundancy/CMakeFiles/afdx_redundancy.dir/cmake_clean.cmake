@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_redundancy.dir/redundancy.cpp.o"
+  "CMakeFiles/afdx_redundancy.dir/redundancy.cpp.o.d"
+  "libafdx_redundancy.a"
+  "libafdx_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

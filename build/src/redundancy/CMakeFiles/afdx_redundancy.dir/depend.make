@@ -1,0 +1,2 @@
+# Empty dependencies file for afdx_redundancy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_report.dir/chart.cpp.o"
+  "CMakeFiles/afdx_report.dir/chart.cpp.o.d"
+  "CMakeFiles/afdx_report.dir/table.cpp.o"
+  "CMakeFiles/afdx_report.dir/table.cpp.o.d"
+  "libafdx_report.a"
+  "libafdx_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

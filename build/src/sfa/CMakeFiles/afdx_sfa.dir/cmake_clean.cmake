@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_sfa.dir/sfa_analyzer.cpp.o"
+  "CMakeFiles/afdx_sfa.dir/sfa_analyzer.cpp.o.d"
+  "libafdx_sfa.a"
+  "libafdx_sfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_sfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_sim.dir/simulator.cpp.o"
+  "CMakeFiles/afdx_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/afdx_sim.dir/worst_case_search.cpp.o"
+  "CMakeFiles/afdx_sim.dir/worst_case_search.cpp.o.d"
+  "libafdx_sim.a"
+  "libafdx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

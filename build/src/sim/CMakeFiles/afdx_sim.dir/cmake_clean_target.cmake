@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libafdx_sim.a"
+)

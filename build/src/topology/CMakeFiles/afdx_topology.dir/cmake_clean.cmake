@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_topology.dir/network.cpp.o"
+  "CMakeFiles/afdx_topology.dir/network.cpp.o.d"
+  "libafdx_topology.a"
+  "libafdx_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_trajectory.dir/trajectory_analyzer.cpp.o"
+  "CMakeFiles/afdx_trajectory.dir/trajectory_analyzer.cpp.o.d"
+  "libafdx_trajectory.a"
+  "libafdx_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vl/traffic_config.cpp" "src/vl/CMakeFiles/afdx_vl.dir/traffic_config.cpp.o" "gcc" "src/vl/CMakeFiles/afdx_vl.dir/traffic_config.cpp.o.d"
+  "/root/repo/src/vl/virtual_link.cpp" "src/vl/CMakeFiles/afdx_vl.dir/virtual_link.cpp.o" "gcc" "src/vl/CMakeFiles/afdx_vl.dir/virtual_link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/afdx_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/afdx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

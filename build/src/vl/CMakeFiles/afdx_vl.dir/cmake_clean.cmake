@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_vl.dir/traffic_config.cpp.o"
+  "CMakeFiles/afdx_vl.dir/traffic_config.cpp.o.d"
+  "CMakeFiles/afdx_vl.dir/virtual_link.cpp.o"
+  "CMakeFiles/afdx_vl.dir/virtual_link.cpp.o.d"
+  "libafdx_vl.a"
+  "libafdx_vl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_vl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for afdx_vl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for afdx_vl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netcalc.dir/test_netcalc.cpp.o"
+  "CMakeFiles/test_netcalc.dir/test_netcalc.cpp.o.d"
+  "test_netcalc"
+  "test_netcalc.pdb"
+  "test_netcalc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netcalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

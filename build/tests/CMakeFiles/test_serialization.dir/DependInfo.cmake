@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_serialization.cpp" "tests/CMakeFiles/test_serialization.dir/test_serialization.cpp.o" "gcc" "tests/CMakeFiles/test_serialization.dir/test_serialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/afdx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/afdx_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/vl/CMakeFiles/afdx_vl.dir/DependInfo.cmake"
+  "/root/repo/build/src/minplus/CMakeFiles/afdx_minplus.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/afdx_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcalc/CMakeFiles/afdx_netcalc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/afdx_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/afdx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/afdx_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/afdx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/redundancy/CMakeFiles/afdx_redundancy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfa/CMakeFiles/afdx_sfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/afdx_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

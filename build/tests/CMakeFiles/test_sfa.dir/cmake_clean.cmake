@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfa.dir/test_sfa.cpp.o"
+  "CMakeFiles/test_sfa.dir/test_sfa.cpp.o.d"
+  "test_sfa"
+  "test_sfa.pdb"
+  "test_sfa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worst_case_search.dir/test_worst_case_search.cpp.o"
+  "CMakeFiles/test_worst_case_search.dir/test_worst_case_search.cpp.o.d"
+  "test_worst_case_search"
+  "test_worst_case_search.pdb"
+  "test_worst_case_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worst_case_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_worst_case_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic_config[1]_include.cmake")
+include("/root/repo/build/tests/test_curve[1]_include.cmake")
+include("/root/repo/build/tests/test_operations[1]_include.cmake")
+include("/root/repo/build/tests/test_netcalc[1]_include.cmake")
+include("/root/repo/build/tests/test_trajectory[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_serialization[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_comparison[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_soundness[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_priority[1]_include.cmake")
+include("/root/repo/build/tests/test_jitter[1]_include.cmake")
+include("/root/repo/build/tests/test_worst_case_search[1]_include.cmake")
+include("/root/repo/build/tests/test_redundancy[1]_include.cmake")
+include("/root/repo/build/tests/test_sfa[1]_include.cmake")

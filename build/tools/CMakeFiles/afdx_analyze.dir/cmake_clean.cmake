@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afdx_analyze.dir/afdx_analyze.cpp.o"
+  "CMakeFiles/afdx_analyze.dir/afdx_analyze.cpp.o.d"
+  "afdx_analyze"
+  "afdx_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afdx_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
