@@ -5,6 +5,7 @@
 // printed alongside (digits reconstructed from the OCR where garbled).
 #include "analysis/comparison.hpp"
 #include "bench_util.hpp"
+#include "engine/engine.hpp"
 #include "gen/industrial.hpp"
 #include "report/table.hpp"
 
@@ -23,7 +24,14 @@ void run_experiment(std::ostream& out) {
       << cfg.all_paths().size() << " VL paths, max port utilization "
       << report::fmt(cfg.max_utilization() * 100.0, 1) << " %\n\n";
 
-  const analysis::Comparison c = analysis::compare(cfg);
+  // Route through the analysis engine (every hardware thread) and surface
+  // its run metrics; bounds are bit-identical to the serial path.
+  engine::AnalysisEngine eng(cfg, engine::Options{0});
+  engine::RunResult run = eng.run();
+  analysis::Comparison c;
+  c.netcalc = std::move(run.netcalc);
+  c.trajectory = std::move(run.trajectory);
+  c.combined = std::move(run.combined);
   const analysis::BenefitStats traj =
       analysis::benefit_stats(c.netcalc, c.trajectory);
   const analysis::BenefitStats best =
@@ -43,7 +51,8 @@ void run_experiment(std::ostream& out) {
       << report::fmt(traj.wins_fraction * 100.0, 1)
       << " % of VL paths (paper: ~90 %).\n"
       << "The combined bound is never worse than WCNC (minimum benefit "
-      << report::fmt(best.min * 100.0) << " %).\n";
+      << report::fmt(best.min * 100.0) << " %).\n\n";
+  run.metrics.print(out);
 }
 
 void BM_NetcalcIndustrial(benchmark::State& state) {
@@ -68,6 +77,35 @@ void BM_GenerateIndustrial(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GenerateIndustrial)->Unit(benchmark::kMillisecond);
+
+// Full engine run (WCNC + trajectory + combine) at 1, 2 and 4 threads. A
+// fresh engine per iteration keeps the per-port cache cold, so this
+// measures the parallel sharding itself.
+void BM_EngineIndustrial(benchmark::State& state) {
+  const TrafficConfig cfg = gen::industrial_config();
+  const engine::Options opts{static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    engine::AnalysisEngine eng(cfg, opts);
+    benchmark::DoNotOptimize(eng.run());
+  }
+}
+BENCHMARK(BM_EngineIndustrial)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Repeated runs on one engine: the per-port cache serves the WCNC phase
+// and the trajectory serialization caps, measuring the memoized path a
+// parameter sweep or server workload would hit.
+void BM_EngineIndustrialCached(benchmark::State& state) {
+  const TrafficConfig cfg = gen::industrial_config();
+  engine::AnalysisEngine eng(cfg, engine::Options{
+      static_cast<int>(state.range(0))});
+  benchmark::DoNotOptimize(eng.run());  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.run());
+  }
+}
+BENCHMARK(BM_EngineIndustrialCached)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -9,16 +9,14 @@ namespace afdx::analysis {
 
 Comparison compare(const TrafficConfig& config,
                    const netcalc::Options& nc_options,
-                   const trajectory::Options& tj_options) {
+                   const trajectory::Options& tj_options,
+                   const engine::Options& engine_options) {
+  engine::AnalysisEngine eng(config, engine_options);
+  engine::RunResult run = eng.run(nc_options, tj_options);
   Comparison out;
-  out.netcalc = netcalc::analyze(config, nc_options).path_bounds;
-  out.trajectory = trajectory::analyze(config, tj_options).path_bounds;
-  AFDX_ASSERT(out.netcalc.size() == out.trajectory.size(),
-              "method results misaligned");
-  out.combined.reserve(out.netcalc.size());
-  for (std::size_t i = 0; i < out.netcalc.size(); ++i) {
-    out.combined.push_back(std::min(out.netcalc[i], out.trajectory[i]));
-  }
+  out.netcalc = std::move(run.netcalc);
+  out.trajectory = std::move(run.trajectory);
+  out.combined = std::move(run.combined);
   return out;
 }
 
@@ -26,22 +24,28 @@ BenefitStats benefit_stats(const std::vector<Microseconds>& reference,
                            const std::vector<Microseconds>& candidate) {
   AFDX_REQUIRE(reference.size() == candidate.size(),
                "benefit_stats: size mismatch");
-  AFDX_REQUIRE(!reference.empty(), "benefit_stats: no paths");
   BenefitStats stats;
-  stats.paths = reference.size();
-  stats.max = -1e300;
-  stats.min = 1e300;
   std::size_t wins = 0;
   for (std::size_t i = 0; i < reference.size(); ++i) {
-    AFDX_REQUIRE(reference[i] > 0.0, "benefit_stats: non-positive reference");
+    // A non-positive reference bound cannot express a relative benefit;
+    // skip it instead of dividing by zero.
+    if (reference[i] <= 0.0) continue;
     const double b = (reference[i] - candidate[i]) / reference[i];
+    if (stats.paths == 0) {
+      stats.max = b;
+      stats.min = b;
+    } else {
+      stats.max = std::max(stats.max, b);
+      stats.min = std::min(stats.min, b);
+    }
     stats.mean += b;
-    stats.max = std::max(stats.max, b);
-    stats.min = std::min(stats.min, b);
     if (candidate[i] < reference[i] - kEpsilon) ++wins;
+    ++stats.paths;
   }
+  if (stats.paths == 0) return BenefitStats{};
   stats.mean /= static_cast<double>(stats.paths);
-  stats.wins_fraction = static_cast<double>(wins) / static_cast<double>(stats.paths);
+  stats.wins_fraction =
+      static_cast<double>(wins) / static_cast<double>(stats.paths);
   return stats;
 }
 

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "netcalc/netcalc_analyzer.hpp"
 #include "trajectory/trajectory_analyzer.hpp"
 #include "vl/traffic_config.hpp"
@@ -24,10 +25,14 @@ struct Comparison {
   std::vector<Microseconds> combined;
 };
 
-/// Runs both analyzers on the configuration.
+/// Runs both analyzers on the configuration through the analysis engine.
+/// The default engine options keep the legacy single-threaded path
+/// (threads = 1); pass engine_options.threads = 0 to use every hardware
+/// thread -- parallel and serial runs are bit-identical.
 [[nodiscard]] Comparison compare(const TrafficConfig& config,
                                  const netcalc::Options& nc_options = {},
-                                 const trajectory::Options& tj_options = {});
+                                 const trajectory::Options& tj_options = {},
+                                 const engine::Options& engine_options = {});
 
 /// Relative-benefit statistics of `candidate` against `reference`:
 /// per-path benefit = (reference - candidate) / reference.
@@ -37,9 +42,14 @@ struct BenefitStats {
   double min = 0.0;
   /// Fraction of paths where the candidate bound is strictly tighter.
   double wins_fraction = 0.0;
+  /// Paths included in the statistics (pairs with a positive reference
+  /// bound; non-positive references cannot express a relative benefit and
+  /// are skipped).
   std::size_t paths = 0;
 };
 
+/// Throws on a size mismatch; empty input (or no positive reference
+/// entry) yields an all-zero BenefitStats instead of dividing by zero.
 [[nodiscard]] BenefitStats benefit_stats(
     const std::vector<Microseconds>& reference,
     const std::vector<Microseconds>& candidate);

@@ -1,0 +1,231 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace afdx::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Microseconds elapsed_us(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+void RunMetrics::print(std::ostream& out) const {
+  const auto flags = out.flags();
+  const auto precision = out.precision();
+  out << std::fixed << std::setprecision(3);
+  out << "engine: " << threads << " thread" << (threads == 1 ? "" : "s")
+      << ", " << paths << " paths, " << std::setprecision(0)
+      << paths_per_second << " paths/s\n"
+      << std::setprecision(3) << "  wall ms: netcalc "
+      << netcalc_wall_us / 1000.0 << " | trajectory "
+      << trajectory_wall_us / 1000.0 << " | combine "
+      << combine_wall_us / 1000.0 << " | total " << total_wall_us / 1000.0
+      << "\n"
+      << "  port cache: " << cache.hits << " hits / " << cache.misses
+      << " misses (" << std::setprecision(1) << cache.hit_rate() * 100.0
+      << " % hit rate)\n"
+      << "  tasks/thread:";
+  for (std::size_t n : tasks_per_thread) out << " " << n;
+  out << "\n";
+  out.flags(flags);
+  out.precision(precision);
+}
+
+AnalysisEngine::AnalysisEngine(const TrafficConfig& config, Options options)
+    : cfg_(config), pool_(ThreadPool::resolve_thread_count(options.threads)) {}
+
+netcalc::Result AnalysisEngine::run_netcalc(const netcalc::Options& options) {
+  const std::size_t n_links = cfg_.network().link_count();
+  const std::uint64_t okey = PortCache::options_key(options);
+
+  netcalc::Result result;
+  result.ports.assign(n_links, netcalc::PortReport{});
+  std::vector<std::map<std::uint8_t, Microseconds>> delays(n_links);
+
+  const auto levels = netcalc::propagation_levels(cfg_);
+  if (!levels.has_value()) {
+    // Cyclic configuration: the fixed point is inherently sequential.
+    // Serve fully-cached reruns from the per-port cache; otherwise run the
+    // serial analyzer once and memoize its converged bounds.
+    std::vector<LinkId> used_ports;
+    for (LinkId l = 0; l < n_links; ++l) {
+      if (!cfg_.vls_on_link(l).empty()) used_ports.push_back(l);
+    }
+    const auto rounds = iterations_.find(okey);
+    if (rounds != iterations_.end() && cache_.covers(okey, used_ports)) {
+      for (LinkId port : used_ports) {
+        const auto bounds = cache_.lookup(okey, port);
+        delays[port] = bounds->level_delays;
+        result.ports[port] =
+            netcalc::make_report(*bounds, cfg_.utilization(port));
+      }
+      result.iterations = rounds->second;
+      result.path_bounds = netcalc::path_bounds_from(cfg_, delays);
+      return result;
+    }
+    result = netcalc::analyze(cfg_, options);
+    for (LinkId port : used_ports) {
+      const netcalc::PortReport& r = result.ports[port];
+      cache_.store(okey, port,
+                   netcalc::PortBounds{r.level_delays, r.backlog,
+                                       r.queue_backlog});
+    }
+    iterations_[okey] = result.iterations;
+    return result;
+  }
+
+  // Feed-forward: propagate level by level; ports of one level have no
+  // mutual dependency, so each level is sharded across the pool. Results
+  // land in per-port slots, making the pass order-independent and
+  // bit-identical to the serial analyzer.
+  std::vector<netcalc::PortBounds> bounds(n_links);
+  for (const std::vector<LinkId>& level : *levels) {
+    pool_.parallel_for(level.size(), [&](std::size_t i, int) {
+      const LinkId port = level[i];
+      if (auto hit = cache_.lookup(okey, port); hit.has_value()) {
+        bounds[port] = std::move(*hit);
+      } else {
+        bounds[port] =
+            netcalc::compute_port_bounds(cfg_, port, options, delays);
+        cache_.store(okey, port, bounds[port]);
+      }
+    });
+    for (LinkId port : level) {
+      delays[port] = bounds[port].level_delays;
+      result.ports[port] =
+          netcalc::make_report(bounds[port], cfg_.utilization(port));
+    }
+  }
+  result.iterations = 1;
+  result.path_bounds = netcalc::path_bounds_from(cfg_, delays);
+  return result;
+}
+
+std::vector<Microseconds> AnalysisEngine::run_trajectory(
+    const trajectory::Options& options) {
+  const std::vector<VlPath>& paths = cfg_.all_paths();
+  std::vector<Microseconds> out(paths.size(), 0.0);
+
+  // Serialization caps from the shared default-options WCNC run -- the
+  // same envelopes Analyzer::backlog_caps() would derive per instance.
+  std::optional<std::vector<Microseconds>> caps;
+  if (options.serialization) {
+    caps.emplace(cfg_.network().link_count(),
+                 std::numeric_limits<Microseconds>::infinity());
+    try {
+      const netcalc::Result nc = run_netcalc(netcalc::Options{});
+      for (LinkId l = 0; l < cfg_.network().link_count(); ++l) {
+        if (nc.ports[l].used) {
+          (*caps)[l] =
+              nc.ports[l].queue_backlog / cfg_.network().link(l).rate;
+        }
+      }
+    } catch (const Error&) {
+      // The envelope analysis fails only on unstable ports, where the
+      // busy period diverges anyway; fall back to uncapped, exactly like
+      // the legacy analyzer.
+    }
+  }
+
+  // Shards own whole VLs: paths of one VL share their prefix recursion,
+  // so keeping a VL on one worker preserves the analyzer's memoization.
+  std::vector<VlId> vl_order;
+  std::vector<std::vector<std::size_t>> vl_paths(cfg_.vl_count());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (vl_paths[paths[i].vl].empty()) vl_order.push_back(paths[i].vl);
+    vl_paths[paths[i].vl].push_back(i);
+  }
+
+  const auto shards = static_cast<std::size_t>(pool_.thread_count());
+  pool_.parallel_for(shards, [&](std::size_t w, int) {
+    const std::size_t begin = vl_order.size() * w / shards;
+    const std::size_t end = vl_order.size() * (w + 1) / shards;
+    if (begin == end) return;
+    trajectory::Analyzer analyzer(cfg_, options);
+    if (caps.has_value()) analyzer.set_backlog_caps(*caps);
+    for (std::size_t k = begin; k < end; ++k) {
+      for (std::size_t i : vl_paths[vl_order[k]]) {
+        out[i] = analyzer.bound_to_link(paths[i].vl, paths[i].links.back());
+      }
+    }
+  });
+  return out;
+}
+
+RunResult AnalysisEngine::run(const netcalc::Options& nc_options,
+                              const trajectory::Options& tj_options) {
+  RunResult result;
+  const auto t0 = Clock::now();
+  result.netcalc_result = run_netcalc(nc_options);
+  result.netcalc = result.netcalc_result.path_bounds;
+  const auto t1 = Clock::now();
+  result.trajectory = run_trajectory(tj_options);
+  const auto t2 = Clock::now();
+  AFDX_ASSERT(result.netcalc.size() == result.trajectory.size(),
+              "engine: method results misaligned");
+  result.combined.reserve(result.netcalc.size());
+  for (std::size_t i = 0; i < result.netcalc.size(); ++i) {
+    result.combined.push_back(
+        std::min(result.netcalc[i], result.trajectory[i]));
+  }
+  const auto t3 = Clock::now();
+
+  metrics_.netcalc_wall_us += elapsed_us(t0, t1);
+  metrics_.trajectory_wall_us += elapsed_us(t1, t2);
+  metrics_.combine_wall_us += elapsed_us(t2, t3);
+  metrics_.total_wall_us += elapsed_us(t0, t3);
+  metrics_.paths = result.combined.size();
+  const Microseconds run_us = elapsed_us(t0, t3);
+  metrics_.paths_per_second =
+      run_us > 0.0 ? static_cast<double>(metrics_.paths) / (run_us * 1e-6)
+                   : 0.0;
+  result.metrics = metrics();
+  return result;
+}
+
+netcalc::Result AnalysisEngine::netcalc_only(
+    const netcalc::Options& nc_options) {
+  const auto t0 = Clock::now();
+  netcalc::Result result = run_netcalc(nc_options);
+  const Microseconds dt = elapsed_us(t0, Clock::now());
+  metrics_.netcalc_wall_us += dt;
+  metrics_.total_wall_us += dt;
+  metrics_.paths = result.path_bounds.size();
+  metrics_.paths_per_second =
+      dt > 0.0 ? static_cast<double>(metrics_.paths) / (dt * 1e-6) : 0.0;
+  return result;
+}
+
+std::vector<Microseconds> AnalysisEngine::trajectory_only(
+    const trajectory::Options& tj_options) {
+  const auto t0 = Clock::now();
+  std::vector<Microseconds> result = run_trajectory(tj_options);
+  const Microseconds dt = elapsed_us(t0, Clock::now());
+  metrics_.trajectory_wall_us += dt;
+  metrics_.total_wall_us += dt;
+  metrics_.paths = result.size();
+  metrics_.paths_per_second =
+      dt > 0.0 ? static_cast<double>(result.size()) / (dt * 1e-6) : 0.0;
+  return result;
+}
+
+RunMetrics AnalysisEngine::metrics() const {
+  RunMetrics m = metrics_;
+  m.cache = cache_.stats();
+  m.threads = pool_.thread_count();
+  m.tasks_per_thread = pool_.tasks_per_thread();
+  return m;
+}
+
+}  // namespace afdx::engine

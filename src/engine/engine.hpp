@@ -1,0 +1,123 @@
+// Parallel whole-network analysis engine.
+//
+// AnalysisEngine owns a fixed-size worker pool and a per-output-port
+// result cache, and runs the WCNC and trajectory analyses of one
+// TrafficConfig across threads:
+//
+//   * WCNC phase -- the used ports are processed level by level along the
+//     propagation partial order; ports of one level have no mutual
+//     dependencies, so each level is sharded across the pool. Every
+//     converged per-port bound is memoized in the cache, which also makes
+//     repeated runs on the same engine (benches, sweeps) near-free.
+//   * trajectory phase -- VL paths are sharded across the pool by whole
+//     VLs (paths of one VL share their prefix recursion, so keeping a VL
+//     on one worker preserves the analyzer's memoization). The per-port
+//     serialization caps are derived once from the shared WCNC run and
+//     injected into every shard-local analyzer instead of being recomputed
+//     per thread -- the single biggest saving of the engine.
+//   * combine phase -- the per-path minimum of the two bounds (the
+//     paper's recommended method), assembled in path-index order.
+//
+// Determinism: index -> worker sharding is static, every per-port /
+// per-path computation is a pure function of the configuration, and
+// results are written to preallocated slots by index -- a run with N
+// threads is bit-identical to a run with 1 thread, and threads = 1
+// executes inline on the calling thread (the legacy serial path).
+//
+// RunMetrics records wall time per phase, throughput, cache hit rate and
+// per-thread task counts; the CLI (--metrics) and the benches print it.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/port_cache.hpp"
+#include "engine/thread_pool.hpp"
+#include "netcalc/netcalc_analyzer.hpp"
+#include "trajectory/trajectory_analyzer.hpp"
+#include "vl/traffic_config.hpp"
+
+namespace afdx::engine {
+
+struct Options {
+  /// Worker threads: 1 = the legacy single-threaded path (default),
+  /// 0 or negative = one per hardware thread.
+  int threads = 1;
+};
+
+/// Measurements of the work an engine has performed since construction.
+struct RunMetrics {
+  Microseconds netcalc_wall_us = 0.0;
+  Microseconds trajectory_wall_us = 0.0;
+  Microseconds combine_wall_us = 0.0;
+  Microseconds total_wall_us = 0.0;
+  /// VL paths bounded by the most recent run/netcalc_only/trajectory_only.
+  std::size_t paths = 0;
+  /// Throughput of the most recent run (paths / its wall time).
+  double paths_per_second = 0.0;
+  /// Cumulative per-port cache statistics.
+  CacheStats cache;
+  int threads = 1;
+  /// Cumulative scheduled work items executed per worker (ports in the
+  /// WCNC phase, VL shards in the trajectory phase).
+  std::vector<std::size_t> tasks_per_thread;
+
+  /// Human-readable multi-line summary.
+  void print(std::ostream& out) const;
+};
+
+/// Bounds of one full run, aligned with TrafficConfig::all_paths().
+struct RunResult {
+  std::vector<Microseconds> netcalc;
+  std::vector<Microseconds> trajectory;
+  std::vector<Microseconds> combined;
+  /// Full per-port WCNC detail (buffer bounds, per-class delays, ...).
+  netcalc::Result netcalc_result;
+  /// Snapshot of the engine metrics at the end of the run.
+  RunMetrics metrics;
+};
+
+class AnalysisEngine {
+ public:
+  explicit AnalysisEngine(const TrafficConfig& config, Options options = {});
+
+  AnalysisEngine(const AnalysisEngine&) = delete;
+  AnalysisEngine& operator=(const AnalysisEngine&) = delete;
+
+  /// Both analyses plus the combined per-path minimum.
+  [[nodiscard]] RunResult run(const netcalc::Options& nc_options = {},
+                              const trajectory::Options& tj_options = {});
+
+  /// WCNC only (per-port reports and path bounds), served from the cache
+  /// when this engine already computed the same options.
+  [[nodiscard]] netcalc::Result netcalc_only(
+      const netcalc::Options& nc_options = {});
+
+  /// Trajectory only, aligned with TrafficConfig::all_paths().
+  [[nodiscard]] std::vector<Microseconds> trajectory_only(
+      const trajectory::Options& tj_options = {});
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return pool_.thread_count();
+  }
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  /// Metrics accumulated since construction.
+  [[nodiscard]] RunMetrics metrics() const;
+
+ private:
+  [[nodiscard]] netcalc::Result run_netcalc(const netcalc::Options& options);
+  [[nodiscard]] std::vector<Microseconds> run_trajectory(
+      const trajectory::Options& options);
+
+  const TrafficConfig& cfg_;
+  ThreadPool pool_;
+  PortCache cache_;
+  /// Fixed-point round counts per options digest (cyclic configurations
+  /// bypass the per-port cache path but still memoize their round count).
+  std::unordered_map<std::uint64_t, int> iterations_;
+  RunMetrics metrics_;
+};
+
+}  // namespace afdx::engine

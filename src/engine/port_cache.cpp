@@ -1,0 +1,42 @@
+#include "engine/port_cache.hpp"
+
+namespace afdx::engine {
+
+std::optional<netcalc::PortBounds> PortCache::lookup(
+    std::uint64_t options_key, LinkId port) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(Key{options_key, port});
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void PortCache::store(std::uint64_t options_key, LinkId port,
+                      const netcalc::PortBounds& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace(Key{options_key, port}, bounds);
+}
+
+bool PortCache::covers(std::uint64_t options_key,
+                       const std::vector<LinkId>& ports) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (LinkId port : ports) {
+    if (entries_.find(Key{options_key, port}) == entries_.end()) return false;
+  }
+  return true;
+}
+
+CacheStats PortCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CacheStats{hits_, misses_};
+}
+
+void PortCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace afdx::engine

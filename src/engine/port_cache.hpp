@@ -1,0 +1,72 @@
+// Thread-safe per-output-port memoization cache of WCNC port bounds.
+//
+// The WCNC analysis is deterministic: the converged bounds of a port are a
+// pure function of (configuration, analyzer options). A cache instance is
+// owned by one AnalysisEngine and therefore scoped to one configuration;
+// entries are keyed by (options digest, port). Both analyzers draw on it:
+// the netcalc phase skips the per-port aggregation/deviation work on a
+// hit, and the trajectory phase reads its serialization caps (per-port
+// queue backlogs) from the same entries instead of re-running the whole
+// envelope analysis per worker.
+//
+// Hit/miss counters feed the engine's RunMetrics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "netcalc/netcalc_analyzer.hpp"
+
+namespace afdx::engine {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class PortCache {
+ public:
+  /// Digest of the option fields the cached bounds depend on.
+  [[nodiscard]] static std::uint64_t options_key(
+      const netcalc::Options& options) noexcept {
+    return (static_cast<std::uint64_t>(options.max_iterations) << 1) |
+           (options.grouping ? 1u : 0u);
+  }
+
+  /// Returns the cached bounds of (options, port) and counts a hit, or
+  /// nullopt and counts a miss. Thread-safe.
+  [[nodiscard]] std::optional<netcalc::PortBounds> lookup(
+      std::uint64_t options_key, LinkId port) const;
+
+  /// Stores the bounds of (options, port); the first writer wins (all
+  /// writers compute identical values). Thread-safe.
+  void store(std::uint64_t options_key, LinkId port,
+             const netcalc::PortBounds& bounds);
+
+  /// True when every port of `ports` is cached under `options_key` (does
+  /// not touch the hit/miss counters).
+  [[nodiscard]] bool covers(std::uint64_t options_key,
+                            const std::vector<LinkId>& ports) const;
+
+  [[nodiscard]] CacheStats stats() const;
+  void clear();
+
+ private:
+  using Key = std::pair<std::uint64_t, LinkId>;
+
+  mutable std::mutex mu_;
+  std::map<Key, netcalc::PortBounds> entries_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace afdx::engine

@@ -1,0 +1,134 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace afdx::engine {
+
+int ThreadPool::resolve_thread_count(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  AFDX_REQUIRE(threads_ >= 1, "ThreadPool: thread count must be >= 1");
+  executed_.assign(static_cast<std::size_t>(threads_), 0);
+  failures_.assign(static_cast<std::size_t>(threads_), Failure{});
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::shard(std::size_t n,
+                                                      int worker) const {
+  const auto t = static_cast<std::size_t>(threads_);
+  const auto w = static_cast<std::size_t>(worker);
+  return {n * w / t, n * (w + 1) / t};
+}
+
+void ThreadPool::run_shard(std::size_t n, int worker) {
+  const auto [begin, end] = shard(n, worker);
+  const std::function<void(std::size_t, int)>* body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body = body_;
+  }
+  std::size_t done = 0;
+  Failure failure;
+  for (std::size_t i = begin; i < end; ++i) {
+    try {
+      (*body)(i, worker);
+      ++done;
+    } catch (...) {
+      // Abandon the rest of the block: a serial loop would not have
+      // reached those indices either.
+      failure = Failure{i, std::current_exception()};
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  executed_[static_cast<std::size_t>(worker)] += done;
+  failures_[static_cast<std::size_t>(worker)] = failure;
+}
+
+void ThreadPool::worker_loop(int worker) {
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    std::size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || batch_seq_ != seen_seq; });
+      if (stopping_) return;
+      seen_seq = batch_seq_;
+      n = batch_n_;
+    }
+    run_shard(n, worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, int)>& body) {
+  if (threads_ == 1) {
+    // Legacy path: no synchronization, plain ascending loop.
+    std::size_t done = 0;
+    try {
+      for (std::size_t i = 0; i < n; ++i) {
+        body(i, 0);
+        ++done;
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      executed_[0] += done;
+      throw;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    executed_[0] += done;
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    batch_n_ = n;
+    pending_workers_ = threads_ - 1;
+    for (Failure& f : failures_) f = Failure{};
+    ++batch_seq_;
+  }
+  start_cv_.notify_all();
+  run_shard(n, /*worker=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
+  body_ = nullptr;
+
+  // Rethrow the failure a serial loop would have hit first.
+  const Failure* first = nullptr;
+  for (const Failure& f : failures_) {
+    if (f.error && (first == nullptr || f.index < first->index)) first = &f;
+  }
+  if (first != nullptr) std::rethrow_exception(first->error);
+}
+
+std::vector<std::size_t> ThreadPool::tasks_per_thread() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+}  // namespace afdx::engine

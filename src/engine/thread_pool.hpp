@@ -1,0 +1,84 @@
+// Fixed-size worker pool used by the analysis engine.
+//
+// The pool executes *batches*: parallel_for(n, body) runs body(index,
+// worker) for every index in [0, n). Indices are statically sharded into
+// contiguous blocks, one block per worker, so the index -> worker mapping
+// is a pure function of (n, thread_count): per-thread task counts are
+// deterministic and a run is reproducible regardless of OS scheduling.
+//
+// With thread_count() == 1 no threads are ever spawned and every batch
+// runs inline on the calling thread -- this is the engine's legacy
+// single-threaded path.
+//
+// Exceptions thrown by the body are captured per worker; after the batch
+// the one raised at the smallest global index is rethrown on the calling
+// thread (the same index a serial loop would have failed at first,
+// because every worker processes its block in ascending order).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace afdx::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread acts as worker 0).
+  /// `threads` must be >= 1; use resolve_thread_count to map a user-facing
+  /// "0 = auto" request to a concrete count.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const noexcept { return threads_; }
+
+  /// Runs body(index, worker) for index in [0, n), sharded as described
+  /// above. Blocks until every index has been processed (or abandoned
+  /// because its worker failed earlier); rethrows the smallest-index
+  /// exception, if any.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, int)>& body);
+
+  /// Cumulative number of indices executed per worker, since construction.
+  [[nodiscard]] std::vector<std::size_t> tasks_per_thread() const;
+
+  /// Maps a user request to a concrete thread count: values >= 1 are kept,
+  /// anything else becomes std::thread::hardware_concurrency() (at least 1).
+  [[nodiscard]] static int resolve_thread_count(int requested);
+
+ private:
+  /// The contiguous index block of `worker` in a batch of size n.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> shard(std::size_t n,
+                                                          int worker) const;
+  void run_shard(std::size_t n, int worker);
+  void worker_loop(int worker);
+
+  struct Failure {
+    std::size_t index = 0;
+    std::exception_ptr error;
+  };
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t batch_seq_ = 0;        // bumped per parallel_for
+  const std::function<void(std::size_t, int)>* body_ = nullptr;
+  std::size_t batch_n_ = 0;
+  int pending_workers_ = 0;            // workers still running the batch
+  bool stopping_ = false;
+
+  std::vector<std::size_t> executed_;  // per worker, guarded by mu_
+  std::vector<Failure> failures_;      // per worker, guarded by mu_
+};
+
+}  // namespace afdx::engine

@@ -1,7 +1,6 @@
 #include "netcalc/netcalc_analyzer.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <map>
 
 #include "common/error.hpp"
@@ -32,15 +31,6 @@ Microseconds accumulated_delay(const TrafficConfig& config, VlId vl,
   }
   return acc;
 }
-
-/// The per-port computation: aggregate the crossing VLs per priority class
-/// (with grouping when enabled), derive each class's residual service, and
-/// return the class delay bounds plus the port backlog bounds.
-struct PortBounds {
-  LevelDelays level_delays;
-  Bits backlog;
-  Bits queue_backlog;
-};
 
 /// Grouped arrival aggregates of the VLs crossing `port`, one curve per
 /// priority class (optionally excluding one VL).
@@ -95,9 +85,14 @@ std::map<std::uint8_t, Curve> level_aggregates_at(
   return out;
 }
 
-PortBounds compute_port(const TrafficConfig& config, LinkId port,
-                        const Options& options,
-                        const std::vector<LevelDelays>& port_delays) {
+}  // namespace
+
+// The per-port computation: aggregate the crossing VLs per priority class
+// (with grouping when enabled), derive each class's residual service, and
+// return the class delay bounds plus the port backlog bounds.
+PortBounds compute_port_bounds(const TrafficConfig& config, LinkId port,
+                               const Options& options,
+                               const std::vector<LevelDelays>& port_delays) {
   const Network& net = config.network();
   const Link& link = net.link(port);
 
@@ -154,12 +149,14 @@ PortBounds compute_port(const TrafficConfig& config, LinkId port,
   }
 }
 
-/// Ports in propagation order: a port comes after every port some VL
-/// crosses immediately before it. Returns nullopt when the dependency graph
-/// has a cycle.
-std::optional<std::vector<LinkId>> propagation_order(
-    const TrafficConfig& config, const std::vector<LinkId>& used_ports) {
+std::optional<std::vector<std::vector<LinkId>>> propagation_levels(
+    const TrafficConfig& config) {
   const std::size_t n = config.network().link_count();
+  std::vector<LinkId> used_ports;
+  for (LinkId l = 0; l < n; ++l) {
+    if (!config.vls_on_link(l).empty()) used_ports.push_back(l);
+  }
+
   std::vector<std::vector<LinkId>> successors(n);
   std::vector<int> in_degree(n, 0);
   for (LinkId port : used_ports) {
@@ -171,25 +168,31 @@ std::optional<std::vector<LinkId>> propagation_order(
       }
     }
   }
-  std::deque<LinkId> ready;
+  std::vector<LinkId> level;
   for (LinkId port : used_ports) {
-    if (in_degree[port] == 0) ready.push_back(port);
+    if (in_degree[port] == 0) level.push_back(port);
   }
-  std::vector<LinkId> order;
-  order.reserve(used_ports.size());
-  while (!ready.empty()) {
-    const LinkId p = ready.front();
-    ready.pop_front();
-    order.push_back(p);
-    for (LinkId s : successors[p]) {
-      if (--in_degree[s] == 0) ready.push_back(s);
+  std::vector<std::vector<LinkId>> levels;
+  std::size_t placed = 0;
+  while (!level.empty()) {
+    placed += level.size();
+    std::vector<LinkId> next;
+    for (LinkId p : level) {
+      for (LinkId s : successors[p]) {
+        if (--in_degree[s] == 0) next.push_back(s);
+      }
     }
+    // A VL can cross several predecessors of the same port, so `next`
+    // accumulates in route-discovery order; keep levels stable.
+    std::sort(next.begin(), next.end());
+    levels.push_back(std::move(level));
+    level = std::move(next);
   }
-  if (order.size() != used_ports.size()) return std::nullopt;
-  return order;
+  if (placed != used_ports.size()) return std::nullopt;
+  return levels;
 }
 
-PortReport report_from(const PortBounds& bounds, double utilization) {
+PortReport make_report(const PortBounds& bounds, double utilization) {
   PortReport report;
   report.used = true;
   report.level_delays = bounds.level_delays;
@@ -203,7 +206,22 @@ PortReport report_from(const PortBounds& bounds, double utilization) {
   return report;
 }
 
-}  // namespace
+std::vector<Microseconds> path_bounds_from(
+    const TrafficConfig& config, const std::vector<LevelDelays>& port_delays) {
+  std::vector<Microseconds> out;
+  out.reserve(config.all_paths().size());
+  for (const VlPath& p : config.all_paths()) {
+    const std::uint8_t level = config.vl(p.vl).priority;
+    Microseconds total = 0.0;
+    for (LinkId l : p.links) {
+      auto it = port_delays[l].find(level);
+      AFDX_ASSERT(it != port_delays[l].end(), "missing level delay");
+      total += it->second;
+    }
+    out.push_back(total);
+  }
+  return out;
+}
 
 minplus::Curve arrival_curve_at(
     const TrafficConfig& config, VlId vl, LinkId port,
@@ -252,35 +270,36 @@ Microseconds Result::bound_for(const TrafficConfig& config, PathRef ref) const {
 }
 
 Result analyze(const TrafficConfig& config, const Options& options) {
-  const Network& net = config.network();
-  const std::size_t n_links = net.link_count();
-
-  std::vector<LinkId> used_ports;
-  for (LinkId l = 0; l < n_links; ++l) {
-    if (!config.vls_on_link(l).empty()) used_ports.push_back(l);
-  }
+  const std::size_t n_links = config.network().link_count();
 
   Result result;
   result.ports.assign(n_links, PortReport{});
   std::vector<LevelDelays> delays(n_links);
 
-  const auto order = propagation_order(config, used_ports);
-  if (order.has_value()) {
+  const auto levels = propagation_levels(config);
+  if (levels.has_value()) {
     // Feed-forward: one pass in dependency order is exact.
-    for (LinkId port : *order) {
-      const PortBounds b = compute_port(config, port, options, delays);
-      delays[port] = b.level_delays;
-      result.ports[port] = report_from(b, config.utilization(port));
+    for (const std::vector<LinkId>& level : *levels) {
+      for (LinkId port : level) {
+        const PortBounds b =
+            compute_port_bounds(config, port, options, delays);
+        delays[port] = b.level_delays;
+        result.ports[port] = make_report(b, config.utilization(port));
+      }
     }
     result.iterations = 1;
   } else {
     // Cyclic dependencies: monotone fixed point from below. Delays only
     // grow between rounds; stop when stationary.
+    std::vector<LinkId> used_ports;
+    for (LinkId l = 0; l < n_links; ++l) {
+      if (!config.vls_on_link(l).empty()) used_ports.push_back(l);
+    }
     int round = 0;
     for (; round < options.max_iterations; ++round) {
       double max_change = 0.0;
       for (LinkId port : used_ports) {
-        PortBounds b = compute_port(config, port, options, delays);
+        PortBounds b = compute_port_bounds(config, port, options, delays);
         for (auto& [level, d] : b.level_delays) {
           const Microseconds prev = delays[port].count(level)
                                         ? delays[port][level]
@@ -289,7 +308,7 @@ Result analyze(const TrafficConfig& config, const Options& options) {
           d = std::max(d, prev);
           delays[port][level] = d;
         }
-        result.ports[port] = report_from(b, config.utilization(port));
+        result.ports[port] = make_report(b, config.utilization(port));
       }
       if (max_change <= kEpsilon) break;
     }
@@ -299,17 +318,7 @@ Result analyze(const TrafficConfig& config, const Options& options) {
     result.iterations = round + 1;
   }
 
-  result.path_bounds.reserve(config.all_paths().size());
-  for (const VlPath& p : config.all_paths()) {
-    const std::uint8_t level = config.vl(p.vl).priority;
-    Microseconds total = 0.0;
-    for (LinkId l : p.links) {
-      auto it = delays[l].find(level);
-      AFDX_ASSERT(it != delays[l].end(), "missing level delay");
-      total += it->second;
-    }
-    result.path_bounds.push_back(total);
-  }
+  result.path_bounds = path_bounds_from(config, delays);
   return result;
 }
 

@@ -83,6 +83,41 @@ struct Result {
 [[nodiscard]] Result analyze(const TrafficConfig& config,
                              const Options& options = {});
 
+/// Bounds of one output port -- the unit of work the parallel analysis
+/// engine schedules across threads and memoizes per port.
+struct PortBounds {
+  std::map<std::uint8_t, Microseconds> level_delays;
+  Bits backlog = 0.0;
+  Bits queue_backlog = 0.0;
+};
+
+/// Computes the bounds of one output port, given the per-port per-class
+/// delays of every upstream port (entries for ports not yet processed may
+/// be empty as long as no crossing VL depends on them). Deterministic:
+/// depends only on (config, port, options, upstream delays).
+[[nodiscard]] PortBounds compute_port_bounds(
+    const TrafficConfig& config, LinkId port, const Options& options,
+    const std::vector<std::map<std::uint8_t, Microseconds>>& port_delays);
+
+/// Expands computed bounds into the public per-port report.
+[[nodiscard]] PortReport make_report(const PortBounds& bounds,
+                                     double utilization);
+
+/// The used output ports grouped into propagation levels: every
+/// predecessor of a level-k port sits in a level < k, so the ports of one
+/// level are mutually independent and may be computed concurrently.
+/// Returns nullopt when the VL routes make the dependency graph cyclic
+/// (the fixed-point fallback applies instead).
+[[nodiscard]] std::optional<std::vector<std::vector<LinkId>>>
+propagation_levels(const TrafficConfig& config);
+
+/// Sums the converged per-port per-class delays along every path of the
+/// configuration (the final assembly step of the analysis), aligned with
+/// TrafficConfig::all_paths().
+[[nodiscard]] std::vector<Microseconds> path_bounds_from(
+    const TrafficConfig& config,
+    const std::vector<std::map<std::uint8_t, Microseconds>>& port_delays);
+
 /// The arrival curve of VL `vl` when it reaches port `port`, given the
 /// already-known per-priority-class delays of upstream ports. Exposed for
 /// tests.

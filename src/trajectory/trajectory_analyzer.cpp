@@ -43,6 +43,13 @@ Analyzer::Analyzer(const TrafficConfig& config, const Options& options)
   }
 }
 
+void Analyzer::set_backlog_caps(std::vector<Microseconds> caps) {
+  AFDX_REQUIRE(caps.size() == cfg_.network().link_count(),
+               "trajectory: backlog cap vector does not match the network's "
+               "link count");
+  backlog_caps_ = std::move(caps);
+}
+
 const std::vector<Microseconds>& Analyzer::backlog_caps() {
   if (!backlog_caps_.has_value()) {
     backlog_caps_.emplace(cfg_.network().link_count(),

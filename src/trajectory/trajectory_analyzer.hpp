@@ -98,6 +98,13 @@ class Analyzer {
   /// Worst-case time from generation to *arrival in the queue* of `link`.
   [[nodiscard]] Microseconds max_arrival_at(VlId vl, LinkId link);
 
+  /// Injects precomputed per-port serialization caps (worst-case FIFO
+  /// queue content in time units at the port's rate, one entry per link,
+  /// +infinity for unused/uncapped ports), replacing the internal envelope
+  /// analysis. The parallel engine shares one WCNC run across all its
+  /// shard-local analyzers this way instead of recomputing it per thread.
+  void set_backlog_caps(std::vector<Microseconds> caps);
+
  private:
   Microseconds compute_prefix(VlId vl, LinkId last);
 

@@ -40,8 +40,30 @@ TEST(Comparison, BenefitStatsOnKnownVectors) {
 
 TEST(Comparison, BenefitStatsValidatesInput) {
   EXPECT_THROW((void)benefit_stats({1.0}, {1.0, 2.0}), Error);
-  EXPECT_THROW((void)benefit_stats({}, {}), Error);
-  EXPECT_THROW((void)benefit_stats({0.0}, {1.0}), Error);
+}
+
+TEST(Comparison, BenefitStatsEmptyInputYieldsZeros) {
+  const BenefitStats s = benefit_stats({}, {});
+  EXPECT_EQ(s.paths, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.wins_fraction, 0.0);
+}
+
+TEST(Comparison, BenefitStatsSkipsNonPositiveReferences) {
+  // The zero-reference pair cannot express a relative benefit and must not
+  // be divided by; only the 100 -> 50 pair counts.
+  const BenefitStats s = benefit_stats({0.0, 100.0}, {1.0, 50.0});
+  EXPECT_EQ(s.paths, 1u);
+  EXPECT_NEAR(s.mean, 0.5, 1e-12);
+  EXPECT_NEAR(s.max, 0.5, 1e-12);
+  EXPECT_NEAR(s.min, 0.5, 1e-12);
+  EXPECT_NEAR(s.wins_fraction, 1.0, 1e-12);
+
+  const BenefitStats none = benefit_stats({0.0, -1.0}, {1.0, 1.0});
+  EXPECT_EQ(none.paths, 0u);
+  EXPECT_EQ(none.mean, 0.0);
 }
 
 TEST(Comparison, MeanBenefitByBagCoversAllBags) {

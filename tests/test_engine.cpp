@@ -1,0 +1,266 @@
+// Tests for the parallel analysis engine: parallel-vs-serial determinism,
+// legacy-path equivalence at threads = 1, per-port cache behaviour and run
+// metrics.
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "analysis/comparison.hpp"
+#include "common/error.hpp"
+#include "config/samples.hpp"
+#include "engine/thread_pool.hpp"
+#include "gen/industrial.hpp"
+#include "netcalc/netcalc_analyzer.hpp"
+#include "trajectory/trajectory_analyzer.hpp"
+
+namespace afdx::engine {
+namespace {
+
+TrafficConfig small_industrial() {
+  gen::IndustrialOptions o;
+  o.vl_count = 120;
+  o.end_system_count = 24;
+  return gen::industrial_config(o);
+}
+
+// Bit-identical comparison: parallel runs must not perturb a single ULP.
+void expect_identical(const std::vector<Microseconds>& a,
+                      const std::vector<Microseconds>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "path " << i;
+  }
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> counts(1000, 0);
+  pool.parallel_for(counts.size(),
+                    [&](std::size_t i, int) { ++counts[i]; });
+  for (std::size_t i = 0; i < counts.size(); ++i) EXPECT_EQ(counts[i], 1);
+  const auto tasks = pool.tasks_per_thread();
+  ASSERT_EQ(tasks.size(), 4u);
+  EXPECT_EQ(std::accumulate(tasks.begin(), tasks.end(), std::size_t{0}),
+            counts.size());
+}
+
+TEST(ThreadPool, ShardingIsStatic) {
+  // The same (n, threads) pair must always yield the same per-thread task
+  // counts -- that is what makes runs reproducible.
+  ThreadPool a(3), b(3);
+  a.parallel_for(100, [](std::size_t, int) {});
+  b.parallel_for(100, [](std::size_t, int) {});
+  EXPECT_EQ(a.tasks_per_thread(), b.tasks_per_thread());
+}
+
+TEST(ThreadPool, RethrowsSmallestIndexFailure) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(100, [&](std::size_t i, int) {
+      if (i >= 10) throw Error("fail at " + std::to_string(i));
+    });
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    // Worker 0 owns indices [0, 25) and fails first at 10; failures of
+    // later shards must not win.
+    EXPECT_STREQ(e.what(), "fail at 10");
+  }
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::resolve_thread_count(3), 3);
+  EXPECT_GE(ThreadPool::resolve_thread_count(0), 1);
+  EXPECT_GE(ThreadPool::resolve_thread_count(-1), 1);
+}
+
+TEST(Engine, SerialRunMatchesLegacyAnalyzersOnSample) {
+  const TrafficConfig cfg = config::sample_config();
+  AnalysisEngine eng(cfg, Options{1});
+  const RunResult run = eng.run();
+
+  const netcalc::Result nc = netcalc::analyze(cfg);
+  const trajectory::Result tj = trajectory::analyze(cfg);
+  expect_identical(run.netcalc, nc.path_bounds);
+  expect_identical(run.trajectory, tj.path_bounds);
+  for (std::size_t i = 0; i < run.combined.size(); ++i) {
+    EXPECT_EQ(run.combined[i], std::min(run.netcalc[i], run.trajectory[i]));
+  }
+}
+
+TEST(Engine, NetcalcOnlyMatchesLegacyPortReports) {
+  const TrafficConfig cfg = small_industrial();
+  AnalysisEngine eng(cfg, Options{4});
+  const netcalc::Result parallel = eng.netcalc_only();
+  const netcalc::Result serial = netcalc::analyze(cfg);
+  expect_identical(parallel.path_bounds, serial.path_bounds);
+  ASSERT_EQ(parallel.ports.size(), serial.ports.size());
+  for (std::size_t l = 0; l < serial.ports.size(); ++l) {
+    EXPECT_EQ(parallel.ports[l].used, serial.ports[l].used);
+    EXPECT_EQ(parallel.ports[l].delay, serial.ports[l].delay);
+    EXPECT_EQ(parallel.ports[l].backlog, serial.ports[l].backlog);
+    EXPECT_EQ(parallel.ports[l].queue_backlog, serial.ports[l].queue_backlog);
+    EXPECT_EQ(parallel.ports[l].level_delays, serial.ports[l].level_delays);
+  }
+  EXPECT_EQ(parallel.iterations, serial.iterations);
+}
+
+TEST(EngineDeterminism, ParallelMatchesSerialOnSample) {
+  const TrafficConfig cfg = config::sample_config();
+  AnalysisEngine serial(cfg, Options{1});
+  AnalysisEngine parallel(cfg, Options{4});
+  const RunResult a = serial.run();
+  const RunResult b = parallel.run();
+  expect_identical(a.netcalc, b.netcalc);
+  expect_identical(a.trajectory, b.trajectory);
+  expect_identical(a.combined, b.combined);
+}
+
+TEST(EngineDeterminism, ParallelMatchesSerialOnIndustrial) {
+  const TrafficConfig cfg = small_industrial();
+  AnalysisEngine serial(cfg, Options{1});
+  AnalysisEngine parallel(cfg, Options{4});
+  const RunResult a = serial.run();
+  const RunResult b = parallel.run();
+  expect_identical(a.netcalc, b.netcalc);
+  expect_identical(a.trajectory, b.trajectory);
+  expect_identical(a.combined, b.combined);
+}
+
+TEST(EngineDeterminism, ParallelMatchesSerialWithAblationOptions) {
+  const TrafficConfig cfg = small_industrial();
+  netcalc::Options nc;
+  nc.grouping = false;
+  trajectory::Options tj;
+  tj.serialization = false;
+  AnalysisEngine serial(cfg, Options{1});
+  AnalysisEngine parallel(cfg, Options{3});
+  const RunResult a = serial.run(nc, tj);
+  const RunResult b = parallel.run(nc, tj);
+  expect_identical(a.netcalc, b.netcalc);
+  expect_identical(a.trajectory, b.trajectory);
+}
+
+TEST(EngineDeterminism, RepeatedParallelRunsAreIdentical) {
+  const TrafficConfig cfg = small_industrial();
+  AnalysisEngine eng(cfg, Options{4});
+  const RunResult first = eng.run();
+  const RunResult second = eng.run();  // served mostly from the cache
+  expect_identical(first.netcalc, second.netcalc);
+  expect_identical(first.trajectory, second.trajectory);
+  expect_identical(first.combined, second.combined);
+}
+
+TEST(Engine, CompareRoutesThroughEngineUnchanged) {
+  const TrafficConfig cfg = config::sample_config();
+  const analysis::Comparison legacy_shape = analysis::compare(cfg);
+  const analysis::Comparison parallel =
+      analysis::compare(cfg, {}, {}, Options{4});
+  expect_identical(legacy_shape.netcalc, parallel.netcalc);
+  expect_identical(legacy_shape.trajectory, parallel.trajectory);
+  expect_identical(legacy_shape.combined, parallel.combined);
+}
+
+TEST(EngineCache, TrajectoryCapsReuseTheNetcalcRun) {
+  const TrafficConfig cfg = config::sample_config();
+  AnalysisEngine eng(cfg, Options{2});
+  (void)eng.run();
+  // Phase 1 fills the per-port cache (all misses); the trajectory phase
+  // re-reads every used port for its serialization caps (all hits).
+  const CacheStats stats = eng.cache_stats();
+  std::size_t used_ports = 0;
+  for (LinkId l = 0; l < cfg.network().link_count(); ++l) {
+    if (!cfg.vls_on_link(l).empty()) ++used_ports;
+  }
+  EXPECT_EQ(stats.misses, used_ports);
+  EXPECT_GE(stats.hits, used_ports);
+  EXPECT_GT(stats.hit_rate(), 0.0);
+}
+
+TEST(EngineCache, SecondRunIsAllHits) {
+  const TrafficConfig cfg = small_industrial();
+  AnalysisEngine eng(cfg, Options{2});
+  (void)eng.run();
+  const CacheStats after_first = eng.cache_stats();
+  (void)eng.run();
+  const CacheStats after_second = eng.cache_stats();
+  EXPECT_EQ(after_second.misses, after_first.misses);
+  EXPECT_GT(after_second.hits, after_first.hits);
+}
+
+TEST(EngineCache, DistinctOptionsDoNotCollide) {
+  const TrafficConfig cfg = config::sample_config();
+  AnalysisEngine eng(cfg, Options{2});
+  netcalc::Options no_grouping;
+  no_grouping.grouping = false;
+  const netcalc::Result grouped = eng.netcalc_only();
+  const netcalc::Result ungrouped = eng.netcalc_only(no_grouping);
+  expect_identical(grouped.path_bounds, netcalc::analyze(cfg).path_bounds);
+  expect_identical(ungrouped.path_bounds,
+                   netcalc::analyze(cfg, no_grouping).path_bounds);
+}
+
+TEST(EngineMetrics, RecordsPhasesPathsAndTasks) {
+  const TrafficConfig cfg = config::sample_config();
+  AnalysisEngine eng(cfg, Options{2});
+  const RunResult run = eng.run();
+  const RunMetrics& m = run.metrics;
+  EXPECT_EQ(m.threads, 2);
+  EXPECT_EQ(m.paths, cfg.all_paths().size());
+  EXPECT_GT(m.paths_per_second, 0.0);
+  EXPECT_GE(m.netcalc_wall_us, 0.0);
+  EXPECT_GE(m.trajectory_wall_us, 0.0);
+  EXPECT_GE(m.total_wall_us,
+            m.netcalc_wall_us + m.trajectory_wall_us);
+  ASSERT_EQ(m.tasks_per_thread.size(), 2u);
+  EXPECT_GT(std::accumulate(m.tasks_per_thread.begin(),
+                            m.tasks_per_thread.end(), std::size_t{0}),
+            0u);
+  std::ostringstream os;
+  m.print(os);
+  EXPECT_NE(os.str().find("port cache"), std::string::npos);
+}
+
+TEST(Engine, MultiPriorityConfigStillRejectedByTrajectoryPhase) {
+  gen::IndustrialOptions o;
+  o.vl_count = 60;
+  o.end_system_count = 16;
+  o.priority_levels = 2;
+  const TrafficConfig cfg = gen::industrial_config(o);
+  AnalysisEngine eng(cfg, Options{4});
+  EXPECT_NO_THROW((void)eng.netcalc_only());
+  EXPECT_THROW((void)eng.run(), Error);
+}
+
+TEST(Engine, PropagationLevelsRespectDependencies) {
+  const TrafficConfig cfg = small_industrial();
+  const auto levels = netcalc::propagation_levels(cfg);
+  ASSERT_TRUE(levels.has_value());
+  std::vector<int> level_of(cfg.network().link_count(), -1);
+  int k = 0;
+  std::size_t total = 0;
+  for (const auto& level : *levels) {
+    for (LinkId l : level) level_of[l] = k;
+    total += level.size();
+    ++k;
+  }
+  std::size_t used = 0;
+  for (LinkId l = 0; l < cfg.network().link_count(); ++l) {
+    if (!cfg.vls_on_link(l).empty()) ++used;
+  }
+  EXPECT_EQ(total, used);
+  // Every predecessor must live in a strictly earlier level.
+  for (LinkId l = 0; l < cfg.network().link_count(); ++l) {
+    for (VlId v : cfg.vls_on_link(l)) {
+      const LinkId pred = cfg.route(v).predecessor(l);
+      if (pred != kInvalidLink) {
+        EXPECT_LT(level_of[pred], level_of[l]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace afdx::engine

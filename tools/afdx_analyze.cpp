@@ -13,6 +13,13 @@
 //   --no-grouping                              WCNC without the grouping
 //   --no-serialization                         trajectory without the
 //                                              serialization refinement
+//   --threads=N                                analysis worker threads
+//                                              (default 1; 0 = one per
+//                                              hardware thread); results
+//                                              are identical for every N
+//   --metrics                                  print engine run metrics
+//                                              (per-phase wall time,
+//                                              paths/s, cache hit rate)
 //
 // Exit status: 0 on success, 1 on usage/config errors, 2 when a simulated
 // delay exceeds a reported bound (a soundness violation).
@@ -24,6 +31,7 @@
 #include "analysis/comparison.hpp"
 #include "common/error.hpp"
 #include "config/serialization.hpp"
+#include "engine/engine.hpp"
 #include "gen/industrial.hpp"
 #include "report/table.hpp"
 #include "sfa/sfa_analyzer.hpp"
@@ -39,16 +47,19 @@ struct CliOptions {
   std::string method = "all";
   bool csv = false;
   bool ports = false;
+  bool metrics = false;
   int simulate = 0;
   netcalc::Options nc;
   trajectory::Options tj;
+  engine::Options eng;
 };
 
 void print_usage(std::ostream& out) {
   out << "usage: afdx_analyze <config-file> [options]\n"
          "       afdx_analyze --generate[=seed] [options]\n"
          "options: --method=netcalc|trajectory|sfa|all  --csv  --ports\n"
-         "         --simulate=N  --no-grouping  --no-serialization\n";
+         "         --simulate=N  --no-grouping  --no-serialization\n"
+         "         --threads=N (0 = auto)  --metrics\n";
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -76,6 +87,14 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opts.nc.grouping = false;
     } else if (arg == "--no-serialization") {
       opts.tj.serialization = false;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opts.eng.threads = std::atoi(arg.c_str() + 10);
+      if (opts.eng.threads < 0) {
+        std::cerr << "bad thread count: " << arg << "\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--metrics") {
+      opts.metrics = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option: " << arg << "\n";
       return std::nullopt;
@@ -107,11 +126,18 @@ int run(const CliOptions& opts) {
   const bool want_tj = opts.method == "trajectory" || opts.method == "all";
   const bool want_sfa = opts.method == "sfa" || opts.method == "all";
 
+  engine::AnalysisEngine eng(config, opts.eng);
   std::optional<netcalc::Result> nc;
-  std::optional<trajectory::Result> tj;
+  std::optional<std::vector<Microseconds>> tj;
   std::optional<sfa::Result> sf;
-  if (want_nc || opts.ports) nc = netcalc::analyze(config, opts.nc);
-  if (want_tj) tj = trajectory::analyze(config, opts.tj);
+  if (want_nc && want_tj) {
+    engine::RunResult r = eng.run(opts.nc, opts.tj);
+    nc = std::move(r.netcalc_result);
+    tj = std::move(r.trajectory);
+  } else {
+    if (want_nc || opts.ports) nc = eng.netcalc_only(opts.nc);
+    if (want_tj) tj = eng.trajectory_only(opts.tj);
+  }
   if (want_sfa) sf = sfa::analyze(config);
 
   std::vector<std::string> headers{"vl", "destination", "hops"};
@@ -134,8 +160,8 @@ int run(const CliOptions& opts) {
       best = std::min(best, nc->path_bounds[i]);
     }
     if (want_tj) {
-      row.push_back(report::fmt(tj->path_bounds[i]));
-      best = std::min(best, tj->path_bounds[i]);
+      row.push_back(report::fmt((*tj)[i]));
+      best = std::min(best, (*tj)[i]);
     }
     if (want_sfa) {
       row.push_back(report::fmt(sf->path_bounds[i]));
@@ -172,6 +198,11 @@ int run(const CliOptions& opts) {
     } else {
       ports.print(std::cout);
     }
+  }
+
+  if (opts.metrics) {
+    std::cout << "\n";
+    eng.metrics().print(std::cout);
   }
 
   if (opts.simulate > 0) {
