@@ -9,4 +9,4 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." -DAFDX_SANITIZE=thread
 cmake --build "$BUILD_DIR" --target test_engine -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" -R '^(Engine|ThreadPool)' --output-on-failure
+ctest --test-dir "$BUILD_DIR" -R '^(Engine|ThreadPool|PortCache)' --output-on-failure

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates the locked golden bounds under tests/golden/ after an
+# intentional change to an analyzer. Review the resulting diff carefully:
+# every numeric change must be explainable by the code change being made.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target test_golden -j >/dev/null
+
+AFDX_REGEN_GOLDEN=1 "$BUILD_DIR"/tests/test_golden
+echo "regenerated tests/golden/ -- review with: git diff tests/golden"

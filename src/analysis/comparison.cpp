@@ -49,6 +49,29 @@ BenefitStats benefit_stats(const std::vector<Microseconds>& reference,
   return stats;
 }
 
+PessimismStats pessimism_stats(const std::vector<Microseconds>& lower_bounds,
+                               const std::vector<Microseconds>& bounds) {
+  AFDX_REQUIRE(lower_bounds.size() == bounds.size(),
+               "pessimism_stats: size mismatch");
+  PessimismStats stats;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (lower_bounds[i] <= 0.0) continue;
+    const double r = bounds[i] / lower_bounds[i];
+    if (stats.paths == 0) {
+      stats.max = r;
+      stats.min = r;
+    } else {
+      stats.max = std::max(stats.max, r);
+      stats.min = std::min(stats.min, r);
+    }
+    stats.mean += r;
+    ++stats.paths;
+  }
+  if (stats.paths == 0) return PessimismStats{};
+  stats.mean /= static_cast<double>(stats.paths);
+  return stats;
+}
+
 std::vector<std::pair<Microseconds, double>> mean_benefit_by_bag(
     const TrafficConfig& config, const Comparison& comparison) {
   std::map<Microseconds, std::pair<double, std::size_t>> acc;

@@ -54,6 +54,26 @@ struct BenefitStats {
     const std::vector<Microseconds>& reference,
     const std::vector<Microseconds>& candidate);
 
+/// Pessimism of analytic bounds against a per-path *lower* bound on the
+/// true worst case (typically the best simulated schedule): per-path ratio
+/// bound / lower_bound. A sound analysis has every ratio >= 1; how far
+/// above 1 measures the cost of the guarantee. Paths whose lower bound is
+/// non-positive (no frame observed) are skipped.
+struct PessimismStats {
+  double mean = 0.0;
+  double max = 0.0;
+  /// The smallest ratio -- below 1 it witnesses a soundness violation.
+  double min = 0.0;
+  /// Paths included (positive lower bound).
+  std::size_t paths = 0;
+};
+
+/// Throws on a size mismatch; no positive lower-bound entry yields an
+/// all-zero PessimismStats.
+[[nodiscard]] PessimismStats pessimism_stats(
+    const std::vector<Microseconds>& lower_bounds,
+    const std::vector<Microseconds>& bounds);
+
 /// Figure 5: mean benefit of the trajectory bound over the WCNC bound,
 /// aggregated per BAG value of the path's VL. Returns (BAG, mean benefit)
 /// sorted by BAG; BAG values with no path are omitted.

@@ -1,0 +1,33 @@
+#include "common/parse.hpp"
+
+#include <charconv>
+
+namespace afdx {
+
+namespace {
+
+template <typename T>
+std::optional<T> parse_whole(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  T value{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  return parse_whole<std::int64_t>(s);
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view s) {
+  if (!s.empty() && (s.front() == '-' || s.front() == '+')) return std::nullopt;
+  return parse_whole<std::uint64_t>(s);
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  return parse_whole<double>(s);
+}
+
+}  // namespace afdx

@@ -1,0 +1,24 @@
+// Strict string-to-number parsing for the command-line front ends.
+//
+// Unlike atoi/strtol, these reject empty input, leading/trailing garbage
+// ("12x", " 3"), and out-of-range values -- a malformed flag must fail the
+// invocation, not silently become 0.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace afdx {
+
+/// Whole-string signed integer; nullopt unless `s` is exactly one base-10
+/// integer (optional leading '-').
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view s);
+
+/// Whole-string unsigned integer (no sign allowed).
+[[nodiscard]] std::optional<std::uint64_t> parse_uint(std::string_view s);
+
+/// Whole-string floating-point number.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+
+}  // namespace afdx

@@ -29,6 +29,11 @@ bool PortCache::covers(std::uint64_t options_key,
   return true;
 }
 
+std::size_t PortCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
 CacheStats PortCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return CacheStats{hits_, misses_};

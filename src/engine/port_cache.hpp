@@ -58,6 +58,8 @@ class PortCache {
                             const std::vector<LinkId>& ports) const;
 
   [[nodiscard]] CacheStats stats() const;
+  /// Distinct (options, port) entries currently stored. Thread-safe.
+  [[nodiscard]] std::size_t size() const;
   void clear();
 
  private:

@@ -24,6 +24,13 @@ TrafficConfig industrial_config(const IndustrialOptions& o) {
   AFDX_REQUIRE(o.vl_count >= 1, "industrial_config: need >= 1 VL");
   AFDX_REQUIRE(o.multicast_fraction >= 0.0 && o.multicast_fraction <= 1.0,
                "industrial_config: multicast fraction in [0,1]");
+  AFDX_REQUIRE(o.max_multicast_fanout >= 2,
+               "industrial_config: max_multicast_fanout must be >= 2");
+  AFDX_REQUIRE(o.min_bag_ms <= o.max_bag_ms,
+               "industrial_config: min_bag_ms must be <= max_bag_ms");
+  AFDX_REQUIRE(o.max_frame_bytes >= kMinEthernetFrame &&
+                   o.max_frame_bytes <= kMaxEthernetFrame,
+               "industrial_config: max_frame_bytes outside the Ethernet range");
 
   Rng rng(o.seed);
   Network net;
@@ -66,23 +73,44 @@ TrafficConfig industrial_config(const IndustrialOptions& o) {
   }
 
   // BAG histogram: harmonic 2..128 ms, weighted toward the middle values
-  // (most avionics flows are 8..32 ms periodic).
-  const std::vector<Microseconds> bags = harmonic_bags();
-  const std::vector<double> bag_weights = {0.08, 0.14, 0.22, 0.24,
-                                           0.16, 0.10, 0.06};
-  AFDX_ASSERT(bag_weights.size() == bags.size(), "BAG weight table mismatch");
+  // (most avionics flows are 8..32 ms periodic), truncated to the
+  // requested [min_bag_ms, max_bag_ms] spread.
+  const std::vector<Microseconds> all_bags = harmonic_bags();
+  const std::vector<double> all_bag_weights = {0.08, 0.14, 0.22, 0.24,
+                                               0.16, 0.10, 0.06};
+  AFDX_ASSERT(all_bag_weights.size() == all_bags.size(),
+              "BAG weight table mismatch");
+  std::vector<Microseconds> bags;
+  std::vector<double> bag_weights;
+  for (std::size_t i = 0; i < all_bags.size(); ++i) {
+    if (all_bags[i] >= microseconds_from_ms(o.min_bag_ms) - kEpsilon &&
+        all_bags[i] <= microseconds_from_ms(o.max_bag_ms) + kEpsilon) {
+      bags.push_back(all_bags[i]);
+      bag_weights.push_back(all_bag_weights[i]);
+    }
+  }
+  AFDX_REQUIRE(!bags.empty(),
+               "industrial_config: no harmonic BAG inside [min_bag_ms, "
+               "max_bag_ms]");
 
   // Frame-size mix skewed toward small frames (command/status words),
-  // with a tail of large file-transfer style frames.
+  // with a tail of large file-transfer style frames, truncated to the
+  // requested s_max cap.
   struct SizeBucket {
     Bytes lo, hi;
     double weight;
   };
-  const std::vector<SizeBucket> size_buckets = {
+  const std::vector<SizeBucket> all_size_buckets = {
       {64, 150, 0.35}, {151, 300, 0.25}, {301, 600, 0.20},
       {601, 900, 0.10}, {901, 1518, 0.10}};
+  std::vector<SizeBucket> size_buckets;
   std::vector<double> size_weights;
-  for (const auto& b : size_buckets) size_weights.push_back(b.weight);
+  for (const auto& b : all_size_buckets) {
+    if (b.lo > o.max_frame_bytes) continue;
+    size_buckets.push_back({b.lo, std::min(b.hi, o.max_frame_bytes), b.weight});
+    size_weights.push_back(b.weight);
+  }
+  AFDX_ASSERT(!size_buckets.empty(), "size bucket table empty after capping");
 
   // Track port rate usage while drawing VLs so the utilization cap holds.
   std::vector<double> port_rate(net.link_count() * 1, 0.0);
@@ -142,7 +170,8 @@ TrafficConfig industrial_config(const IndustrialOptions& o) {
 
     const bool multicast = rng.bernoulli(o.multicast_fraction);
     const int fanout =
-        multicast ? static_cast<int>(rng.uniform_int(2, 6)) : 1;
+        multicast ? static_cast<int>(rng.uniform_int(2, o.max_multicast_fanout))
+                  : 1;
     std::set<NodeId> dests;
     for (int d = 0; d < fanout * 6 && static_cast<int>(dests.size()) < fanout;
          ++d) {

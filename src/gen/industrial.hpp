@@ -28,8 +28,20 @@ struct IndustrialOptions {
   int end_system_count = 60;
   /// Virtual links to generate.
   int vl_count = 500;
-  /// Fraction of multicast VLs; multicast fan-out is drawn in [2, 6].
+  /// Fraction of multicast VLs; multicast fan-out is drawn in
+  /// [2, max_multicast_fanout].
   double multicast_fraction = 0.4;
+  /// Largest multicast fan-out drawn (paper-scale configurations use up
+  /// to 6 destinations; the fuzzing grid sweeps this).
+  int max_multicast_fanout = 6;
+  /// Harmonic BAG subrange actually drawn, in milliseconds. The defaults
+  /// keep the paper's full 2..128 ms histogram; narrowing the range lets
+  /// the validation campaigns sweep the BAG spread.
+  double min_bag_ms = 2.0;
+  double max_bag_ms = 128.0;
+  /// Cap on the drawn s_max (bytes); the frame-size mix is truncated to
+  /// [64, max_frame_bytes]. 1518 keeps the full Ethernet range.
+  Bytes max_frame_bytes = kMaxEthernetFrame;
   /// Hard cap on any output-port long-term utilization; VLs that would
   /// exceed it are re-drawn with a larger BAG or dropped.
   double max_port_utilization = 0.75;

@@ -242,4 +242,30 @@ std::vector<Microseconds> adversarial_offsets(const TrafficConfig& config,
   return offsets;
 }
 
+std::vector<Options> soundness_schedules(const TrafficConfig& config,
+                                         const ScheduleSuiteOptions& suite) {
+  std::vector<Options> schedules;
+  schedules.push_back({});  // aligned
+  for (int s = 1; s <= suite.random_schedules; ++s) {
+    Options o;
+    o.phasing = Phasing::kRandom;
+    o.seed = suite.seed + static_cast<std::uint64_t>(s);
+    schedules.push_back(o);
+  }
+  if (suite.adversarial_stride > 0) {
+    const auto& paths = config.all_paths();
+    for (std::size_t p = 0; p < paths.size(); p += suite.adversarial_stride) {
+      Options o;
+      o.phasing = Phasing::kExplicit;
+      o.offsets = adversarial_offsets(
+          config, PathRef{paths[p].vl, paths[p].dest_index});
+      schedules.push_back(o);
+    }
+  }
+  if (suite.horizon > 0.0) {
+    for (Options& o : schedules) o.horizon = suite.horizon;
+  }
+  return schedules;
+}
+
 }  // namespace afdx::sim

@@ -72,4 +72,24 @@ struct Result {
 [[nodiscard]] std::vector<Microseconds> adversarial_offsets(
     const TrafficConfig& config, PathRef target);
 
+/// Parameters of soundness_schedules().
+struct ScheduleSuiteOptions {
+  /// Random phasings included, seeded seed+1 .. seed+random_schedules.
+  int random_schedules = 3;
+  std::uint64_t seed = 0;
+  /// Every `adversarial_stride`-th path gets an adversarial phasing aimed
+  /// at it (0 disables the adversarial schedules).
+  std::size_t adversarial_stride = 17;
+  /// Horizon applied to every schedule (0 = the simulator default).
+  Microseconds horizon = 0.0;
+};
+
+/// The standard schedule battery the soundness checks simulate against a
+/// configuration: the aligned phasing, `random_schedules` random phasings
+/// and one adversarial phasing per sampled path. Deterministic for a given
+/// (config, options); shared by the soundness test suite and the fuzzing
+/// campaigns.
+[[nodiscard]] std::vector<Options> soundness_schedules(
+    const TrafficConfig& config, const ScheduleSuiteOptions& options = {});
+
 }  // namespace afdx::sim

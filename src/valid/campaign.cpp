@@ -1,0 +1,270 @@
+#include "valid/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iomanip>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "config/serialization.hpp"
+#include "engine/thread_pool.hpp"
+#include "valid/corpus.hpp"
+
+namespace afdx::valid {
+
+namespace {
+
+template <typename T>
+const T& pick(Rng& rng, const std::vector<T>& axis, const char* name) {
+  AFDX_REQUIRE(!axis.empty(),
+               std::string("campaign grid: empty axis ") + name);
+  return axis[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(axis.size()) - 1))];
+}
+
+void merge_pessimism(analysis::PessimismStats& agg,
+                     const analysis::PessimismStats& s) {
+  if (s.paths == 0) return;
+  if (agg.paths == 0) {
+    agg = s;
+    return;
+  }
+  agg.max = std::max(agg.max, s.max);
+  agg.min = std::min(agg.min, s.min);
+  agg.mean = (agg.mean * static_cast<double>(agg.paths) +
+              s.mean * static_cast<double>(s.paths)) /
+             static_cast<double>(agg.paths + s.paths);
+  agg.paths += s.paths;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_pessimism(std::ostream& out, const analysis::PessimismStats& s) {
+  out << "{\"mean\": " << s.mean << ", \"min\": " << s.min
+      << ", \"max\": " << s.max << ", \"paths\": " << s.paths << "}";
+}
+
+void write_violation(std::ostream& out, const Violation& v,
+                     std::size_t campaign, const std::string& corpus_file) {
+  out << "{\"campaign\": " << campaign << ", \"kind\": \""
+      << to_string(v.kind) << "\", \"method\": \"" << json_escape(v.method)
+      << "\", \"index\": " << v.index << ", \"observed\": " << v.observed
+      << ", \"bound\": " << v.bound << ", \"detail\": \""
+      << json_escape(v.detail) << "\"";
+  if (!corpus_file.empty()) {
+    out << ", \"corpus\": \"" << json_escape(corpus_file) << "\"";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+GridOptions GridOptions::smoke() {
+  GridOptions g;
+  g.vl_counts = {8, 15};
+  g.switch_counts = {2, 4};
+  g.end_system_counts = {8, 12};
+  g.multicast_fractions = {0.0, 0.3};
+  g.max_multicast_fanouts = {2, 3};
+  g.bag_ranges_ms = {{2.0, 128.0}, {4.0, 16.0}};
+  g.max_frame_bytes = {1518, 400};
+  g.release_jitters_us = {0.0};
+  return g;
+}
+
+CampaignSpec spec_for(const GridOptions& grid, std::uint64_t master_seed,
+                      std::size_t index) {
+  // Golden-ratio mixing decorrelates consecutive indices; the spec is a
+  // pure function of (grid, master_seed, index), independent of threading.
+  Rng rng(master_seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  CampaignSpec spec;
+  spec.index = index;
+  spec.gen.seed = rng.engine()();
+  spec.gen.vl_count = pick(rng, grid.vl_counts, "vl_counts");
+  spec.gen.switch_count = pick(rng, grid.switch_counts, "switch_counts");
+  spec.gen.end_system_count =
+      pick(rng, grid.end_system_counts, "end_system_counts");
+  spec.gen.multicast_fraction =
+      pick(rng, grid.multicast_fractions, "multicast_fractions");
+  spec.gen.max_multicast_fanout =
+      pick(rng, grid.max_multicast_fanouts, "max_multicast_fanouts");
+  const auto& bag_range = pick(rng, grid.bag_ranges_ms, "bag_ranges_ms");
+  spec.gen.min_bag_ms = bag_range.first;
+  spec.gen.max_bag_ms = bag_range.second;
+  spec.gen.max_frame_bytes = pick(rng, grid.max_frame_bytes, "max_frame_bytes");
+  spec.gen.max_release_jitter =
+      pick(rng, grid.release_jitters_us, "release_jitters_us");
+  return spec;
+}
+
+CampaignReport run_campaigns(const CampaignOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const auto run_start = Clock::now();
+
+  CampaignReport report;
+  report.seed = options.seed;
+  report.campaigns = options.campaigns;
+  report.threads = engine::ThreadPool::resolve_thread_count(options.threads);
+  report.outcomes.resize(options.campaigns);
+
+  if (!options.corpus_dir.empty()) {
+    std::filesystem::create_directories(options.corpus_dir);
+  }
+
+  engine::ThreadPool pool(report.threads);
+  pool.parallel_for(options.campaigns, [&](std::size_t i, int) {
+    CampaignOutcome& outcome = report.outcomes[i];
+    outcome.spec = spec_for(options.grid, options.seed, i);
+    const auto t0 = Clock::now();
+    try {
+      const TrafficConfig cfg = gen::industrial_config(outcome.spec.gen);
+      outcome.vls = cfg.vl_count();
+      outcome.paths = cfg.all_paths().size();
+      // Per-campaign schedule seeds keep the batteries decorrelated.
+      CheckOptions check = options.check;
+      check.schedules.seed = options.seed * 1000003ULL + i * 10ULL;
+      outcome.check = check_config(cfg, check);
+
+      if (!outcome.check.ok() && options.shrink_violations) {
+        ShrinkOptions shrink_opts = options.shrink;
+        shrink_opts.check = check;
+        const auto shrunk = shrink(cfg, shrink_opts);
+        if (shrunk.has_value() && !options.corpus_dir.empty()) {
+          CorpusEntry entry;
+          entry.seed = outcome.spec.gen.seed;
+          entry.campaign = i;
+          entry.fault = check.fault;
+          entry.fault_factor = check.fault_factor;
+          entry.witness = shrunk->witness.describe();
+          entry.config_text = config::save_config_string(shrunk->config);
+          const std::string file =
+              (std::filesystem::path(options.corpus_dir) /
+               ("shrunk-s" + std::to_string(options.seed) + "-c" +
+                std::to_string(i) + ".afdx"))
+                  .string();
+          write_corpus_file(entry, file);
+          outcome.corpus_file = file;
+        }
+      }
+    } catch (const Error& e) {
+      // The drawn grid point was infeasible (e.g. the utilization cap
+      // rejected the VL population) -- count it, keep fuzzing.
+      outcome.skipped = true;
+      outcome.skip_reason = e.what();
+    }
+    outcome.wall_us = std::chrono::duration<double, std::micro>(
+                          Clock::now() - t0)
+                          .count();
+  });
+
+  for (const CampaignOutcome& outcome : report.outcomes) {
+    if (outcome.skipped) {
+      ++report.skipped;
+      continue;
+    }
+    ++report.completed;
+    report.paths += outcome.paths;
+    report.schedules_simulated += outcome.check.schedules_simulated;
+    report.violation_count += outcome.check.violations.size();
+    merge_pessimism(report.wcnc, outcome.check.wcnc);
+    merge_pessimism(report.trajectory, outcome.check.trajectory);
+    merge_pessimism(report.combined, outcome.check.combined);
+  }
+  report.wall_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - run_start)
+          .count();
+  return report;
+}
+
+void CampaignReport::write_json(std::ostream& out, bool include_timing) const {
+  out << std::setprecision(12);
+  out << "{\n";
+  out << "  \"tool\": \"afdx_fuzz\",\n";
+  out << "  \"format\": 1,\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"campaigns\": " << campaigns << ",\n";
+  if (include_timing) {
+    out << "  \"threads\": " << threads << ",\n";
+    out << "  \"wall_ms\": " << wall_us / 1000.0 << ",\n";
+  }
+  out << "  \"completed\": " << completed << ",\n";
+  out << "  \"skipped\": " << skipped << ",\n";
+  out << "  \"paths_checked\": " << paths << ",\n";
+  out << "  \"schedules_simulated\": " << schedules_simulated << ",\n";
+  out << "  \"violations\": " << violation_count << ",\n";
+  out << "  \"pessimism\": {\n";
+  out << "    \"wcnc\": ";
+  write_pessimism(out, wcnc);
+  out << ",\n    \"trajectory\": ";
+  write_pessimism(out, trajectory);
+  out << ",\n    \"combined\": ";
+  write_pessimism(out, combined);
+  out << "\n  },\n";
+
+  out << "  \"violation_details\": [";
+  bool first = true;
+  for (const CampaignOutcome& o : outcomes) {
+    for (const Violation& v : o.check.violations) {
+      out << (first ? "\n    " : ",\n    ");
+      write_violation(out, v, o.spec.index, o.corpus_file);
+      first = false;
+    }
+  }
+  out << (first ? "],\n" : "\n  ],\n");
+
+  out << "  \"campaign_results\": [";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const CampaignOutcome& o = outcomes[i];
+    out << (i == 0 ? "\n    " : ",\n    ");
+    out << "{\"index\": " << o.spec.index << ", \"config_seed\": "
+        << o.spec.gen.seed;
+    if (o.skipped) {
+      out << ", \"skipped\": true, \"reason\": \""
+          << json_escape(o.skip_reason) << "\"}";
+      continue;
+    }
+    out << ", \"vls\": " << o.vls << ", \"paths\": " << o.paths
+        << ", \"schedules\": " << o.check.schedules_simulated
+        << ", \"violations\": " << o.check.violations.size()
+        << ", \"pessimism_mean\": {\"wcnc\": " << o.check.wcnc.mean
+        << ", \"trajectory\": " << o.check.trajectory.mean
+        << ", \"combined\": " << o.check.combined.mean << "}";
+    if (include_timing) out << ", \"wall_us\": " << o.wall_us;
+    out << "}";
+  }
+  out << (outcomes.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+}
+
+}  // namespace afdx::valid

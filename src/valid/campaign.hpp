@@ -1,0 +1,123 @@
+// Randomized differential-validation campaigns.
+//
+// A campaign is one randomly generated configuration (via gen::
+// industrial_config) pushed through the full differential check of
+// validation.hpp. run_campaigns() derives one generator spec per campaign
+// index from a master seed and a swept parameter grid (VL count, topology
+// depth, BAG spread, s_max cap, multicast fan-out, release jitter), fans
+// the campaigns out over the analysis engine's thread pool, auto-shrinks
+// every violating configuration to a minimal reproducer, persists it to
+// the corpus directory, and aggregates per-method pessimism statistics
+// into a JSON report -- the quality axis next to the bench suite's speed
+// axis.
+//
+// Determinism: the spec of campaign i is a pure function of (grid, master
+// seed, i); outcomes are written to per-index slots, so a run with N
+// threads reports exactly what the serial run reports (wall times aside).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gen/industrial.hpp"
+#include "valid/shrink.hpp"
+#include "valid/validation.hpp"
+
+namespace afdx::valid {
+
+/// The swept parameter grid. Each campaign draws one value per axis.
+struct GridOptions {
+  std::vector<int> vl_counts = {15, 30, 60};
+  /// Topology depth: more switches = deeper random tree = longer paths.
+  std::vector<int> switch_counts = {3, 5, 8};
+  std::vector<int> end_system_counts = {10, 18, 30};
+  std::vector<double> multicast_fractions = {0.0, 0.25, 0.5};
+  std::vector<int> max_multicast_fanouts = {2, 4, 6};
+  /// BAG spread (min_ms, max_ms) within the harmonic 2..128 ms set.
+  std::vector<std::pair<double, double>> bag_ranges_ms = {
+      {2.0, 128.0}, {2.0, 8.0}, {32.0, 128.0}};
+  /// s_max cap in bytes (sweeps the frame-size mix downward).
+  std::vector<Bytes> max_frame_bytes = {1518, 800, 300};
+  std::vector<Microseconds> release_jitters_us = {0.0, 60.0, 120.0};
+
+  /// A tiny grid for CI smoke stages: small configs, no jitter axis.
+  [[nodiscard]] static GridOptions smoke();
+};
+
+/// The generator spec of one campaign.
+struct CampaignSpec {
+  std::size_t index = 0;
+  gen::IndustrialOptions gen;
+};
+
+/// Derives campaign `index`'s spec: a pure function of the arguments, so
+/// every campaign is reproducible in isolation.
+[[nodiscard]] CampaignSpec spec_for(const GridOptions& grid,
+                                    std::uint64_t master_seed,
+                                    std::size_t index);
+
+struct CampaignOptions {
+  std::size_t campaigns = 100;
+  std::uint64_t seed = 42;
+  /// Campaign-level worker threads (0 = one per hardware thread). The
+  /// inner analysis engines stay serial; parallelism is across campaigns.
+  int threads = 1;
+  GridOptions grid;
+  /// The differential check applied to every configuration (set `fault`
+  /// for harness self-tests).
+  CheckOptions check;
+  /// Shrink violating configurations to minimal reproducers.
+  bool shrink_violations = true;
+  ShrinkOptions shrink;
+  /// Directory the shrunk reproducers are written to (created on demand);
+  /// empty = do not persist.
+  std::string corpus_dir;
+};
+
+/// What happened to one campaign.
+struct CampaignOutcome {
+  CampaignSpec spec;
+  /// True when the generator rejected the drawn spec (e.g. the utilization
+  /// cap could not be met) -- counted, never fatal.
+  bool skipped = false;
+  std::string skip_reason;
+  std::size_t vls = 0;
+  std::size_t paths = 0;
+  CheckResult check;
+  /// Corpus artifact of the shrunk reproducer, when one was persisted.
+  std::string corpus_file;
+  Microseconds wall_us = 0.0;
+};
+
+struct CampaignReport {
+  std::uint64_t seed = 0;
+  std::size_t campaigns = 0;
+  int threads = 1;
+  std::vector<CampaignOutcome> outcomes;
+
+  // Aggregates (over completed campaigns).
+  std::size_t completed = 0;
+  std::size_t skipped = 0;
+  std::size_t paths = 0;
+  std::uint64_t schedules_simulated = 0;
+  std::size_t violation_count = 0;
+  analysis::PessimismStats wcnc;
+  analysis::PessimismStats trajectory;
+  analysis::PessimismStats combined;
+  Microseconds wall_us = 0.0;
+
+  [[nodiscard]] bool ok() const noexcept { return violation_count == 0; }
+
+  /// Serializes the report as JSON. With include_timing = false the
+  /// wall-time fields are omitted, making the output bit-identical across
+  /// thread counts and machines (what the determinism tests compare).
+  void write_json(std::ostream& out, bool include_timing = true) const;
+};
+
+/// Runs the whole campaign sweep. Violations are reported, not thrown.
+[[nodiscard]] CampaignReport run_campaigns(const CampaignOptions& options);
+
+}  // namespace afdx::valid

@@ -1,0 +1,103 @@
+#include "valid/corpus.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "config/serialization.hpp"
+
+namespace afdx::valid {
+
+namespace {
+
+constexpr const char* kHeader = "# afdx-fuzz corpus v1";
+
+/// "# key=rest-of-line" -> rest-of-line, if the line carries that key.
+std::optional<std::string> meta_value(const std::string& line,
+                                      const std::string& key) {
+  const std::string prefix = "# " + key + "=";
+  if (line.rfind(prefix, 0) != 0) return std::nullopt;
+  return line.substr(prefix.size());
+}
+
+}  // namespace
+
+TrafficConfig CorpusEntry::config() const {
+  return config::load_config_string(config_text);
+}
+
+void write_corpus_file(const CorpusEntry& entry, const std::string& path) {
+  std::ofstream out(path);
+  AFDX_REQUIRE(out.good(), "corpus: cannot open " + path + " for writing");
+  out << kHeader << "\n";
+  out << "# seed=" << entry.seed << "\n";
+  out << "# campaign=" << entry.campaign << "\n";
+  out << "# fault=" << to_string(entry.fault) << "\n";
+  out << "# fault_factor=" << entry.fault_factor << "\n";
+  out << "# witness=" << entry.witness << "\n";
+  out << entry.config_text;
+  AFDX_REQUIRE(out.good(), "corpus: write to " + path + " failed");
+}
+
+CorpusEntry read_corpus_file(const std::string& path) {
+  std::ifstream in(path);
+  AFDX_REQUIRE(in.good(), "corpus: cannot open " + path);
+  CorpusEntry entry;
+  std::ostringstream config_text;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (auto v = meta_value(line, "seed")) {
+      entry.seed = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (auto c = meta_value(line, "campaign")) {
+      entry.campaign = std::strtoull(c->c_str(), nullptr, 10);
+    } else if (auto f = meta_value(line, "fault")) {
+      const auto fault = fault_from_string(*f);
+      AFDX_REQUIRE(fault.has_value(), "corpus: unknown fault '" + *f + "' in " + path);
+      entry.fault = *fault;
+    } else if (auto ff = meta_value(line, "fault_factor")) {
+      entry.fault_factor = std::strtod(ff->c_str(), nullptr);
+    } else if (auto w = meta_value(line, "witness")) {
+      entry.witness = *w;
+    } else if (line.rfind(kHeader, 0) == 0) {
+      continue;
+    } else {
+      config_text << line << "\n";
+    }
+  }
+  entry.config_text = config_text.str();
+  // Validate eagerly so corrupted artifacts fail at load, not at replay.
+  (void)entry.config();
+  return entry;
+}
+
+std::vector<std::string> list_corpus(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return files;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ".afdx") {
+      files.push_back(e.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+ReplayOutcome replay(const CorpusEntry& entry, CheckOptions base) {
+  const TrafficConfig cfg = entry.config();
+  ReplayOutcome outcome;
+  base.fault = Fault::kNone;
+  outcome.clean = check_config(cfg, base);
+  if (entry.fault != Fault::kNone) {
+    base.fault = entry.fault;
+    base.fault_factor = entry.fault_factor;
+    outcome.faulted = check_config(cfg, base);
+  }
+  return outcome;
+}
+
+}  // namespace afdx::valid

@@ -1,0 +1,73 @@
+// Corpus of minimized reproducer configurations.
+//
+// Every violation a campaign finds is shrunk and persisted as one
+// self-contained text artifact under tests/corpus/: metadata comment lines
+// (seed, campaign index, injected fault, witness description) followed by
+// the configuration in the standard afdx-config format. The '#' metadata
+// prefix makes every artifact directly loadable by config::load_config and
+// by `afdx_analyze` / `afdx_fuzz --replay`.
+//
+// Replay semantics: a corpus entry must be green (zero violations) when
+// checked without its fault -- that is the regression guarantee ctest
+// enforces on every entry -- and must reproduce a violation when the
+// recorded fault is re-applied, which proves the artifact is a genuine
+// reproducer rather than an arbitrary configuration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "valid/validation.hpp"
+#include "vl/traffic_config.hpp"
+
+namespace afdx::valid {
+
+struct CorpusEntry {
+  /// Generator seed of the originating campaign (informational).
+  std::uint64_t seed = 0;
+  /// Campaign index inside its run (informational).
+  std::uint64_t campaign = 0;
+  /// The injected fault that produced the violation (kNone for a genuine
+  /// analyzer bug -- those artifacts document a real soundness defect).
+  Fault fault = Fault::kNone;
+  double fault_factor = 0.5;
+  /// Violation::describe() of the shrunk witness.
+  std::string witness;
+  /// The minimized configuration, in the afdx-config text format.
+  std::string config_text;
+
+  /// Parses config_text; throws afdx::Error on corruption.
+  [[nodiscard]] TrafficConfig config() const;
+};
+
+/// Writes `entry` to `path` (metadata header + config text).
+void write_corpus_file(const CorpusEntry& entry, const std::string& path);
+
+/// Reads an artifact back; throws afdx::Error when the file is missing or
+/// its config section does not parse.
+[[nodiscard]] CorpusEntry read_corpus_file(const std::string& path);
+
+/// The *.afdx files of a corpus directory, sorted by name; empty when the
+/// directory does not exist.
+[[nodiscard]] std::vector<std::string> list_corpus(const std::string& dir);
+
+struct ReplayOutcome {
+  /// Check without the fault -- must be green for a healthy library.
+  CheckResult clean;
+  /// Check with the recorded fault re-applied (absent when the entry has
+  /// no fault) -- must reproduce a violation.
+  std::optional<CheckResult> faulted;
+
+  [[nodiscard]] bool regression_ok() const {
+    return clean.ok() && (!faulted.has_value() || !faulted->ok());
+  }
+};
+
+/// Replays one entry under `base` options (fault fields are overridden per
+/// the replay semantics above).
+[[nodiscard]] ReplayOutcome replay(const CorpusEntry& entry,
+                                   CheckOptions base = {});
+
+}  // namespace afdx::valid

@@ -1,0 +1,239 @@
+#include "valid/shrink.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace afdx::valid {
+
+namespace {
+
+/// Rebuilds a TrafficConfig from mutable parts; nullopt when the candidate
+/// is structurally invalid (e.g. a VL lost its last destination).
+std::optional<TrafficConfig> rebuild(const Network& net,
+                                     std::vector<VirtualLink> vls) {
+  if (vls.empty()) return std::nullopt;
+  try {
+    return TrafficConfig(net, std::move(vls));
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+class Shrinker {
+ public:
+  Shrinker(const TrafficConfig& config, const ShrinkOptions& options)
+      : options_(options), net_(config.network()) {
+    for (VlId v = 0; v < config.vl_count(); ++v) {
+      vls_.push_back(config.vl(v));
+    }
+  }
+
+  std::optional<ShrinkResult> run() {
+    // The original must fail, otherwise there is nothing to shrink.
+    auto original = violates(net_, vls_);
+    if (!original.has_value()) return std::nullopt;
+    witness_ = original->violations.front();
+    const std::size_t original_vls = vls_.size();
+
+    restrict_to_interferers(original->violations.front());
+    for (int pass = 0; pass < options_.max_passes && !exhausted(); ++pass) {
+      bool changed = false;
+      changed |= drop_vl_chunks();
+      changed |= prune_destinations();
+      changed |= shrink_frames_and_jitter();
+      if (!changed) break;
+    }
+    prune_topology();
+
+    auto final_cfg = rebuild(net_, vls_);
+    AFDX_ASSERT(final_cfg.has_value(), "shrink: final config must rebuild");
+    ShrinkResult out{std::move(*final_cfg), witness_, original_vls,
+                     vls_.size(), evaluations_};
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool exhausted() const {
+    return evaluations_ >=
+           static_cast<std::size_t>(std::max(0, options_.max_evaluations));
+  }
+
+  /// Checks one candidate; returns the result only when it still violates.
+  std::optional<CheckResult> violates(const Network& net,
+                                      const std::vector<VirtualLink>& vls) {
+    if (exhausted()) return std::nullopt;
+    auto cfg = rebuild(net, vls);
+    if (!cfg.has_value()) return std::nullopt;
+    ++evaluations_;
+    try {
+      CheckResult r = check_config(*cfg, options_.check);
+      if (r.ok()) return std::nullopt;
+      return r;
+    } catch (const Error&) {
+      // A candidate the analyzers reject (unstable, non-feed-forward) is
+      // not a reproducer of the original violation.
+      return std::nullopt;
+    }
+  }
+
+  /// Accepts `candidate` when it still violates; updates the witness.
+  bool try_accept(std::vector<VirtualLink> candidate) {
+    auto r = violates(net_, candidate);
+    if (!r.has_value()) return false;
+    vls_ = std::move(candidate);
+    witness_ = r->violations.front();
+    return true;
+  }
+
+  /// Move 1: keep only the VLs sharing at least one output port with the
+  /// violating path (the interferer closure) -- one evaluation, usually
+  /// the single biggest reduction.
+  void restrict_to_interferers(const Violation& v) {
+    if (v.kind == CheckKind::kBacklogDominance) return;
+    auto cfg = rebuild(net_, vls_);
+    if (!cfg.has_value() || v.index >= cfg->all_paths().size()) return;
+    const VlPath& path = cfg->all_paths()[v.index];
+    std::set<VlId> keep;
+    keep.insert(path.vl);
+    for (LinkId l : path.links) {
+      for (VlId other : cfg->vls_on_link(l)) keep.insert(other);
+    }
+    if (keep.size() == vls_.size()) return;
+    std::vector<VirtualLink> candidate;
+    for (VlId v2 : keep) candidate.push_back(vls_[v2]);
+    (void)try_accept(std::move(candidate));
+  }
+
+  /// Move 2: ddmin-style removal -- chunks of half the VLs, then quarters,
+  /// ... down to single VLs.
+  bool drop_vl_chunks() {
+    bool changed = false;
+    for (std::size_t chunk = std::max<std::size_t>(1, vls_.size() / 2);
+         chunk >= 1; chunk /= 2) {
+      for (std::size_t start = 0; start < vls_.size() && !exhausted();) {
+        if (vls_.size() <= 1) return changed;
+        std::vector<VirtualLink> candidate;
+        for (std::size_t i = 0; i < vls_.size(); ++i) {
+          if (i < start || i >= start + chunk) candidate.push_back(vls_[i]);
+        }
+        if (!candidate.empty() && try_accept(std::move(candidate))) {
+          changed = true;  // same start now names the next chunk
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    return changed;
+  }
+
+  /// Move 3: drop multicast destinations one at a time (prunes tree hops).
+  bool prune_destinations() {
+    bool changed = false;
+    for (std::size_t v = 0; v < vls_.size() && !exhausted(); ++v) {
+      while (vls_[v].destinations.size() > 1 && !exhausted()) {
+        bool dropped = false;
+        for (std::size_t d = 0; d < vls_[v].destinations.size(); ++d) {
+          std::vector<VirtualLink> candidate = vls_;
+          candidate[v].destinations.erase(candidate[v].destinations.begin() +
+                                          static_cast<std::ptrdiff_t>(d));
+          if (try_accept(std::move(candidate))) {
+            dropped = true;
+            changed = true;
+            break;
+          }
+        }
+        if (!dropped) break;
+      }
+    }
+    return changed;
+  }
+
+  /// Move 4: halve s_max toward s_min and zero the release jitter.
+  bool shrink_frames_and_jitter() {
+    bool changed = false;
+    for (std::size_t v = 0; v < vls_.size() && !exhausted(); ++v) {
+      while (vls_[v].s_max > vls_[v].s_min && !exhausted()) {
+        std::vector<VirtualLink> candidate = vls_;
+        candidate[v].s_max =
+            std::max(candidate[v].s_min, candidate[v].s_max / 2);
+        if (!try_accept(std::move(candidate))) break;
+        changed = true;
+      }
+      if (vls_[v].max_release_jitter > 0.0 && !exhausted()) {
+        std::vector<VirtualLink> candidate = vls_;
+        candidate[v].max_release_jitter = 0.0;
+        changed |= try_accept(std::move(candidate));
+      }
+    }
+    return changed;
+  }
+
+  /// Move 5: rebuild the network with only the nodes and cables some
+  /// surviving VL route actually crosses.
+  void prune_topology() {
+    auto cfg = rebuild(net_, vls_);
+    if (!cfg.has_value()) return;
+
+    std::set<NodeId> used_nodes;
+    std::set<std::pair<NodeId, NodeId>> used_cables;  // normalized (lo, hi)
+    for (VlId v = 0; v < cfg->vl_count(); ++v) {
+      for (LinkId l : cfg->route(v).crossed_links()) {
+        const Link& link = net_.link(l);
+        used_nodes.insert(link.source);
+        used_nodes.insert(link.dest);
+        used_cables.insert({std::min(link.source, link.dest),
+                            std::max(link.source, link.dest)});
+      }
+    }
+    if (used_nodes.size() == net_.node_count()) return;
+
+    Network pruned;
+    std::vector<NodeId> remap(net_.node_count(), kInvalidNode);
+    for (NodeId n = 0; n < net_.node_count(); ++n) {
+      if (used_nodes.find(n) == used_nodes.end()) continue;
+      remap[n] = net_.is_switch(n) ? pruned.add_switch(net_.node(n).name)
+                                   : pruned.add_end_system(net_.node(n).name);
+    }
+    for (const auto& [a, b] : used_cables) {
+      const LinkId fwd = *net_.link_between(a, b);
+      const LinkId bwd = *net_.link_between(b, a);
+      LinkParams p;
+      p.rate = net_.link(fwd).rate;
+      if (net_.is_switch(a)) p.switch_latency = net_.link(fwd).latency;
+      else p.end_system_latency = net_.link(fwd).latency;
+      if (net_.is_switch(b)) p.switch_latency = net_.link(bwd).latency;
+      else p.end_system_latency = net_.link(bwd).latency;
+      pruned.connect(remap[a], remap[b], p);
+    }
+
+    std::vector<VirtualLink> remapped = vls_;
+    for (VirtualLink& vl : remapped) {
+      vl.source = remap[vl.source];
+      for (NodeId& d : vl.destinations) d = remap[d];
+    }
+    auto r = violates(pruned, remapped);
+    if (!r.has_value()) return;
+    net_ = std::move(pruned);
+    vls_ = std::move(remapped);
+    witness_ = r->violations.front();
+  }
+
+  const ShrinkOptions& options_;
+  Network net_;
+  std::vector<VirtualLink> vls_;
+  Violation witness_;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace
+
+std::optional<ShrinkResult> shrink(const TrafficConfig& config,
+                                   const ShrinkOptions& options) {
+  return Shrinker(config, options).run();
+}
+
+}  // namespace afdx::valid

@@ -1,0 +1,52 @@
+// Auto-shrinking of invariant-violating configurations.
+//
+// When a campaign finds a violation, the raw witness is a full random
+// configuration -- far too big to debug. shrink() greedily minimizes it
+// while re-checking that *some* invariant still fails after every step:
+//
+//   1. restrict to the interferer closure of a violating path (every VL
+//      sharing a port with it);
+//   2. ddmin-style VL removal (halving chunks, then single VLs);
+//   3. per-VL multicast destination pruning;
+//   4. per-VL s_max halving toward s_min, and release-jitter zeroing;
+//   5. topology pruning (drop every node and cable no surviving VL uses).
+//
+// Every candidate is re-validated with the same CheckOptions (including
+// any injected Fault), so the minimized configuration reproduces the
+// original failure mode. Routes are re-derived (shortest path) on every
+// rebuild, as the generator does.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "valid/validation.hpp"
+#include "vl/traffic_config.hpp"
+
+namespace afdx::valid {
+
+struct ShrinkOptions {
+  /// The check the shrunk configuration must keep failing.
+  CheckOptions check;
+  /// Greedy passes over the move list (each pass retries every move).
+  int max_passes = 3;
+  /// Hard budget on candidate evaluations; each evaluation is one full
+  /// check_config() run, the dominating cost of shrinking.
+  int max_evaluations = 250;
+};
+
+struct ShrinkResult {
+  TrafficConfig config;
+  /// First violation of the minimized configuration.
+  Violation witness;
+  std::size_t original_vls = 0;
+  std::size_t vls = 0;
+  std::size_t evaluations = 0;
+};
+
+/// Minimizes `config`; returns nullopt when the configuration does not
+/// violate any invariant under `options.check` in the first place.
+[[nodiscard]] std::optional<ShrinkResult> shrink(const TrafficConfig& config,
+                                                 const ShrinkOptions& options);
+
+}  // namespace afdx::valid

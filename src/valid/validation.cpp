@@ -1,0 +1,269 @@
+#include "valid/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "netcalc/netcalc_analyzer.hpp"
+#include "sim/worst_case_search.hpp"
+#include "trajectory/trajectory_analyzer.hpp"
+
+namespace afdx::valid {
+
+namespace {
+
+/// Absolute tolerance of every dominance comparison; matches the slack the
+/// property tests have always used against float accumulation.
+constexpr double kTolerance = 1e-6;
+
+void scale(std::vector<Microseconds>& bounds, double factor) {
+  for (Microseconds& b : bounds) b *= factor;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_string(Fault fault) {
+  switch (fault) {
+    case Fault::kNone:
+      return "none";
+    case Fault::kDeflateNetcalc:
+      return "deflate-netcalc";
+    case Fault::kDeflateTrajectory:
+      return "deflate-trajectory";
+    case Fault::kSkewCombined:
+      return "skew-combined";
+  }
+  return "none";
+}
+
+std::optional<Fault> fault_from_string(const std::string& name) {
+  if (name == "none") return Fault::kNone;
+  if (name == "deflate-netcalc") return Fault::kDeflateNetcalc;
+  if (name == "deflate-trajectory") return Fault::kDeflateTrajectory;
+  if (name == "skew-combined") return Fault::kSkewCombined;
+  return std::nullopt;
+}
+
+std::string to_string(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kSimDominance:
+      return "sim-dominance";
+    case CheckKind::kCombinedIsMin:
+      return "combined-is-min";
+    case CheckKind::kRefinementMonotonic:
+      return "refinement-monotonic";
+    case CheckKind::kStoreForwardFloor:
+      return "store-forward-floor";
+    case CheckKind::kBacklogDominance:
+      return "backlog-dominance";
+  }
+  return "sim-dominance";
+}
+
+std::string Violation::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << " [" << method << "] "
+     << (kind == CheckKind::kBacklogDominance ? "port " : "path ") << index
+     << ": bound " << bound << " < " << observed;
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+Microseconds store_forward_floor(const TrafficConfig& config,
+                                 std::size_t path_index) {
+  const VlPath& p = config.all_paths().at(path_index);
+  Microseconds floor = 0.0;
+  for (LinkId l : p.links) {
+    floor += config.vl(p.vl).max_transmission_time(config.network().link(l).rate);
+    if (config.route(p.vl).predecessor(l) != kInvalidLink) {
+      floor += config.network().link(l).latency;
+    }
+  }
+  return floor;
+}
+
+CheckResult check_config(const TrafficConfig& config,
+                         const CheckOptions& options) {
+  CheckResult out;
+  const std::size_t path_count = config.all_paths().size();
+  out.paths = path_count;
+
+  // -- Analyses --------------------------------------------------------------
+  engine::AnalysisEngine eng(config, options.engine);
+  engine::RunResult run = eng.run();
+  std::vector<Microseconds> nc = std::move(run.netcalc);
+  std::vector<Microseconds> tj = std::move(run.trajectory);
+  std::vector<Microseconds> combined = std::move(run.combined);
+
+  // The injected corruption mimics a broken analyzer: the deflate faults
+  // keep combined = min(nc, tj) consistent (so only sim-dominance fires),
+  // the skew fault corrupts combined alone (so combined-is-min fires).
+  switch (options.fault) {
+    case Fault::kNone:
+      break;
+    case Fault::kDeflateNetcalc:
+      scale(nc, options.fault_factor);
+      for (std::size_t i = 0; i < combined.size(); ++i) {
+        combined[i] = std::min(nc[i], tj[i]);
+      }
+      break;
+    case Fault::kDeflateTrajectory:
+      scale(tj, options.fault_factor);
+      for (std::size_t i = 0; i < combined.size(); ++i) {
+        combined[i] = std::min(nc[i], tj[i]);
+      }
+      break;
+    case Fault::kSkewCombined:
+      scale(combined, options.fault_factor);
+      break;
+  }
+
+  struct BoundSet {
+    const char* method;
+    const std::vector<Microseconds>* bounds;
+  };
+  std::vector<Microseconds> nc_plain, tj_naive, tj_loose;
+  std::vector<BoundSet> families = {
+      {"wcnc", &nc}, {"trajectory", &tj}, {"combined", &combined}};
+  if (options.variants) {
+    netcalc::Options plain;
+    plain.grouping = false;
+    nc_plain = netcalc::analyze(config, plain).path_bounds;
+    trajectory::Options naive;
+    naive.serialization = false;
+    tj_naive = trajectory::analyze(config, naive).path_bounds;
+    trajectory::Options loose;
+    loose.loose_boundary_packet = true;
+    tj_loose = trajectory::analyze(config, loose).path_bounds;
+    families.push_back({"wcnc(no-grouping)", &nc_plain});
+    families.push_back({"trajectory(no-serialization)", &tj_naive});
+    families.push_back({"trajectory(loose-boundary)", &tj_loose});
+  }
+
+  // -- Simulated lower bounds ------------------------------------------------
+  out.simulated.assign(path_count, 0.0);
+  std::vector<Bits> observed_backlog(config.network().link_count(), 0.0);
+  for (const sim::Options& schedule :
+       sim::soundness_schedules(config, options.schedules)) {
+    const sim::Result observed = sim::simulate(config, schedule);
+    ++out.schedules_simulated;
+    for (std::size_t i = 0; i < path_count; ++i) {
+      out.simulated[i] = std::max(out.simulated[i], observed.max_path_delay[i]);
+    }
+    for (LinkId l = 0; l < config.network().link_count(); ++l) {
+      observed_backlog[l] =
+          std::max(observed_backlog[l], observed.max_port_backlog[l]);
+    }
+  }
+  if (options.search_paths > 0 && path_count > 0) {
+    const std::size_t stride = std::max<std::size_t>(
+        1, path_count / static_cast<std::size_t>(options.search_paths));
+    sim::SearchOptions so;
+    so.steps_per_vl = 4;
+    so.max_exhaustive_schedules = 512;
+    so.random_restarts = 1;
+    so.max_rounds = 2;
+    std::size_t searched = 0;
+    for (std::size_t p = 0; p < path_count && searched <
+         static_cast<std::size_t>(options.search_paths); p += stride) {
+      const VlPath& path = config.all_paths()[p];
+      so.seed = options.schedules.seed + p;
+      const sim::SearchResult r = sim::worst_case_search(
+          config, PathRef{path.vl, path.dest_index}, so);
+      out.simulated[p] = std::max(out.simulated[p], r.worst_delay);
+      out.schedules_simulated += r.schedules_tried;
+      ++searched;
+    }
+  }
+
+  // -- Invariants ------------------------------------------------------------
+  // Every analytic bound of every family dominates every realized schedule.
+  for (const BoundSet& family : families) {
+    AFDX_ASSERT(family.bounds->size() == path_count,
+                "check_config: bound vector misaligned with paths");
+    for (std::size_t i = 0; i < path_count; ++i) {
+      const double bound = (*family.bounds)[i];
+      if (out.simulated[i] > bound + kTolerance) {
+        out.violations.push_back(
+            {CheckKind::kSimDominance, family.method, i, out.simulated[i],
+             bound,
+             "VL " + config.vl(config.all_paths()[i].vl).name +
+                 ": simulated delay exceeds the bound"});
+      }
+    }
+  }
+
+  // combined == min(wcnc, trajectory), per path.
+  for (std::size_t i = 0; i < path_count; ++i) {
+    const double expected = std::min(nc[i], tj[i]);
+    if (std::abs(combined[i] - expected) > kTolerance) {
+      out.violations.push_back({CheckKind::kCombinedIsMin, "combined", i,
+                                expected, combined[i],
+                                "combined bound is not min(wcnc, trajectory)"});
+    }
+  }
+
+  // Grouping / serialization / boundary-packet refinements only tighten.
+  if (options.variants) {
+    for (std::size_t i = 0; i < path_count; ++i) {
+      if (nc[i] > nc_plain[i] + kTolerance) {
+        out.violations.push_back({CheckKind::kRefinementMonotonic, "wcnc", i,
+                                  nc_plain[i], nc[i],
+                                  "grouping loosened the WCNC bound"});
+      }
+      if (tj[i] > tj_naive[i] + kTolerance) {
+        out.violations.push_back(
+            {CheckKind::kRefinementMonotonic, "trajectory", i, tj_naive[i],
+             tj[i], "serialization loosened the trajectory bound"});
+      }
+      if (tj[i] > tj_loose[i] + kTolerance) {
+        out.violations.push_back(
+            {CheckKind::kRefinementMonotonic, "trajectory", i, tj_loose[i],
+             tj[i],
+             "refined boundary packet loosened the trajectory bound"});
+      }
+    }
+  }
+
+  // No bound undercuts the store-and-forward floor of its path.
+  for (std::size_t i = 0; i < path_count; ++i) {
+    const Microseconds floor = store_forward_floor(config, i);
+    for (const BoundSet& family : families) {
+      if ((*family.bounds)[i] < floor - kTolerance) {
+        out.violations.push_back(
+            {CheckKind::kStoreForwardFloor, family.method, i, floor,
+             (*family.bounds)[i],
+             "bound undercuts the physical store-and-forward latency (" +
+                 fmt(floor) + " us)"});
+      }
+    }
+  }
+
+  // Buffer bounds dominate every observed FIFO backlog.
+  if (options.backlog) {
+    const netcalc::Result& ncr = run.netcalc_result;
+    for (LinkId l = 0; l < config.network().link_count(); ++l) {
+      if (!ncr.ports[l].used) continue;
+      if (observed_backlog[l] > ncr.ports[l].backlog + kTolerance) {
+        out.violations.push_back(
+            {CheckKind::kBacklogDominance, "wcnc", l, observed_backlog[l],
+             ncr.ports[l].backlog, "observed backlog exceeds buffer bound"});
+      }
+    }
+  }
+
+  // -- Pessimism (quality axis) ----------------------------------------------
+  out.wcnc = analysis::pessimism_stats(out.simulated, nc);
+  out.trajectory = analysis::pessimism_stats(out.simulated, tj);
+  out.combined = analysis::pessimism_stats(out.simulated, combined);
+  return out;
+}
+
+}  // namespace afdx::valid

@@ -1,0 +1,137 @@
+// Differential validation of the delay analyses.
+//
+// check_config() runs every analysis variant the library implements on one
+// configuration, brackets them from below with a battery of simulated
+// schedules, and checks the cross-method invariants the paper's soundness
+// claim rests on:
+//
+//   * sim-dominance   -- every analytic bound (WCNC, trajectory, combined,
+//                        and the historical no-grouping / no-serialization
+//                        variants) dominates every simulated schedule;
+//   * combined-is-min -- the combined method equals min(WCNC, trajectory)
+//                        per path (the paper's recommendation, by
+//                        construction);
+//   * refinement-monotonic -- grouping / serialization / the refined
+//                        boundary-packet treatment only ever tighten;
+//   * store-forward-floor -- no bound undercuts the physical
+//                        store-and-forward latency of its path;
+//   * backlog-dominance -- per-port buffer bounds dominate every observed
+//                        FIFO backlog.
+//
+// A Fault can be injected between analysis and checking -- it deliberately
+// corrupts the bounds the way a broken analyzer would, which is how the
+// harness (detection, shrinking, corpus replay) validates itself end to
+// end without touching the real analyzers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/comparison.hpp"
+#include "engine/engine.hpp"
+#include "sim/simulator.hpp"
+#include "vl/traffic_config.hpp"
+
+namespace afdx::valid {
+
+/// Deliberate bound corruption applied before checking (test hook).
+enum class Fault {
+  kNone,
+  /// Scale the WCNC bounds by fault_factor (< 1 fakes an unsound WCNC).
+  kDeflateNetcalc,
+  /// Scale the trajectory bounds by fault_factor.
+  kDeflateTrajectory,
+  /// Scale only the combined bounds, breaking combined == min(nc, tj).
+  kSkewCombined,
+};
+
+/// "none", "deflate-netcalc", "deflate-trajectory", "skew-combined".
+[[nodiscard]] std::string to_string(Fault fault);
+/// Inverse of to_string; nullopt on an unknown name.
+[[nodiscard]] std::optional<Fault> fault_from_string(const std::string& name);
+
+/// Which invariant a Violation witnesses.
+enum class CheckKind {
+  kSimDominance,
+  kCombinedIsMin,
+  kRefinementMonotonic,
+  kStoreForwardFloor,
+  kBacklogDominance,
+};
+
+[[nodiscard]] std::string to_string(CheckKind kind);
+
+/// One falsified invariant instance.
+struct Violation {
+  CheckKind kind = CheckKind::kSimDominance;
+  /// The bound family involved ("wcnc", "trajectory", "combined",
+  /// "wcnc(no-grouping)", ...).
+  std::string method;
+  /// Path index into TrafficConfig::all_paths() (kSimDominance,
+  /// kCombinedIsMin, kRefinementMonotonic, kStoreForwardFloor) or the
+  /// LinkId of the port (kBacklogDominance).
+  std::size_t index = 0;
+  /// The value that should have been dominated (observed delay / backlog,
+  /// refined bound, floor, ...).
+  double observed = 0.0;
+  /// The bound that failed to dominate it.
+  double bound = 0.0;
+  std::string detail;
+
+  /// One-line human-readable description.
+  [[nodiscard]] std::string describe() const;
+};
+
+struct CheckOptions {
+  /// Injected corruption (see Fault). kNone for real validation runs.
+  Fault fault = Fault::kNone;
+  double fault_factor = 0.5;
+  /// The simulated schedule battery (aligned + random + adversarial).
+  sim::ScheduleSuiteOptions schedules;
+  /// Also run the historical analysis variants (no grouping, no
+  /// serialization, loose boundary packet) and the refinement-monotonicity
+  /// checks. Doubles the analysis cost.
+  bool variants = true;
+  /// Check per-port backlog bounds against observed backlogs.
+  bool backlog = true;
+  /// Run the worst-case schedule search on this many paths (spread evenly
+  /// over the path list) to sharpen the simulated lower bounds. 0 = rely
+  /// on the schedule battery only.
+  int search_paths = 0;
+  /// Threads of the inner analysis engine. Campaigns parallelize across
+  /// configurations, so 1 (the deterministic serial path) is the default.
+  engine::Options engine;
+};
+
+/// Everything check_config learned about one configuration.
+struct CheckResult {
+  std::vector<Violation> violations;
+  /// Per-method pessimism of the analytic bound against the best simulated
+  /// lower bound (ratio >= 1 on every path iff sound w.r.t. simulation).
+  analysis::PessimismStats wcnc;
+  analysis::PessimismStats trajectory;
+  analysis::PessimismStats combined;
+  /// Best simulated delay per path (the lower-bound witness).
+  std::vector<Microseconds> simulated;
+  std::size_t paths = 0;
+  std::uint64_t schedules_simulated = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Runs the full differential check on one configuration. Deterministic
+/// for a given (config, options). Throws afdx::Error only when an analysis
+/// itself fails (e.g. an unstable configuration); invariant violations are
+/// reported in the result, never thrown.
+[[nodiscard]] CheckResult check_config(const TrafficConfig& config,
+                                       const CheckOptions& options = {});
+
+/// The store-and-forward floor of one path: transmission of the largest
+/// frame on every link plus the technological latency of every switch
+/// output port. No sound bound can undercut it.
+[[nodiscard]] Microseconds store_forward_floor(const TrafficConfig& config,
+                                               std::size_t path_index);
+
+}  // namespace afdx::valid

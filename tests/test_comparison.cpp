@@ -123,6 +123,23 @@ TEST(Comparison, SampleConfigHeadlineNumbers) {
   EXPECT_NEAR(c.combined[0], 272.0, 1e-6);
 }
 
+TEST(Comparison, PessimismStatsOnKnownVectors) {
+  // bound / lower: 2.0, 1.5, skipped (lower <= 0), 1.0
+  const PessimismStats s =
+      pessimism_stats({10.0, 20.0, 0.0, 40.0}, {20.0, 30.0, 99.0, 40.0});
+  EXPECT_EQ(s.paths, 3u);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean, (2.0 + 1.5 + 1.0) / 3.0);
+}
+
+TEST(Comparison, PessimismStatsValidatesInput) {
+  EXPECT_THROW((void)pessimism_stats({1.0}, {1.0, 2.0}), Error);
+  const PessimismStats empty = pessimism_stats({}, {});
+  EXPECT_EQ(empty.paths, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
 TEST(Comparison, AblationOptionsPropagate) {
   const TrafficConfig cfg = config::sample_config();
   netcalc::Options nc;

@@ -5,12 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
 #include <sstream>
+#include <thread>
 
 #include "analysis/comparison.hpp"
 #include "common/error.hpp"
 #include "config/samples.hpp"
+#include "engine/port_cache.hpp"
 #include "engine/thread_pool.hpp"
 #include "gen/industrial.hpp"
 #include "netcalc/netcalc_analyzer.hpp"
@@ -232,6 +235,116 @@ TEST(Engine, MultiPriorityConfigStillRejectedByTrajectoryPhase) {
   AnalysisEngine eng(cfg, Options{4});
   EXPECT_NO_THROW((void)eng.netcalc_only());
   EXPECT_THROW((void)eng.run(), Error);
+}
+
+TEST(ThreadPool, ZeroTaskBatchIsANoOp) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t, int) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  const auto tasks = pool.tasks_per_thread();
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_EQ(std::accumulate(tasks.begin(), tasks.end(), std::size_t{0}), 0u);
+}
+
+TEST(ThreadPool, MoreThreadsThanTasksLeavesWorkersIdle) {
+  ThreadPool pool(8);
+  std::vector<int> counts(3, 0);
+  pool.parallel_for(counts.size(),
+                    [&](std::size_t i, int) { ++counts[i]; });
+  for (std::size_t i = 0; i < counts.size(); ++i) EXPECT_EQ(counts[i], 1);
+  const auto tasks = pool.tasks_per_thread();
+  ASSERT_EQ(tasks.size(), 8u);
+  EXPECT_EQ(std::accumulate(tasks.begin(), tasks.end(), std::size_t{0}), 3u);
+}
+
+TEST(ThreadPool, ReuseAccumulatesAcrossBatchesAndSurvivesFailures) {
+  ThreadPool pool(2);
+  pool.parallel_for(10, [](std::size_t, int) {});
+  pool.parallel_for(7, [](std::size_t, int) {});
+  auto sum = [](const std::vector<std::size_t>& v) {
+    return std::accumulate(v.begin(), v.end(), std::size_t{0});
+  };
+  EXPECT_EQ(sum(pool.tasks_per_thread()), 17u);
+  // A failing batch must not poison the pool for subsequent batches.
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t, int) { throw Error("boom"); }),
+      Error);
+  std::vector<int> counts(5, 0);
+  pool.parallel_for(counts.size(),
+                    [&](std::size_t i, int) { ++counts[i]; });
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(PortCacheConcurrency, MixedHitMissLoadKeepsCountersConsistent) {
+  PortCache cache;
+  const std::uint64_t key = PortCache::options_key(netcalc::Options{});
+  constexpr LinkId kPorts = 20;
+  auto bounds_for = [](LinkId port) {
+    netcalc::PortBounds b;
+    b.backlog = static_cast<double>(port);
+    return b;
+  };
+  // Half the ports are warm before the storm: every thread sees a mix of
+  // hits and misses.
+  for (LinkId p = 0; p < kPorts / 2; ++p) cache.store(key, p, bounds_for(p));
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  std::atomic<int> value_mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const LinkId port = static_cast<LinkId>((i + t) % kPorts);
+        const auto cached = cache.lookup(key, port);
+        if (cached.has_value()) {
+          if (cached->backlog != static_cast<double>(port)) ++value_mismatches;
+        } else {
+          cache.store(key, port, bounds_for(port));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every lookup was counted exactly once as a hit or a miss, values never
+  // tore, and racing writers never duplicated an entry.
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_EQ(value_mismatches.load(), 0);
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kPorts));
+
+  // Once fully populated, a warm pass is all hits: nothing recomputes.
+  const std::uint64_t misses_before = stats.misses;
+  for (LinkId p = 0; p < kPorts; ++p) {
+    const auto cached = cache.lookup(key, p);
+    ASSERT_TRUE(cached.has_value()) << "port " << p;
+    EXPECT_EQ(cached->backlog, static_cast<double>(p));
+  }
+  EXPECT_EQ(cache.stats().misses, misses_before);
+  EXPECT_EQ(cache.stats().hits, stats.hits + kPorts);
+}
+
+TEST(PortCacheConcurrency, DistinctOptionKeysIsolateEntries) {
+  PortCache cache;
+  netcalc::Options grouped;
+  netcalc::Options ungrouped;
+  ungrouped.grouping = false;
+  const std::uint64_t ka = PortCache::options_key(grouped);
+  const std::uint64_t kb = PortCache::options_key(ungrouped);
+  ASSERT_NE(ka, kb);
+  netcalc::PortBounds b;
+  b.backlog = 7.0;
+  cache.store(ka, 0, b);
+  EXPECT_TRUE(cache.lookup(ka, 0).has_value());
+  EXPECT_FALSE(cache.lookup(kb, 0).has_value());
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 TEST(Engine, PropagationLevelsRespectDependencies) {

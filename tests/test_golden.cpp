@@ -1,0 +1,126 @@
+// Golden regression of per-path bounds (Table-style, as reported by
+// afdx_analyze) for the paper's reference configurations. Any numeric
+// drift in the WCNC, trajectory, SFA or combined bounds fails the diff
+// below; intentional changes are re-locked with
+//
+//   AFDX_REGEN_GOLDEN=1 ./build/tests/test_golden
+//
+// (or scripts/regen_golden.sh, which rebuilds first).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "config/samples.hpp"
+#include "netcalc/netcalc_analyzer.hpp"
+#include "report/table.hpp"
+#include "sfa/sfa_analyzer.hpp"
+#include "trajectory/trajectory_analyzer.hpp"
+#include "vl/traffic_config.hpp"
+
+#ifndef AFDX_REPO_ROOT
+#define AFDX_REPO_ROOT "."
+#endif
+
+namespace afdx {
+namespace {
+
+constexpr const char* kGoldenFile =
+    AFDX_REPO_ROOT "/tests/golden/path_bounds.csv";
+
+/// Appends one row per path of `cfg` to the table: every method's bound at
+/// fixed 6-decimal precision, so a drift of 1e-6 us is visible.
+void append_bounds(report::Table& table, const std::string& label,
+                   const TrafficConfig& cfg) {
+  const netcalc::Result nc = netcalc::analyze(cfg);
+  const trajectory::Result tj = trajectory::analyze(cfg);
+  const sfa::Result sf = sfa::analyze(cfg);
+  for (std::size_t i = 0; i < cfg.all_paths().size(); ++i) {
+    const VlPath& p = cfg.all_paths()[i];
+    table.add_row(
+        {label, cfg.vl(p.vl).name,
+         cfg.network().node(cfg.vl(p.vl).destinations[p.dest_index]).name,
+         report::fmt(nc.path_bounds[i], 6), report::fmt(tj.path_bounds[i], 6),
+         report::fmt(sf.path_bounds[i], 6),
+         report::fmt(std::min(nc.path_bounds[i], tj.path_bounds[i]), 6)});
+  }
+}
+
+/// The full golden CSV: the Figure-2 sample config at the paper default,
+/// one Figure-7/8-style sweep point, and the Figure-1-style multicast
+/// configuration.
+std::string golden_text() {
+  report::Table table({"config", "vl", "destination", "wcnc_us",
+                       "trajectory_us", "sfa_us", "combined_us"});
+  append_bounds(table, "sample_default", config::sample_config());
+
+  config::SampleOptions sweep;
+  sweep.bag_v1 = microseconds_from_ms(2.0);
+  sweep.s_max_v1 = 300;
+  append_bounds(table, "sample_bag2ms_smax300", config::sample_config(sweep));
+
+  append_bounds(table, "illustrative", config::illustrative_config());
+
+  std::ostringstream os;
+  table.print_csv(os);
+  return os.str();
+}
+
+TEST(Golden, PathBoundsMatchLockedValues) {
+  const std::string current = golden_text();
+
+  if (std::getenv("AFDX_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenFile);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenFile;
+    out << current;
+    GTEST_SKIP() << "regenerated " << kGoldenFile;
+  }
+
+  std::ifstream in(kGoldenFile);
+  ASSERT_TRUE(in.good())
+      << kGoldenFile
+      << " is missing; run scripts/regen_golden.sh to create it";
+  std::ostringstream locked;
+  locked << in.rdbuf();
+
+  if (current != locked.str()) {
+    // Pinpoint the first differing line for a readable failure.
+    std::istringstream a(locked.str()), b(current);
+    std::string la, lb;
+    int line = 0;
+    while (true) {
+      const bool ga = static_cast<bool>(std::getline(a, la));
+      const bool gb = static_cast<bool>(std::getline(b, lb));
+      ++line;
+      if (!ga && !gb) break;
+      if (la != lb || ga != gb) {
+        FAIL() << "bound drift at " << kGoldenFile << ":" << line
+               << "\n  locked:  " << (ga ? la : "<eof>")
+               << "\n  current: " << (gb ? lb : "<eof>")
+               << "\nIf the change is intentional, re-lock with "
+                  "scripts/regen_golden.sh";
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Golden, LockedFileCoversEveryPathOfEveryConfig) {
+  if (std::getenv("AFDX_REGEN_GOLDEN") != nullptr) GTEST_SKIP();
+  const std::size_t expected_rows =
+      config::sample_config().all_paths().size() * 2 +
+      config::illustrative_config().all_paths().size();
+  std::ifstream in(kGoldenFile);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, expected_rows + 1);  // + header
+}
+
+}  // namespace
+}  // namespace afdx

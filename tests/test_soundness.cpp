@@ -50,25 +50,14 @@ TEST_P(Soundness, AllBoundsDominateAllSchedules) {
   plain.grouping = false;
   const auto nc_plain = netcalc::analyze(cfg, plain).path_bounds;
 
-  std::vector<sim::Options> schedules;
-  schedules.push_back({});  // aligned
-  for (std::uint64_t s = 1; s <= 3; ++s) {
-    sim::Options o;
-    o.phasing = sim::Phasing::kRandom;
-    o.seed = GetParam() * 10 + s;
-    schedules.push_back(o);
-  }
-  {
-    // Adversarial phasing against a handful of paths.
-    for (std::size_t p = 0; p < cfg.all_paths().size(); p += 17) {
-      sim::Options o;
-      o.phasing = sim::Phasing::kExplicit;
-      const VlPath& path = cfg.all_paths()[p];
-      o.offsets =
-          sim::adversarial_offsets(cfg, PathRef{path.vl, path.dest_index});
-      schedules.push_back(o);
-    }
-  }
+  // Aligned + random + adversarial phasings, shared with the fuzzing
+  // harness (src/valid); the seeds reproduce the historical suite exactly.
+  sim::ScheduleSuiteOptions suite;
+  suite.random_schedules = 3;
+  suite.seed = GetParam() * 10;
+  suite.adversarial_stride = 17;
+  const std::vector<sim::Options> schedules =
+      sim::soundness_schedules(cfg, suite);
 
   for (const sim::Options& schedule : schedules) {
     const sim::Result observed = sim::simulate(cfg, schedule);

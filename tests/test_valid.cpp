@@ -1,0 +1,359 @@
+// Tests for the differential validation subsystem: invariant checking,
+// fault-injection self-tests, auto-shrinking, corpus round-trip/replay and
+// campaign determinism. The committed corpus under tests/corpus/ is
+// replayed here as a parameterized regression suite.
+#include "valid/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "config/samples.hpp"
+#include "config/serialization.hpp"
+#include "gen/industrial.hpp"
+#include "valid/campaign.hpp"
+#include "valid/corpus.hpp"
+#include "valid/shrink.hpp"
+
+#ifndef AFDX_REPO_ROOT
+#define AFDX_REPO_ROOT "."
+#endif
+
+namespace afdx::valid {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A small industrial configuration the fault/shrink tests iterate on
+/// quickly.
+TrafficConfig tiny_industrial(std::uint64_t seed = 5) {
+  gen::IndustrialOptions o;
+  o.seed = seed;
+  o.switch_count = 3;
+  o.end_system_count = 8;
+  o.vl_count = 10;
+  o.multicast_fraction = 0.3;
+  return gen::industrial_config(o);
+}
+
+/// Check options tuned for test speed: tiny schedule battery.
+CheckOptions fast_check() {
+  CheckOptions c;
+  c.schedules.random_schedules = 1;
+  c.schedules.adversarial_stride = 5;
+  return c;
+}
+
+fs::path fresh_temp_dir(const char* tag) {
+  const fs::path dir =
+      fs::temp_directory_path() / (std::string("afdx_valid_") + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(Campaign, SpecForIsDeterministic) {
+  const GridOptions grid;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const CampaignSpec a = spec_for(grid, 42, i);
+    const CampaignSpec b = spec_for(grid, 42, i);
+    EXPECT_EQ(a.gen.seed, b.gen.seed);
+    EXPECT_EQ(a.gen.vl_count, b.gen.vl_count);
+    EXPECT_EQ(a.gen.switch_count, b.gen.switch_count);
+    EXPECT_EQ(a.gen.min_bag_ms, b.gen.min_bag_ms);
+    EXPECT_EQ(a.gen.max_frame_bytes, b.gen.max_frame_bytes);
+  }
+}
+
+TEST(Campaign, SpecForDrawsFromTheGridAndVariesAcrossIndices) {
+  const GridOptions grid;
+  std::set<int> vl_counts_seen;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const CampaignSpec spec = spec_for(grid, 7, i);
+    EXPECT_NE(std::find(grid.vl_counts.begin(), grid.vl_counts.end(),
+                        spec.gen.vl_count),
+              grid.vl_counts.end());
+    EXPECT_NE(std::find(grid.max_frame_bytes.begin(),
+                        grid.max_frame_bytes.end(), spec.gen.max_frame_bytes),
+              grid.max_frame_bytes.end());
+    EXPECT_LE(spec.gen.min_bag_ms, spec.gen.max_bag_ms);
+    vl_counts_seen.insert(spec.gen.vl_count);
+  }
+  // 64 draws over a 3-value axis must hit more than one value.
+  EXPECT_GT(vl_counts_seen.size(), 1u);
+}
+
+TEST(CheckConfig, SampleConfigIsClean) {
+  const CheckResult r = check_config(config::sample_config(), fast_check());
+  EXPECT_TRUE(r.ok()) << (r.violations.empty()
+                              ? ""
+                              : r.violations.front().describe());
+  EXPECT_EQ(r.paths, 5u);
+  EXPECT_GT(r.schedules_simulated, 0u);
+  // Soundness in pessimism terms: no analytic bound below a realized delay.
+  EXPECT_GE(r.wcnc.min, 1.0);
+  EXPECT_GE(r.trajectory.min, 1.0);
+  EXPECT_GE(r.combined.min, 1.0);
+  EXPECT_GT(r.wcnc.paths, 0u);
+}
+
+TEST(CheckConfig, TinyIndustrialIsClean) {
+  const CheckResult r = check_config(tiny_industrial(), fast_check());
+  EXPECT_TRUE(r.ok()) << (r.violations.empty()
+                              ? ""
+                              : r.violations.front().describe());
+}
+
+TEST(CheckConfig, StoreForwardFloorMatchesManualComputation) {
+  const TrafficConfig cfg = config::sample_config();
+  // Path 0 is v1: e1 -> S1 -> S3 -> e6. 500 B = 4000 bits at 100 Mb/s =
+  // 40 us per hop, plus 16 us at each of the two switch output ports.
+  EXPECT_NEAR(store_forward_floor(cfg, 0), 3 * 40.0 + 2 * 16.0, 1e-9);
+}
+
+TEST(CheckConfig, SkewCombinedFaultBreaksCombinedIsMin) {
+  CheckOptions opts = fast_check();
+  opts.fault = Fault::kSkewCombined;
+  opts.fault_factor = 0.5;
+  const CheckResult r = check_config(config::sample_config(), opts);
+  ASSERT_FALSE(r.ok());
+  bool saw_combined_is_min = false;
+  for (const Violation& v : r.violations) {
+    if (v.kind == CheckKind::kCombinedIsMin) saw_combined_is_min = true;
+  }
+  EXPECT_TRUE(saw_combined_is_min);
+}
+
+TEST(CheckConfig, DeflateTrajectoryFaultBreaksSimDominance) {
+  CheckOptions opts = fast_check();
+  opts.fault = Fault::kDeflateTrajectory;
+  opts.fault_factor = 0.2;
+  const CheckResult r = check_config(tiny_industrial(), opts);
+  ASSERT_FALSE(r.ok());
+  bool saw_sim_dominance = false;
+  for (const Violation& v : r.violations) {
+    if (v.kind == CheckKind::kSimDominance && v.method == "trajectory") {
+      saw_sim_dominance = true;
+      EXPECT_GT(v.observed, v.bound);
+    }
+  }
+  EXPECT_TRUE(saw_sim_dominance);
+  // The deflated method's pessimism witness dips below 1.
+  EXPECT_LT(r.trajectory.min, 1.0);
+}
+
+TEST(CheckConfig, FaultStringsRoundTrip) {
+  for (Fault f : {Fault::kNone, Fault::kDeflateNetcalc,
+                  Fault::kDeflateTrajectory, Fault::kSkewCombined}) {
+    const auto back = fault_from_string(to_string(f));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, f);
+  }
+  EXPECT_FALSE(fault_from_string("bogus").has_value());
+}
+
+TEST(Shrink, ReturnsNulloptOnCleanConfig) {
+  ShrinkOptions opts;
+  opts.check = fast_check();
+  EXPECT_FALSE(shrink(config::sample_config(), opts).has_value());
+}
+
+TEST(Shrink, MinimizesAFaultedConfigAndKeepsItFailing) {
+  const TrafficConfig cfg = tiny_industrial();
+  ShrinkOptions opts;
+  opts.check = fast_check();
+  opts.check.fault = Fault::kDeflateTrajectory;
+  opts.check.fault_factor = 0.2;
+
+  const auto result = shrink(cfg, opts);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->original_vls, cfg.vl_count());
+  EXPECT_LT(result->vls, result->original_vls);
+  EXPECT_GE(result->vls, 1u);
+  EXPECT_GT(result->evaluations, 0u);
+  // The minimized configuration must still reproduce a violation...
+  const CheckResult again = check_config(result->config, opts.check);
+  EXPECT_FALSE(again.ok());
+  // ... and be clean without the fault (the library itself is sound).
+  CheckOptions clean = opts.check;
+  clean.fault = Fault::kNone;
+  EXPECT_TRUE(check_config(result->config, clean).ok());
+}
+
+TEST(Corpus, WriteReadRoundTripPreservesEverything) {
+  const fs::path dir = fresh_temp_dir("roundtrip");
+  const TrafficConfig cfg = config::sample_config();
+
+  CorpusEntry entry;
+  entry.seed = 1234;
+  entry.campaign = 7;
+  entry.fault = Fault::kDeflateNetcalc;
+  entry.fault_factor = 0.25;
+  entry.witness = "sim-dominance [wcnc] path 0: bound 1 < 2";
+  entry.config_text = config::save_config_string(cfg);
+  const std::string path = (dir / "entry.afdx").string();
+  write_corpus_file(entry, path);
+
+  const CorpusEntry back = read_corpus_file(path);
+  EXPECT_EQ(back.seed, entry.seed);
+  EXPECT_EQ(back.campaign, entry.campaign);
+  EXPECT_EQ(back.fault, entry.fault);
+  EXPECT_DOUBLE_EQ(back.fault_factor, entry.fault_factor);
+  EXPECT_EQ(back.witness, entry.witness);
+  const TrafficConfig parsed = back.config();
+  EXPECT_EQ(parsed.vl_count(), cfg.vl_count());
+  EXPECT_EQ(parsed.all_paths().size(), cfg.all_paths().size());
+}
+
+TEST(Corpus, ListReturnsSortedAfdxFilesOnly) {
+  const fs::path dir = fresh_temp_dir("listing");
+  const TrafficConfig cfg = config::sample_config();
+  CorpusEntry entry;
+  entry.config_text = config::save_config_string(cfg);
+  write_corpus_file(entry, (dir / "b.afdx").string());
+  write_corpus_file(entry, (dir / "a.afdx").string());
+  {
+    std::ofstream((dir / "notes.txt").string()) << "not a corpus file\n";
+  }
+  const auto files = list_corpus(dir.string());
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_NE(files[0].find("a.afdx"), std::string::npos);
+  EXPECT_NE(files[1].find("b.afdx"), std::string::npos);
+  EXPECT_TRUE(list_corpus((dir / "missing").string()).empty());
+}
+
+TEST(Campaign, EndToEndFaultRunShrinksPersistsAndReplays) {
+  const fs::path dir = fresh_temp_dir("endtoend");
+  CampaignOptions opts;
+  opts.campaigns = 2;
+  opts.seed = 11;
+  opts.grid = GridOptions::smoke();
+  opts.check = fast_check();
+  opts.check.fault = Fault::kDeflateTrajectory;
+  opts.check.fault_factor = 0.3;
+  opts.corpus_dir = dir.string();
+  opts.shrink.max_evaluations = 120;
+
+  const CampaignReport report = run_campaigns(opts);
+  ASSERT_GT(report.violation_count, 0u);
+
+  const auto files = list_corpus(dir.string());
+  ASSERT_FALSE(files.empty());
+  for (const std::string& file : files) {
+    const CorpusEntry entry = read_corpus_file(file);
+    EXPECT_EQ(entry.fault, Fault::kDeflateTrajectory);
+    const ReplayOutcome outcome = replay(entry, fast_check());
+    EXPECT_TRUE(outcome.clean.ok())
+        << file << ": " << outcome.clean.violations.front().describe();
+    ASSERT_TRUE(outcome.faulted.has_value());
+    EXPECT_FALSE(outcome.faulted->ok()) << file;
+    EXPECT_TRUE(outcome.regression_ok());
+  }
+}
+
+TEST(Campaign, ReportIsDeterministicAcrossThreadCounts) {
+  CampaignOptions opts;
+  opts.campaigns = 3;
+  opts.seed = 42;
+  opts.grid = GridOptions::smoke();
+  opts.check = fast_check();
+
+  opts.threads = 1;
+  const CampaignReport serial = run_campaigns(opts);
+  opts.threads = 3;
+  const CampaignReport parallel = run_campaigns(opts);
+
+  std::ostringstream a, b;
+  serial.write_json(a, /*include_timing=*/false);
+  parallel.write_json(b, /*include_timing=*/false);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_TRUE(serial.ok());
+}
+
+TEST(Campaign, InfeasibleSpecsAreSkippedNotFatal) {
+  CampaignOptions opts;
+  opts.campaigns = 2;
+  opts.seed = 3;
+  opts.check = fast_check();
+  // A grid no generator draw can satisfy: far too many VLs for the
+  // utilization cap of a 2-switch network.
+  opts.grid.vl_counts = {5000};
+  opts.grid.switch_counts = {2};
+  opts.grid.end_system_counts = {4};
+  const CampaignReport report = run_campaigns(opts);
+  EXPECT_EQ(report.skipped, 2u);
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_TRUE(report.ok());
+  for (const CampaignOutcome& o : report.outcomes) {
+    EXPECT_TRUE(o.skipped);
+    EXPECT_FALSE(o.skip_reason.empty());
+  }
+}
+
+TEST(Campaign, JsonReportCarriesTheExpectedKeys) {
+  CampaignOptions opts;
+  opts.campaigns = 1;
+  opts.seed = 9;
+  opts.grid = GridOptions::smoke();
+  opts.check = fast_check();
+  const CampaignReport report = run_campaigns(opts);
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string json = os.str();
+  for (const char* key :
+       {"\"tool\"", "\"seed\"", "\"campaigns\"", "\"completed\"",
+        "\"paths_checked\"", "\"schedules_simulated\"", "\"violations\"",
+        "\"pessimism\"", "\"wcnc\"", "\"trajectory\"", "\"combined\"",
+        "\"campaign_results\"", "\"wall_ms\"", "\"threads\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  std::ostringstream without_timing;
+  report.write_json(without_timing, /*include_timing=*/false);
+  EXPECT_EQ(without_timing.str().find("wall_ms"), std::string::npos);
+}
+
+// -- Committed corpus regression --------------------------------------------
+// Every artifact under tests/corpus/ must stay green without its fault and
+// keep reproducing its violation with the fault re-applied.
+
+class CorpusRegression : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusRegression, ReplaysGreenAndFaultReproduces) {
+  const CorpusEntry entry = read_corpus_file(GetParam());
+  const ReplayOutcome outcome = replay(entry, fast_check());
+  EXPECT_TRUE(outcome.clean.ok())
+      << (outcome.clean.violations.empty()
+              ? ""
+              : outcome.clean.violations.front().describe());
+  if (entry.fault != Fault::kNone) {
+    ASSERT_TRUE(outcome.faulted.has_value());
+    EXPECT_FALSE(outcome.faulted->ok())
+        << "recorded fault no longer reproduces; the artifact is stale";
+  }
+  EXPECT_TRUE(outcome.regression_ok());
+}
+
+std::vector<std::string> committed_corpus() {
+  return list_corpus(std::string(AFDX_REPO_ROOT) + "/tests/corpus");
+}
+
+std::string corpus_test_name(
+    const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = fs::path(info.param).stem().string();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Entries, CorpusRegression,
+                         ::testing::ValuesIn(committed_corpus()),
+                         corpus_test_name);
+
+}  // namespace
+}  // namespace afdx::valid

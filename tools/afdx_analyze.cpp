@@ -23,13 +23,13 @@
 //
 // Exit status: 0 on success, 1 on usage/config errors, 2 when a simulated
 // delay exceeds a reported bound (a soundness violation).
-#include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
 
 #include "analysis/comparison.hpp"
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "config/serialization.hpp"
 #include "engine/engine.hpp"
 #include "gen/industrial.hpp"
@@ -69,7 +69,12 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     if (arg == "--generate") {
       opts.generate_seed = 42;
     } else if (arg.rfind("--generate=", 0) == 0) {
-      opts.generate_seed = std::strtoull(arg.c_str() + 11, nullptr, 10);
+      const auto seed = parse_uint(arg.substr(11));
+      if (!seed.has_value()) {
+        std::cerr << "bad generate seed: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.generate_seed = *seed;
     } else if (arg.rfind("--method=", 0) == 0) {
       opts.method = arg.substr(9);
       if (opts.method != "netcalc" && opts.method != "trajectory" &&
@@ -82,17 +87,23 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     } else if (arg == "--ports") {
       opts.ports = true;
     } else if (arg.rfind("--simulate=", 0) == 0) {
-      opts.simulate = std::atoi(arg.c_str() + 11);
+      const auto n = parse_int(arg.substr(11));
+      if (!n.has_value() || *n < 0) {
+        std::cerr << "bad simulation count: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.simulate = static_cast<int>(*n);
     } else if (arg == "--no-grouping") {
       opts.nc.grouping = false;
     } else if (arg == "--no-serialization") {
       opts.tj.serialization = false;
     } else if (arg.rfind("--threads=", 0) == 0) {
-      opts.eng.threads = std::atoi(arg.c_str() + 10);
-      if (opts.eng.threads < 0) {
+      const auto n = parse_int(arg.substr(10));
+      if (!n.has_value() || *n < 0) {
         std::cerr << "bad thread count: " << arg << "\n";
         return std::nullopt;
       }
+      opts.eng.threads = static_cast<int>(*n);
     } else if (arg == "--metrics") {
       opts.metrics = true;
     } else if (arg.rfind("--", 0) == 0) {

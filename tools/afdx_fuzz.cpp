@@ -1,0 +1,243 @@
+// afdx_fuzz -- seeded differential fuzzing / soundness campaign driver.
+//
+// Campaign mode (default): generates configurations across the swept
+// parameter grid, runs every analysis variant plus a simulated schedule
+// battery on each, and checks the cross-method soundness invariants.
+// Violating configurations are auto-shrunk to minimal reproducers and
+// persisted to the corpus directory.
+//
+//   afdx_fuzz --campaigns=200 --seed=42 --threads=0 --report=fuzz.json
+//
+// Replay mode: re-validates one corpus artifact -- green without its
+// recorded fault, violating with it.
+//
+//   afdx_fuzz --replay=tests/corpus/shrunk-s42-c7.afdx
+//
+// Options:
+//   --campaigns=N       configurations to fuzz (default 100)
+//   --seed=S            master seed (default 42)
+//   --threads=N         campaign workers (default 1; 0 = one per hw thread)
+//   --grid=default|smoke  parameter grid (smoke = tiny CI stage)
+//   --schedules=N       random schedules per configuration (default 3)
+//   --search-paths=N    sharpen N paths/config with the worst-case search
+//   --report=FILE       write the JSON report to FILE
+//   --no-timing         omit wall-time fields from the JSON (bit-stable)
+//   --corpus-dir=DIR    persist shrunk reproducers under DIR
+//   --no-shrink         report violations without shrinking
+//   --no-variants       skip the historical analysis variants
+//   --inject-fault=deflate-netcalc|deflate-trajectory|skew-combined
+//                       harness self-test hook: corrupt the bounds before
+//                       checking (with --fault-factor=F, default 0.5)
+//   --replay=FILE       replay one corpus artifact instead of fuzzing
+//   --quiet             suppress the per-violation log lines
+//
+// Exit status: 0 = all invariants hold (or replay regression passed),
+// 1 = usage/config error, 2 = violations found (or replay failed).
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+#include "valid/campaign.hpp"
+#include "valid/corpus.hpp"
+
+using namespace afdx;
+
+namespace {
+
+struct CliOptions {
+  valid::CampaignOptions campaign;
+  std::optional<std::string> replay_file;
+  std::optional<std::string> report_file;
+  bool include_timing = true;
+  bool quiet = false;
+};
+
+void print_usage(std::ostream& out) {
+  out << "usage: afdx_fuzz [options]\n"
+         "       afdx_fuzz --replay=<corpus-file>\n"
+         "options: --campaigns=N  --seed=S  --threads=N (0 = auto)\n"
+         "         --grid=default|smoke  --schedules=N  --search-paths=N\n"
+         "         --report=FILE  --no-timing  --corpus-dir=DIR\n"
+         "         --no-shrink  --no-variants  --quiet\n"
+         "         --inject-fault=deflate-netcalc|deflate-trajectory|"
+         "skew-combined  --fault-factor=F\n";
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> std::optional<std::string> {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) != 0) return std::nullopt;
+      return arg.substr(prefix.size());
+    };
+    if (auto v = value_of("--campaigns")) {
+      const auto n = parse_uint(*v);
+      if (!n.has_value() || *n == 0) {
+        std::cerr << "bad campaign count: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.campaign.campaigns = static_cast<std::size_t>(*n);
+    } else if (auto v = value_of("--seed")) {
+      const auto n = parse_uint(*v);
+      if (!n.has_value()) {
+        std::cerr << "bad seed: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.campaign.seed = *n;
+    } else if (auto v = value_of("--threads")) {
+      const auto n = parse_int(*v);
+      if (!n.has_value() || *n < 0) {
+        std::cerr << "bad thread count: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.campaign.threads = static_cast<int>(*n);
+    } else if (auto v = value_of("--grid")) {
+      if (*v == "smoke") {
+        opts.campaign.grid = valid::GridOptions::smoke();
+      } else if (*v != "default") {
+        std::cerr << "unknown grid: " << *v << "\n";
+        return std::nullopt;
+      }
+    } else if (auto v = value_of("--schedules")) {
+      const auto n = parse_int(*v);
+      if (!n.has_value() || *n < 0) {
+        std::cerr << "bad schedule count: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.campaign.check.schedules.random_schedules = static_cast<int>(*n);
+    } else if (auto v = value_of("--search-paths")) {
+      const auto n = parse_int(*v);
+      if (!n.has_value() || *n < 0) {
+        std::cerr << "bad search path count: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.campaign.check.search_paths = static_cast<int>(*n);
+    } else if (auto v = value_of("--report")) {
+      opts.report_file = *v;
+    } else if (arg == "--no-timing") {
+      opts.include_timing = false;
+    } else if (auto v = value_of("--corpus-dir")) {
+      opts.campaign.corpus_dir = *v;
+    } else if (arg == "--no-shrink") {
+      opts.campaign.shrink_violations = false;
+    } else if (arg == "--no-variants") {
+      opts.campaign.check.variants = false;
+    } else if (auto v = value_of("--inject-fault")) {
+      const auto fault = valid::fault_from_string(*v);
+      if (!fault.has_value()) {
+        std::cerr << "unknown fault: " << *v << "\n";
+        return std::nullopt;
+      }
+      opts.campaign.check.fault = *fault;
+    } else if (auto v = value_of("--fault-factor")) {
+      const auto f = parse_double(*v);
+      if (!f.has_value() || *f <= 0.0) {
+        std::cerr << "bad fault factor: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.campaign.check.fault_factor = *f;
+    } else if (auto v = value_of("--replay")) {
+      opts.replay_file = *v;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return std::nullopt;
+    }
+  }
+  return opts;
+}
+
+int run_replay(const CliOptions& opts) {
+  const valid::CorpusEntry entry = valid::read_corpus_file(*opts.replay_file);
+  valid::CheckOptions base = opts.campaign.check;
+  const valid::ReplayOutcome outcome = valid::replay(entry, base);
+
+  std::cout << "replay " << *opts.replay_file << " (fault "
+            << valid::to_string(entry.fault) << ")\n";
+  std::cout << "  clean check: " << outcome.clean.violations.size()
+            << " violations over " << outcome.clean.paths << " paths, "
+            << outcome.clean.schedules_simulated << " schedules\n";
+  for (const valid::Violation& v : outcome.clean.violations) {
+    std::cout << "    " << v.describe() << "\n";
+  }
+  if (outcome.faulted.has_value()) {
+    std::cout << "  faulted check: " << outcome.faulted->violations.size()
+              << " violations (expected >= 1)\n";
+    if (!opts.quiet) {
+      for (const valid::Violation& v : outcome.faulted->violations) {
+        std::cout << "    " << v.describe() << "\n";
+      }
+    }
+  }
+  const bool ok = outcome.regression_ok();
+  std::cout << (ok ? "replay OK\n" : "replay FAILED\n");
+  return ok ? 0 : 2;
+}
+
+int run_campaigns_cli(const CliOptions& opts) {
+  const valid::CampaignReport report = valid::run_campaigns(opts.campaign);
+
+  if (!opts.quiet) {
+    for (const valid::CampaignOutcome& o : report.outcomes) {
+      for (const valid::Violation& v : o.check.violations) {
+        std::cerr << "VIOLATION campaign " << o.spec.index << " (config seed "
+                  << o.spec.gen.seed << "): " << v.describe() << "\n";
+      }
+      if (!o.corpus_file.empty()) {
+        std::cerr << "  shrunk reproducer: " << o.corpus_file << "\n";
+      }
+    }
+  }
+
+  std::cout << "campaigns: " << report.completed << " completed, "
+            << report.skipped << " skipped (infeasible spec)\n"
+            << "paths checked: " << report.paths << ", schedules simulated: "
+            << report.schedules_simulated << "\n"
+            << "violations: " << report.violation_count << "\n";
+  auto print_pessimism = [](const char* name,
+                            const analysis::PessimismStats& s) {
+    std::cout << "pessimism " << name << ": mean " << s.mean << "x, min "
+              << s.min << "x, max " << s.max << "x over " << s.paths
+              << " paths\n";
+  };
+  print_pessimism("wcnc      ", report.wcnc);
+  print_pessimism("trajectory", report.trajectory);
+  print_pessimism("combined  ", report.combined);
+  std::cout << "wall time: " << report.wall_us / 1000.0 << " ms ("
+            << report.threads << " threads)\n";
+
+  if (opts.report_file.has_value()) {
+    std::ofstream out(*opts.report_file);
+    if (!out.good()) {
+      std::cerr << "error: cannot write report to " << *opts.report_file
+                << "\n";
+      return 1;
+    }
+    report.write_json(out, opts.include_timing);
+    std::cout << "report written to " << *opts.report_file << "\n";
+  }
+  return report.ok() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse_args(argc, argv);
+  if (!opts.has_value()) {
+    print_usage(std::cerr);
+    return 1;
+  }
+  try {
+    return opts->replay_file.has_value() ? run_replay(*opts)
+                                         : run_campaigns_cli(*opts);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
