@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Builds the project under UndefinedBehaviorSanitizer (trapping on any
+# report) and runs the full test suite plus a bounded degraded-mode sweep.
+#
+# Usage: scripts/check_ubsan.sh [build-dir]   (default: build-ubsan)
+set -eu
+
+BUILD_DIR="${1:-build-ubsan}"
+REPO="$(dirname "$0")/.."
+
+cmake -B "$BUILD_DIR" -S "$REPO" -DAFDX_SANITIZE=undefined
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+"$BUILD_DIR/tools/afdx_analyze" "$REPO/tests/data/sample.afdx" \
+    --faults=single-link --faults=single-switch --deadline-ms=60000

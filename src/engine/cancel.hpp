@@ -1,0 +1,64 @@
+// Cooperative cancellation for long-running analyses.
+//
+// A CancelToken is a tiny thread-safe flag (plus an optional deadline on
+// the steady clock) that the analysis engine, the fault-scenario sweeps
+// and the fuzzing campaigns poll between units of work. Cancelling never
+// interrupts a computation mid-port or mid-path: the holder finishes the
+// current unit, marks the remaining work `skipped`, and returns whatever
+// partial results it already has. cancel() is a single relaxed atomic
+// store, so it is safe to call from a POSIX signal handler.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace afdx::engine {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Async-signal-safe.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms the deadline `us` microseconds from now (replacing any earlier
+  /// deadline). Non-positive values expire immediately.
+  void set_deadline_after(Microseconds us) noexcept {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() +
+        static_cast<std::int64_t>(us * 1000.0);
+    deadline_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True once cancel() was called or the armed deadline has passed.
+  [[nodiscard]] bool expired() const noexcept {
+    if (cancelled()) return true;
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline == 0) return false;
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() >=
+           deadline;
+  }
+
+  /// Why expired() holds: "cancelled" beats "deadline exceeded".
+  [[nodiscard]] const char* reason() const noexcept {
+    return cancelled() ? "cancelled" : "deadline exceeded";
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// Steady-clock deadline in ns since epoch; 0 = no deadline armed.
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+}  // namespace afdx::engine

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <iomanip>
 #include <limits>
+#include <optional>
 #include <ostream>
 
 #include "common/error.hpp"
@@ -14,11 +16,45 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+constexpr Microseconds kInf = std::numeric_limits<Microseconds>::infinity();
+
 Microseconds elapsed_us(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
+/// Throughput guarded against zero-path / zero-duration runs (a trivial
+/// configuration or a clock too coarse for the run must yield 0, not NaN).
+double safe_paths_per_second(std::size_t paths, Microseconds wall_us) {
+  if (paths == 0 || !(wall_us > 0.0)) return 0.0;
+  return static_cast<double>(paths) / (wall_us * 1e-6);
+}
+
+/// 0.0 instead of NaN/inf for degenerate inputs, keeping printed metrics
+/// sane on trivial runs.
+double finite_or_zero(double value) {
+  return std::isfinite(value) ? value : 0.0;
+}
+
 }  // namespace
+
+const char* to_string(PathState state) noexcept {
+  switch (state) {
+    case PathState::kOk:
+      return "ok";
+    case PathState::kFailed:
+      return "failed";
+    case PathState::kSkipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
+bool RunResult::complete() const noexcept {
+  for (const PathStatus& s : status) {
+    if (!s.ok()) return false;
+  }
+  return true;
+}
 
 void RunMetrics::print(std::ostream& out) const {
   const auto flags = out.flags();
@@ -26,15 +62,15 @@ void RunMetrics::print(std::ostream& out) const {
   out << std::fixed << std::setprecision(3);
   out << "engine: " << threads << " thread" << (threads == 1 ? "" : "s")
       << ", " << paths << " paths, " << std::setprecision(0)
-      << paths_per_second << " paths/s\n"
+      << finite_or_zero(paths_per_second) << " paths/s\n"
       << std::setprecision(3) << "  wall ms: netcalc "
       << netcalc_wall_us / 1000.0 << " | trajectory "
       << trajectory_wall_us / 1000.0 << " | combine "
       << combine_wall_us / 1000.0 << " | total " << total_wall_us / 1000.0
       << "\n"
       << "  port cache: " << cache.hits << " hits / " << cache.misses
-      << " misses (" << std::setprecision(1) << cache.hit_rate() * 100.0
-      << " % hit rate)\n"
+      << " misses (" << std::setprecision(1)
+      << finite_or_zero(cache.hit_rate()) * 100.0 << " % hit rate)\n"
       << "  tasks/thread:";
   for (std::size_t n : tasks_per_thread) out << " " << n;
   out << "\n";
@@ -186,10 +222,274 @@ RunResult AnalysisEngine::run(const netcalc::Options& nc_options,
   metrics_.combine_wall_us += elapsed_us(t2, t3);
   metrics_.total_wall_us += elapsed_us(t0, t3);
   metrics_.paths = result.combined.size();
-  const Microseconds run_us = elapsed_us(t0, t3);
   metrics_.paths_per_second =
-      run_us > 0.0 ? static_cast<double>(metrics_.paths) / (run_us * 1e-6)
-                   : 0.0;
+      safe_paths_per_second(metrics_.paths, elapsed_us(t0, t3));
+  result.status.assign(result.combined.size(), PathStatus{});
+  result.metrics = metrics();
+  return result;
+}
+
+netcalc::Result AnalysisEngine::run_netcalc_contained(
+    const netcalc::Options& options, const RunControl& control,
+    std::vector<PortOutcome>& ports) {
+  const Network& net = cfg_.network();
+  const std::size_t n_links = net.link_count();
+
+  netcalc::Result result;
+  result.ports.assign(n_links, netcalc::PortReport{});
+  result.iterations = 1;
+  ports.assign(n_links, PortOutcome{});
+
+  const auto port_name = [&](LinkId l) {
+    return net.node(net.link(l).source).name + ">" +
+           net.node(net.link(l).dest).name;
+  };
+  const auto mark_all_used = [&](PathState state, const std::string& msg) {
+    for (LinkId l = 0; l < n_links; ++l) {
+      if (!cfg_.vls_on_link(l).empty()) ports[l] = PortOutcome{state, msg};
+    }
+  };
+  const auto expired = [&] {
+    return control.cancel != nullptr && control.cancel->expired();
+  };
+
+  const auto levels = netcalc::propagation_levels(cfg_);
+  if (!levels.has_value()) {
+    // Cyclic configuration: the fixed point is inherently all-or-nothing,
+    // so containment degrades to whole-phase granularity.
+    if (expired()) {
+      mark_all_used(PathState::kSkipped, control.cancel->reason());
+      result.iterations = 0;
+      return result;
+    }
+    try {
+      return run_netcalc(options);
+    } catch (const std::exception& e) {
+      mark_all_used(PathState::kFailed, e.what());
+      result.iterations = 0;
+      return result;
+    }
+  }
+
+  const std::uint64_t okey = PortCache::options_key(options);
+  std::vector<netcalc::PortBounds> bounds(n_links);
+  std::vector<std::map<std::uint8_t, Microseconds>> delays(n_links);
+  bool abandoned = false;
+  for (const std::vector<LinkId>& level : *levels) {
+    if (!abandoned && expired()) abandoned = true;
+    if (abandoned) {
+      for (LinkId port : level) {
+        ports[port] = PortOutcome{PathState::kSkipped,
+                                  control.cancel->reason()};
+      }
+      continue;
+    }
+
+    // Dependency screen (serial; only reads outcomes of earlier levels): a
+    // port whose crossing VLs arrive via a failed or skipped port cannot be
+    // computed -- its inputs are unknown -- and is skipped, which in turn
+    // taints everything downstream of it.
+    std::vector<LinkId> compute;
+    compute.reserve(level.size());
+    for (LinkId port : level) {
+      LinkId bad = kInvalidLink;
+      for (VlId v : cfg_.vls_on_link(port)) {
+        const LinkId pred = cfg_.route(v).predecessor(port);
+        if (pred != kInvalidLink && ports[pred].state != PathState::kOk) {
+          bad = pred;
+          break;
+        }
+      }
+      if (bad != kInvalidLink) {
+        ports[port] = PortOutcome{
+            PathState::kSkipped, "upstream port " + port_name(bad) +
+                                     " unavailable (" +
+                                     to_string(ports[bad].state) + ")"};
+      } else {
+        compute.push_back(port);
+      }
+    }
+
+    const auto failures =
+        pool_.parallel_for_contained(compute.size(), [&](std::size_t i, int) {
+          const LinkId port = compute[i];
+          if (auto hit = cache_.lookup(okey, port); hit.has_value()) {
+            bounds[port] = std::move(*hit);
+          } else {
+            bounds[port] =
+                netcalc::compute_port_bounds(cfg_, port, options, delays);
+            cache_.store(okey, port, bounds[port]);
+          }
+        });
+    for (const ThreadPool::TaskFailure& f : failures) {
+      ports[compute[f.index]] = PortOutcome{PathState::kFailed, f.message};
+    }
+    for (LinkId port : level) {
+      if (ports[port].state != PathState::kOk) continue;
+      delays[port] = bounds[port].level_delays;
+      result.ports[port] =
+          netcalc::make_report(bounds[port], cfg_.utilization(port));
+    }
+  }
+  return result;
+}
+
+std::vector<Microseconds> AnalysisEngine::run_trajectory_contained(
+    const trajectory::Options& options, const RunControl& control,
+    const netcalc::Result& nc_result,
+    const std::vector<PortOutcome>& nc_ports,
+    std::vector<PathStatus>& path_status) {
+  const std::vector<VlPath>& paths = cfg_.all_paths();
+  const std::size_t n_links = cfg_.network().link_count();
+  std::vector<Microseconds> out(paths.size(), kInf);
+  path_status.assign(paths.size(), PathStatus{});
+
+  // Serialization caps from the contained WCNC pass: ports that failed or
+  // were skipped stay uncapped (an infinite cap is simply no refinement),
+  // exactly like the legacy fallback on a throwing envelope analysis.
+  std::optional<std::vector<Microseconds>> caps;
+  if (options.serialization) {
+    caps.emplace(n_links, kInf);
+    for (LinkId l = 0; l < n_links; ++l) {
+      if (nc_ports[l].state == PathState::kOk && nc_result.ports[l].used) {
+        (*caps)[l] =
+            nc_result.ports[l].queue_backlog / cfg_.network().link(l).rate;
+      }
+    }
+  }
+
+  std::vector<VlId> vl_order;
+  std::vector<std::vector<std::size_t>> vl_paths(cfg_.vl_count());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (vl_paths[paths[i].vl].empty()) vl_order.push_back(paths[i].vl);
+    vl_paths[paths[i].vl].push_back(i);
+  }
+
+  const auto shards = static_cast<std::size_t>(pool_.thread_count());
+  pool_.parallel_for(shards, [&](std::size_t w, int) {
+    const std::size_t begin = vl_order.size() * w / shards;
+    const std::size_t end = vl_order.size() * (w + 1) / shards;
+    if (begin == end) return;
+    // The analyzer's memoized prefix state may be left inconsistent by a
+    // throw mid-recursion, so a failed path gets a fresh instance before
+    // the shard continues.
+    std::optional<trajectory::Analyzer> analyzer;
+    std::string construct_error;
+    const auto fresh = [&]() -> bool {
+      try {
+        analyzer.emplace(cfg_, options);
+        if (caps.has_value()) analyzer->set_backlog_caps(*caps);
+        return true;
+      } catch (const std::exception& e) {
+        construct_error = e.what();
+        return false;
+      }
+    };
+    bool alive = fresh();
+    for (std::size_t k = begin; k < end; ++k) {
+      for (std::size_t i : vl_paths[vl_order[k]]) {
+        if (control.cancel != nullptr && control.cancel->expired()) {
+          path_status[i] =
+              PathStatus{PathState::kSkipped, control.cancel->reason()};
+          continue;
+        }
+        if (!alive) {
+          path_status[i] = PathStatus{PathState::kFailed, construct_error};
+          continue;
+        }
+        try {
+          out[i] = analyzer->bound_to_link(paths[i].vl, paths[i].links.back());
+        } catch (const std::exception& e) {
+          path_status[i] = PathStatus{PathState::kFailed, e.what()};
+          alive = fresh();
+        }
+      }
+    }
+  });
+  return out;
+}
+
+RunResult AnalysisEngine::run_resilient(const netcalc::Options& nc_options,
+                                        const trajectory::Options& tj_options,
+                                        const RunControl& control) {
+  const Network& net = cfg_.network();
+  const std::vector<VlPath>& paths = cfg_.all_paths();
+  const std::size_t n = paths.size();
+  const auto port_name = [&](LinkId l) {
+    return net.node(net.link(l).source).name + ">" +
+           net.node(net.link(l).dest).name;
+  };
+
+  RunResult result;
+  const auto t0 = Clock::now();
+  std::vector<PortOutcome> nc_ports;
+  result.netcalc_result = run_netcalc_contained(nc_options, control, nc_ports);
+
+  // Per-path WCNC assembly: a path is only as good as every port it
+  // crosses; the first non-ok port carries the explanation.
+  result.netcalc.assign(n, kInf);
+  std::vector<PathStatus> nc_status(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VlPath& p = paths[i];
+    const std::uint8_t level = cfg_.vl(p.vl).priority;
+    Microseconds total = 0.0;
+    for (LinkId l : p.links) {
+      if (nc_ports[l].state != PathState::kOk) {
+        nc_status[i] = PathStatus{
+            nc_ports[l].state,
+            "wcnc: port " + port_name(l) + " " +
+                std::string(to_string(nc_ports[l].state)) +
+                (nc_ports[l].message.empty() ? "" : ": " + nc_ports[l].message)};
+        total = kInf;
+        break;
+      }
+      const auto& delays = result.netcalc_result.ports[l].level_delays;
+      const auto it = delays.find(level);
+      AFDX_ASSERT(it != delays.end(), "engine: missing level delay");
+      total += it->second;
+    }
+    result.netcalc[i] = total;
+  }
+  result.netcalc_result.path_bounds = result.netcalc;
+  const auto t1 = Clock::now();
+
+  std::vector<PathStatus> tj_status;
+  result.trajectory = run_trajectory_contained(tj_options, control,
+                                               result.netcalc_result, nc_ports,
+                                               tj_status);
+  const auto t2 = Clock::now();
+
+  // Combine: the per-path minimum over the methods that did produce a
+  // bound. A path is ok as long as one method survived; the message still
+  // records the degraded method so nothing fails silently.
+  result.combined.assign(n, kInf);
+  result.status.assign(n, PathStatus{});
+  for (std::size_t i = 0; i < n; ++i) {
+    result.combined[i] = std::min(result.netcalc[i], result.trajectory[i]);
+    std::string message = nc_status[i].message;
+    if (!tj_status[i].ok()) {
+      if (!message.empty()) message += "; ";
+      message += "trajectory " + std::string(to_string(tj_status[i].state)) +
+                 ": " + tj_status[i].message;
+    }
+    if (std::isfinite(result.combined[i])) {
+      result.status[i] = PathStatus{PathState::kOk, std::move(message)};
+    } else {
+      const bool failed = nc_status[i].state == PathState::kFailed ||
+                          tj_status[i].state == PathState::kFailed;
+      result.status[i] = PathStatus{
+          failed ? PathState::kFailed : PathState::kSkipped,
+          std::move(message)};
+    }
+  }
+  const auto t3 = Clock::now();
+
+  metrics_.netcalc_wall_us += elapsed_us(t0, t1);
+  metrics_.trajectory_wall_us += elapsed_us(t1, t2);
+  metrics_.combine_wall_us += elapsed_us(t2, t3);
+  metrics_.total_wall_us += elapsed_us(t0, t3);
+  metrics_.paths = n;
+  metrics_.paths_per_second = safe_paths_per_second(n, elapsed_us(t0, t3));
   result.metrics = metrics();
   return result;
 }
@@ -202,8 +502,7 @@ netcalc::Result AnalysisEngine::netcalc_only(
   metrics_.netcalc_wall_us += dt;
   metrics_.total_wall_us += dt;
   metrics_.paths = result.path_bounds.size();
-  metrics_.paths_per_second =
-      dt > 0.0 ? static_cast<double>(metrics_.paths) / (dt * 1e-6) : 0.0;
+  metrics_.paths_per_second = safe_paths_per_second(metrics_.paths, dt);
   return result;
 }
 
@@ -215,8 +514,7 @@ std::vector<Microseconds> AnalysisEngine::trajectory_only(
   metrics_.trajectory_wall_us += dt;
   metrics_.total_wall_us += dt;
   metrics_.paths = result.size();
-  metrics_.paths_per_second =
-      dt > 0.0 ? static_cast<double>(result.size()) / (dt * 1e-6) : 0.0;
+  metrics_.paths_per_second = safe_paths_per_second(result.size(), dt);
   return result;
 }
 

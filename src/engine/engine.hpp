@@ -30,9 +30,11 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "engine/cancel.hpp"
 #include "engine/port_cache.hpp"
 #include "engine/thread_pool.hpp"
 #include "netcalc/netcalc_analyzer.hpp"
@@ -68,15 +70,53 @@ struct RunMetrics {
   void print(std::ostream& out) const;
 };
 
+/// Outcome of one VL path in a resilient run.
+enum class PathState : std::uint8_t {
+  /// A finite combined bound was produced (at least one method succeeded).
+  kOk,
+  /// Every method failed on this path (e.g. an unstable port on its route).
+  kFailed,
+  /// The path was never analyzed (cancellation / deadline / a dependency
+  /// of its ports was abandoned).
+  kSkipped,
+};
+
+[[nodiscard]] const char* to_string(PathState state) noexcept;
+
+/// Per-path outcome record of a resilient run.
+struct PathStatus {
+  PathState state = PathState::kOk;
+  /// Why the path failed / was skipped, or which method degraded on an
+  /// otherwise-ok path. Empty for a fully clean path.
+  std::string message;
+
+  [[nodiscard]] bool ok() const noexcept { return state == PathState::kOk; }
+};
+
+/// Knobs of a resilient run (run_resilient).
+struct RunControl {
+  /// Optional cooperative cancellation / deadline: polled between ports,
+  /// levels and paths; remaining work is marked skipped, partial results
+  /// are returned.
+  const CancelToken* cancel = nullptr;
+};
+
 /// Bounds of one full run, aligned with TrafficConfig::all_paths().
 struct RunResult {
   std::vector<Microseconds> netcalc;
   std::vector<Microseconds> trajectory;
   std::vector<Microseconds> combined;
+  /// Per-path outcomes. run() leaves every entry ok; run_resilient records
+  /// containment and cancellation outcomes here instead of throwing, and
+  /// non-ok paths carry an infinite combined bound.
+  std::vector<PathStatus> status;
   /// Full per-port WCNC detail (buffer bounds, per-class delays, ...).
   netcalc::Result netcalc_result;
   /// Snapshot of the engine metrics at the end of the run.
   RunMetrics metrics;
+
+  /// True when every path is ok.
+  [[nodiscard]] bool complete() const noexcept;
 };
 
 class AnalysisEngine {
@@ -89,6 +129,19 @@ class AnalysisEngine {
   /// Both analyses plus the combined per-path minimum.
   [[nodiscard]] RunResult run(const netcalc::Options& nc_options = {},
                               const trajectory::Options& tj_options = {});
+
+  /// Hardened variant of run(): per-task exceptions are contained instead
+  /// of tearing down the run. A throwing port (e.g. unstable utilization)
+  /// fails only the paths that depend on it; ports downstream of a failed
+  /// port are skipped (their inputs are unknown) and every unaffected path
+  /// still gets its exact bounds. An expired RunControl::cancel marks the
+  /// remaining work skipped and returns the partial results accumulated so
+  /// far. Never throws on analysis errors; RunResult::status tells the
+  /// story per path.
+  [[nodiscard]] RunResult run_resilient(
+      const netcalc::Options& nc_options = {},
+      const trajectory::Options& tj_options = {},
+      const RunControl& control = {});
 
   /// WCNC only (per-port reports and path bounds), served from the cache
   /// when this engine already computed the same options.
@@ -107,9 +160,23 @@ class AnalysisEngine {
   [[nodiscard]] RunMetrics metrics() const;
 
  private:
+  /// Per-port outcome of the resilient WCNC phase.
+  struct PortOutcome {
+    PathState state = PathState::kOk;
+    std::string message;
+  };
+
   [[nodiscard]] netcalc::Result run_netcalc(const netcalc::Options& options);
   [[nodiscard]] std::vector<Microseconds> run_trajectory(
       const trajectory::Options& options);
+  [[nodiscard]] netcalc::Result run_netcalc_contained(
+      const netcalc::Options& options, const RunControl& control,
+      std::vector<PortOutcome>& ports);
+  [[nodiscard]] std::vector<Microseconds> run_trajectory_contained(
+      const trajectory::Options& options, const RunControl& control,
+      const netcalc::Result& nc_result,
+      const std::vector<PortOutcome>& nc_ports,
+      std::vector<PathStatus>& path_status);
 
   const TrafficConfig& cfg_;
   ThreadPool pool_;

@@ -126,6 +126,32 @@ void ThreadPool::parallel_for(
   if (first != nullptr) std::rethrow_exception(first->error);
 }
 
+std::vector<ThreadPool::TaskFailure> ThreadPool::parallel_for_contained(
+    std::size_t n, const std::function<void(std::size_t, int)>& body) {
+  std::mutex failures_mu;
+  std::vector<TaskFailure> failures;
+  const auto record = [&](std::size_t i, std::string message) {
+    std::lock_guard<std::mutex> lock(failures_mu);
+    failures.push_back(TaskFailure{i, std::move(message)});
+  };
+  // The wrapper never lets an exception reach the batch machinery, so no
+  // shard is ever abandoned and parallel_for cannot rethrow.
+  parallel_for(n, [&](std::size_t i, int worker) {
+    try {
+      body(i, worker);
+    } catch (const std::exception& e) {
+      record(i, e.what());
+    } catch (...) {
+      record(i, "unknown exception");
+    }
+  });
+  std::sort(failures.begin(), failures.end(),
+            [](const TaskFailure& a, const TaskFailure& b) {
+              return a.index < b.index;
+            });
+  return failures;
+}
+
 std::vector<std::size_t> ThreadPool::tasks_per_thread() const {
   std::lock_guard<std::mutex> lock(mu_);
   return executed_;

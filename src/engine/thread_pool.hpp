@@ -21,6 +21,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,6 +46,20 @@ class ThreadPool {
   /// exception, if any.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, int)>& body);
+
+  /// One contained task failure of parallel_for_contained.
+  struct TaskFailure {
+    std::size_t index = 0;
+    std::string message;
+  };
+
+  /// Like parallel_for, but with per-task exception containment: a throwing
+  /// index is recorded as a TaskFailure and every other index still runs.
+  /// Nothing is abandoned, nothing is rethrown, and sibling shards are
+  /// never poisoned -- the pool stays usable for further batches. Failures
+  /// are returned sorted by index (deterministic for a deterministic body).
+  [[nodiscard]] std::vector<TaskFailure> parallel_for_contained(
+      std::size_t n, const std::function<void(std::size_t, int)>& body);
 
   /// Cumulative number of indices executed per worker, since construction.
   [[nodiscard]] std::vector<std::size_t> tasks_per_thread() const;

@@ -1,0 +1,108 @@
+#include "faults/degrade.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace afdx::faults {
+
+namespace {
+
+Network::RouteConstraints build_constraints(const Network& net,
+                                            const FaultScenario& scenario) {
+  Network::RouteConstraints c;
+  c.blocked_links.assign(net.link_count(), false);
+  c.blocked_nodes.assign(net.node_count(), false);
+  for (LinkId l : scenario.failed_links) {
+    AFDX_REQUIRE(l < net.link_count(),
+                 "fault scenario '" + scenario.name + "': link id out of range");
+    c.blocked_links[l] = true;
+    c.blocked_links[net.reverse(l)] = true;  // cables fail as a whole
+  }
+  for (NodeId n : scenario.failed_nodes) {
+    AFDX_REQUIRE(n < net.node_count(),
+                 "fault scenario '" + scenario.name + "': node id out of range");
+    c.blocked_nodes[n] = true;
+    for (LinkId l : net.links_from(n)) c.blocked_links[l] = true;
+    for (LinkId l : net.links_into(n)) c.blocked_links[l] = true;
+  }
+  return c;
+}
+
+}  // namespace
+
+const char* to_string(PathFate fate) noexcept {
+  switch (fate) {
+    case PathFate::kIntact: return "intact";
+    case PathFate::kRerouted: return "rerouted";
+    case PathFate::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+DegradedView apply_scenario(const TrafficConfig& healthy,
+                            FaultScenario scenario) {
+  const Network& net = healthy.network();
+  const Network::RouteConstraints constraints =
+      build_constraints(net, scenario);
+
+  DegradedView view;
+  view.scenario = std::move(scenario);
+  view.paths.assign(healthy.all_paths().size(), DegradedPath{});
+
+  std::vector<VirtualLink> surviving_vls;
+  std::vector<std::vector<std::vector<LinkId>>> surviving_routes;
+
+  // Healthy all_paths() enumerates (VL ascending, destination ascending);
+  // walking VLs in the same order keeps `path_cursor` aligned with it, and
+  // the surviving config's all_paths() follows the same rule, so degraded
+  // indices are a running counter too.
+  std::size_t path_cursor = 0;
+  std::size_t degraded_cursor = 0;
+  for (VlId v = 0; v < healthy.vl_count(); ++v) {
+    const VirtualLink& vl = healthy.vl(v);
+    const bool source_down = constraints.node_blocked(vl.source);
+
+    VirtualLink survivor = vl;
+    survivor.destinations.clear();
+    std::vector<std::vector<LinkId>> survivor_paths;
+
+    for (std::uint32_t d = 0; d < vl.destinations.size(); ++d) {
+      DegradedPath& record = view.paths[path_cursor];
+      const NodeId dest = vl.destinations[d];
+      std::optional<std::vector<LinkId>> rerouted;
+      if (!source_down && !constraints.node_blocked(dest)) {
+        rerouted = net.shortest_path(vl.source, dest, constraints);
+      }
+      if (!rerouted.has_value()) {
+        record.fate = PathFate::kUnreachable;
+        ++view.unreachable;
+      } else {
+        const bool same = *rerouted == healthy.all_paths()[path_cursor].links;
+        record.fate = same ? PathFate::kIntact : PathFate::kRerouted;
+        record.degraded_index = degraded_cursor++;
+        ++(same ? view.intact : view.rerouted);
+        survivor.destinations.push_back(dest);
+        survivor_paths.push_back(std::move(*rerouted));
+      }
+      ++path_cursor;
+    }
+
+    if (!survivor.destinations.empty()) {
+      surviving_vls.push_back(std::move(survivor));
+      surviving_routes.push_back(std::move(survivor_paths));
+    }
+  }
+  AFDX_ASSERT(path_cursor == healthy.all_paths().size(),
+              "apply_scenario: path cursor out of sync");
+
+  if (!surviving_vls.empty()) {
+    view.config.emplace(net, std::move(surviving_vls),
+                        std::move(surviving_routes));
+    AFDX_ASSERT(view.config->all_paths().size() == degraded_cursor,
+                "apply_scenario: degraded index map out of sync");
+  }
+  return view;
+}
+
+}  // namespace afdx::faults

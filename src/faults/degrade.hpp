@@ -1,0 +1,63 @@
+// Applying a FaultScenario to a TrafficConfig.
+//
+// apply_scenario() builds the degraded view of a configuration under one
+// failure hypothesis: every VL path is re-routed on the shortest surviving
+// route (all per-destination routes of one VL come from the same
+// constrained BFS tree, so the multicast tree property is preserved), and
+// paths with no surviving route are marked unreachable -- never silently
+// dropped. The surviving VLs and routes form a new, fully validated
+// TrafficConfig ready for any analyzer, plus an explicit index map back to
+// the healthy configuration's path list.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "faults/scenario.hpp"
+#include "vl/traffic_config.hpp"
+
+namespace afdx::faults {
+
+/// What happened to one healthy path under the scenario.
+enum class PathFate : std::uint8_t {
+  /// Same route as in the healthy configuration.
+  kIntact,
+  /// Re-routed over a surviving shortest route (its bounds and the bounds
+  /// of paths it newly shares ports with change).
+  kRerouted,
+  /// No surviving route from source to destination (or a failed endpoint).
+  kUnreachable,
+};
+
+[[nodiscard]] const char* to_string(PathFate fate) noexcept;
+
+inline constexpr std::size_t kNoDegradedIndex = static_cast<std::size_t>(-1);
+
+/// Degraded-view record of one healthy path.
+struct DegradedPath {
+  PathFate fate = PathFate::kIntact;
+  /// Index of the surviving path inside DegradedView::config->all_paths();
+  /// kNoDegradedIndex when unreachable.
+  std::size_t degraded_index = kNoDegradedIndex;
+};
+
+/// The degraded configuration plus the healthy -> degraded mapping.
+struct DegradedView {
+  FaultScenario scenario;
+  /// The surviving configuration; nullopt when no VL survives at all.
+  std::optional<TrafficConfig> config;
+  /// Aligned with the healthy TrafficConfig::all_paths().
+  std::vector<DegradedPath> paths;
+  std::size_t intact = 0;
+  std::size_t rerouted = 0;
+  std::size_t unreachable = 0;
+};
+
+/// Builds the degraded view. Throws afdx::Error only on malformed scenarios
+/// (out-of-range element ids); unreachable destinations are reported in the
+/// view, never thrown.
+[[nodiscard]] DegradedView apply_scenario(const TrafficConfig& healthy,
+                                          FaultScenario scenario);
+
+}  // namespace afdx::faults

@@ -1,0 +1,248 @@
+#include "faults/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "redundancy/redundancy.hpp"
+
+namespace afdx::faults {
+
+namespace {
+
+constexpr Microseconds kInf = std::numeric_limits<Microseconds>::infinity();
+
+std::string path_name(const TrafficConfig& config, std::size_t path_index) {
+  const VlPath& p = config.all_paths()[path_index];
+  const VirtualLink& vl = config.vl(p.vl);
+  return vl.name + " -> " +
+         config.network().node(vl.destinations[p.dest_index]).name;
+}
+
+void print_us(std::ostream& out, Microseconds us) {
+  if (!std::isfinite(us)) {
+    out << "unbounded";
+  } else {
+    out << std::fixed << std::setprecision(2) << us << " us";
+  }
+}
+
+/// Analyzes one scenario against the healthy baseline. `healthy_floors`
+/// are redundancy::path_floor per healthy path.
+void analyze_one(const TrafficConfig& healthy,
+                 const std::vector<Microseconds>& healthy_bounds,
+                 const std::vector<Microseconds>& healthy_floors,
+                 const ScenarioOptions& options, ScenarioReport& sr) {
+  const DegradedView view = apply_scenario(healthy, sr.scenario);
+
+  engine::RunResult run;
+  if (view.config.has_value()) {
+    engine::AnalysisEngine eng(*view.config, engine::Options{1});
+    run = eng.run_resilient(options.nc, options.tj,
+                            engine::RunControl{options.cancel});
+  }
+
+  sr.intact = view.intact;
+  sr.rerouted = view.rerouted;
+  sr.unreachable = view.unreachable;
+  sr.paths.resize(healthy.all_paths().size());
+  for (std::size_t p = 0; p < sr.paths.size(); ++p) {
+    PathDegradation& pd = sr.paths[p];
+    pd.fate = view.paths[p].fate;
+    pd.healthy_us = healthy_bounds[p];
+
+    Microseconds degraded_floor = healthy_floors[p];
+    if (pd.fate == PathFate::kUnreachable) {
+      pd.state = engine::PathState::kSkipped;
+      pd.message = "no surviving route";
+      pd.degraded_raw_us = kInf;
+    } else {
+      const std::size_t di = view.paths[p].degraded_index;
+      pd.state = run.status[di].state;
+      pd.message = run.status[di].message;
+      pd.degraded_raw_us = run.combined[di];
+      degraded_floor =
+          redundancy::path_floor(*view.config, view.config->all_paths()[di]);
+      if (pd.state == engine::PathState::kFailed) ++sr.failed;
+      if (pd.state == engine::PathState::kSkipped) ++sr.skipped;
+    }
+
+    // Covering envelope: the certifiable degraded-mode bound must dominate
+    // both modes (frames of both are in flight across the transition).
+    pd.degraded_us = std::max(pd.healthy_us, pd.degraded_raw_us);
+    if (std::isfinite(pd.degraded_us) && std::isfinite(pd.healthy_us) &&
+        pd.healthy_us > 0.0) {
+      pd.inflation = pd.degraded_us / pd.healthy_us;
+      if (pd.inflation > sr.worst_inflation) {
+        sr.worst_inflation = pd.inflation;
+        sr.worst_path = p;
+      }
+    }
+
+    // Dual-network figures: this network degraded, the mirror healthy.
+    const redundancy::PathRedundancy rd = redundancy::combine(
+        pd.degraded_us, degraded_floor, pd.healthy_us, healthy_floors[p]);
+    pd.first_arrival_us = rd.first_arrival_bound;
+    pd.skew_us = rd.skew_max;
+    pd.skew_healthy_us = pd.healthy_us - healthy_floors[p];
+    pd.redundancy_lost = !std::isfinite(pd.degraded_us);
+  }
+  sr.analyzed = true;
+}
+
+}  // namespace
+
+bool DegradationReport::complete() const noexcept {
+  for (const engine::PathStatus& st : healthy_status) {
+    if (!st.ok()) return false;
+  }
+  for (const ScenarioReport& sr : scenarios) {
+    if (!sr.analyzed || sr.failed + sr.skipped > 0) return false;
+  }
+  return true;
+}
+
+DegradationReport analyze_scenarios(const TrafficConfig& healthy,
+                                    std::vector<FaultScenario> scenarios,
+                                    const ScenarioOptions& options) {
+  DegradationReport report;
+  report.scenarios.resize(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    report.scenarios[i].scenario = std::move(scenarios[i]);
+  }
+
+  // Healthy baseline (resilient: an unstable healthy port must not kill the
+  // sweep -- its paths simply carry unbounded healthy figures).
+  engine::AnalysisEngine healthy_engine(healthy,
+                                        engine::Options{options.threads});
+  engine::RunResult healthy_run = healthy_engine.run_resilient(
+      options.nc, options.tj, engine::RunControl{options.cancel});
+  report.healthy = std::move(healthy_run.combined);
+  report.healthy_status = std::move(healthy_run.status);
+
+  std::vector<Microseconds> healthy_floors;
+  healthy_floors.reserve(healthy.all_paths().size());
+  for (const VlPath& p : healthy.all_paths()) {
+    healthy_floors.push_back(redundancy::path_floor(healthy, p));
+  }
+
+  // Scenarios are independent: parallelize across them, one serial engine
+  // each. Containment keeps one bad scenario (malformed ids) from taking
+  // down the sweep.
+  engine::ThreadPool pool(
+      engine::ThreadPool::resolve_thread_count(options.threads));
+  const std::vector<engine::ThreadPool::TaskFailure> failures =
+      pool.parallel_for_contained(
+          report.scenarios.size(), [&](std::size_t i, int) {
+            ScenarioReport& sr = report.scenarios[i];
+            if (options.cancel != nullptr && options.cancel->expired()) {
+              sr.skip_reason = options.cancel->reason();
+              return;
+            }
+            analyze_one(healthy, report.healthy, healthy_floors, options, sr);
+          });
+  for (const engine::ThreadPool::TaskFailure& f : failures) {
+    ScenarioReport& sr = report.scenarios[f.index];
+    sr.analyzed = false;
+    sr.paths.clear();
+    sr.skip_reason = f.message;
+  }
+
+  for (std::size_t s = 0; s < report.scenarios.size(); ++s) {
+    const ScenarioReport& sr = report.scenarios[s];
+    report.total_unreachable += sr.unreachable;
+    if (sr.worst_path != kNoPath &&
+        sr.worst_inflation > report.worst_inflation) {
+      report.worst_inflation = sr.worst_inflation;
+      report.worst_scenario = s;
+      report.worst_path = sr.worst_path;
+    }
+  }
+  return report;
+}
+
+void DegradationReport::print(std::ostream& out,
+                              const TrafficConfig& healthy_config) const {
+  const auto flags = out.flags();
+  out << "degraded-mode analysis: " << scenarios.size() << " scenario(s), "
+      << healthy.size() << " path(s)\n";
+  std::size_t healthy_bad = 0;
+  for (const engine::PathStatus& st : healthy_status) {
+    if (!st.ok()) ++healthy_bad;
+  }
+  if (healthy_bad == 0) {
+    out << "healthy run: all paths bounded\n";
+  } else {
+    out << "healthy run: " << healthy_bad << " path(s) without bounds\n";
+  }
+
+  for (const ScenarioReport& sr : scenarios) {
+    out << "\nscenario '" << sr.scenario.name << "': ";
+    if (!sr.analyzed) {
+      out << "SKIPPED (" << sr.skip_reason << ")\n";
+      continue;
+    }
+    out << sr.intact << " intact, " << sr.rerouted << " rerouted, "
+        << sr.unreachable << " unreachable";
+    if (sr.failed > 0) out << ", " << sr.failed << " failed";
+    if (sr.skipped > 0) out << ", " << sr.skipped << " skipped";
+    out << "\n";
+
+    for (std::size_t p = 0; p < sr.paths.size(); ++p) {
+      const PathDegradation& pd = sr.paths[p];
+      if (pd.fate == PathFate::kUnreachable) {
+        out << "  UNREACHABLE " << path_name(healthy_config, p)
+            << " (redundancy lost: mirror network only, first arrival ";
+        print_us(out, pd.first_arrival_us);
+        out << ")\n";
+        continue;
+      }
+      // Intact paths with unchanged bounds are summarized by the counter
+      // line; print the rest.
+      const bool changed = pd.fate != PathFate::kIntact ||
+                           pd.state != engine::PathState::kOk ||
+                           pd.degraded_us > pd.healthy_us;
+      if (!changed) continue;
+      out << "  " << path_name(healthy_config, p) << " ["
+          << to_string(pd.fate) << "]: healthy ";
+      print_us(out, pd.healthy_us);
+      out << " -> degraded ";
+      print_us(out, pd.degraded_us);
+      if (pd.inflation > 0.0) {
+        out << " (x" << std::fixed << std::setprecision(3) << pd.inflation
+            << ")";
+      }
+      if (pd.state != engine::PathState::kOk) {
+        out << " [" << engine::to_string(pd.state);
+        if (!pd.message.empty()) out << ": " << pd.message;
+        out << "]";
+      }
+      out << ", RM skew ";
+      print_us(out, pd.skew_healthy_us);
+      out << " -> ";
+      print_us(out, pd.skew_us);
+      out << "\n";
+    }
+  }
+
+  out << "\n";
+  if (worst_path != kNoPath) {
+    out << "worst inflation: x" << std::fixed << std::setprecision(3)
+        << worst_inflation << " on path "
+        << path_name(healthy_config, worst_path) << " under scenario '"
+        << scenarios[worst_scenario].scenario.name << "'\n";
+  } else {
+    out << "worst inflation: x1.000 (no surviving path degraded beyond its "
+           "healthy bound)\n";
+  }
+  out << "unreachable path records: " << total_unreachable << "\n";
+  out << (complete() ? "report complete\n"
+                     : "REPORT INCOMPLETE (see skipped/failed entries)\n");
+  out.flags(flags);
+}
+
+}  // namespace afdx::faults

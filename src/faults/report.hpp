@@ -1,0 +1,129 @@
+// Degraded-mode delay analysis: healthy vs. per-scenario bounds.
+//
+// analyze_scenarios() runs the combined WCNC/trajectory analysis once on
+// the healthy configuration and once per fault scenario (on the degraded
+// view built by apply_scenario), then compares the bounds path by path:
+//
+//   * the headline degraded bound of a surviving path is the *covering*
+//     envelope max(healthy, raw degraded) -- during a fault-mode
+//     transition frames of both modes are in flight, so the certified
+//     bound must dominate both; the raw re-analysis value is also kept
+//     (removing a failed VL's cross-traffic can genuinely tighten a
+//     surviving path, which is interesting but not certifiable alone);
+//   * unreachable paths are listed explicitly, never silently dropped;
+//   * redundancy figures assume the paper's dual-network model: the
+//     mirror network stays healthy while this one degrades, so the
+//     first-arrival bound and RM skew come from
+//     redundancy::combine(degraded, healthy). A path whose copy on this
+//     network is lost keeps the mirror's first arrival but its skew
+//     becomes infinite (redundancy_lost).
+//
+// Scenario runs use run_resilient: an unstable degraded port fails only
+// its dependent paths, a CancelToken deadline turns remaining scenarios
+// into explicit "skipped" records, and DegradationReport::complete()
+// tells whether every figure was actually computed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "faults/degrade.hpp"
+#include "faults/scenario.hpp"
+
+namespace afdx::faults {
+
+/// Knobs of a degraded-mode analysis sweep.
+struct ScenarioOptions {
+  netcalc::Options nc;
+  trajectory::Options tj;
+  /// Worker threads; scenarios are independent, so parallelism is applied
+  /// across scenarios (each scenario engine runs serially).
+  int threads = 1;
+  /// Optional cooperative cancellation / deadline shared by the healthy run
+  /// and every scenario.
+  const engine::CancelToken* cancel = nullptr;
+};
+
+/// Comparison record of one healthy path under one scenario.
+struct PathDegradation {
+  PathFate fate = PathFate::kIntact;
+  /// Outcome of the degraded re-analysis of this path (kSkipped with an
+  /// explanatory message for unreachable paths -- there is nothing to run).
+  engine::PathState state = engine::PathState::kOk;
+  std::string message;
+  /// Healthy combined bound (infinite if the healthy run failed the path).
+  Microseconds healthy_us = 0.0;
+  /// Raw degraded combined bound; infinite when unreachable or failed.
+  Microseconds degraded_raw_us = 0.0;
+  /// Covering bound max(healthy_us, degraded_raw_us): the certifiable
+  /// degraded-mode figure. Always >= healthy_us by construction.
+  Microseconds degraded_us = 0.0;
+  /// degraded_us / healthy_us when both are finite and positive, else 0.
+  double inflation = 0.0;
+  /// Dual-network first-arrival bound with the mirror network healthy.
+  Microseconds first_arrival_us = 0.0;
+  /// RM skew window: healthy-mode and degraded-mode (infinite when the
+  /// copy on this network is lost).
+  Microseconds skew_healthy_us = 0.0;
+  Microseconds skew_us = 0.0;
+  /// True when this network no longer delivers the path (fate unreachable
+  /// or degraded analysis failed): the frame rides the mirror network only.
+  bool redundancy_lost = false;
+};
+
+inline constexpr std::size_t kNoPath = static_cast<std::size_t>(-1);
+
+/// Outcome of one fault scenario.
+struct ScenarioReport {
+  FaultScenario scenario;
+  /// False when the scenario was never analyzed (deadline, cancellation or
+  /// an internal error); skip_reason then says why.
+  bool analyzed = false;
+  std::string skip_reason;
+  /// Aligned with the healthy TrafficConfig::all_paths(); empty when
+  /// !analyzed.
+  std::vector<PathDegradation> paths;
+  std::size_t intact = 0;
+  std::size_t rerouted = 0;
+  std::size_t unreachable = 0;
+  /// Surviving paths whose degraded analysis failed / was skipped.
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  /// Largest finite inflation over the paths and the path it occurs on
+  /// (kNoPath when no path has a finite inflation figure).
+  double worst_inflation = 1.0;
+  std::size_t worst_path = kNoPath;
+};
+
+/// Healthy-vs-degraded comparison over a set of scenarios.
+struct DegradationReport {
+  /// Healthy combined bounds and statuses, aligned with all_paths().
+  std::vector<Microseconds> healthy;
+  std::vector<engine::PathStatus> healthy_status;
+  std::vector<ScenarioReport> scenarios;
+  /// Largest finite inflation across every scenario; worst_scenario /
+  /// worst_path locate it (kNoPath when none).
+  double worst_inflation = 1.0;
+  std::size_t worst_scenario = kNoPath;
+  std::size_t worst_path = kNoPath;
+  /// Total unreachable path records across the scenarios.
+  std::size_t total_unreachable = 0;
+
+  /// True when the healthy run was complete, every scenario was analyzed
+  /// and no surviving path failed or was skipped. Unreachable paths do not
+  /// make a report incomplete -- unreachability is a result, not a gap.
+  [[nodiscard]] bool complete() const noexcept;
+
+  /// Human-readable report. Needs the healthy configuration to name paths.
+  void print(std::ostream& out, const TrafficConfig& healthy_config) const;
+};
+
+/// Runs the full sweep. Scenario specs that fail to apply (malformed ids)
+/// become unanalyzed ScenarioReports, not exceptions.
+[[nodiscard]] DegradationReport analyze_scenarios(
+    const TrafficConfig& healthy, std::vector<FaultScenario> scenarios,
+    const ScenarioOptions& options = {});
+
+}  // namespace afdx::faults

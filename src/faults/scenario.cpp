@@ -1,0 +1,133 @@
+#include "faults/scenario.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace afdx::faults {
+
+namespace {
+
+void push_unique(std::vector<LinkId>& links, LinkId id) {
+  if (std::find(links.begin(), links.end(), id) == links.end()) {
+    links.push_back(id);
+  }
+}
+
+std::string cable_name(const Network& net, LinkId l) {
+  // Canonical direction first so "e1-S1" and "S1-e1" label the same cable.
+  const LinkId canonical = std::min(l, net.reverse(l));
+  const Link& link = net.link(canonical);
+  return net.node(link.source).name + "-" + net.node(link.dest).name;
+}
+
+}  // namespace
+
+void add_failed_cable(const Network& net, FaultScenario& scenario,
+                      LinkId any_direction) {
+  AFDX_REQUIRE(any_direction < net.link_count(),
+               "fault scenario: link id out of range");
+  // Canonical direction first so either spelling of a cable yields the same
+  // scenario.
+  const LinkId canonical = std::min(any_direction, net.reverse(any_direction));
+  push_unique(scenario.failed_links, canonical);
+  push_unique(scenario.failed_links, net.reverse(canonical));
+}
+
+FaultScenario scenario_from_spec(const Network& net, const std::string& spec) {
+  FaultScenario scenario;
+  scenario.name = spec;
+  AFDX_REQUIRE(!spec.empty(), "fault scenario: empty spec");
+
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string item = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    AFDX_REQUIRE(!item.empty(), "fault scenario '" + spec + "': empty element");
+
+    const std::size_t colon = item.find(':');
+    AFDX_REQUIRE(colon != std::string::npos,
+                 "fault scenario element '" + item +
+                     "': expected link:<a>-<b>, switch:<name> or es:<name>");
+    const std::string kind = item.substr(0, colon);
+    const std::string arg = item.substr(colon + 1);
+
+    if (kind == "link") {
+      const std::size_t dash = arg.find('-');
+      AFDX_REQUIRE(dash != std::string::npos && dash > 0 &&
+                       dash + 1 < arg.size(),
+                   "fault scenario element '" + item +
+                       "': expected link:<nodeA>-<nodeB>");
+      const auto a = net.find_node(arg.substr(0, dash));
+      const auto b = net.find_node(arg.substr(dash + 1));
+      AFDX_REQUIRE(a.has_value() && b.has_value(),
+                   "fault scenario element '" + item + "': unknown node");
+      const auto link = net.link_between(*a, *b);
+      AFDX_REQUIRE(link.has_value(), "fault scenario element '" + item +
+                                         "': no such cable");
+      add_failed_cable(net, scenario, *link);
+    } else if (kind == "switch" || kind == "es") {
+      const auto node = net.find_node(arg);
+      AFDX_REQUIRE(node.has_value(),
+                   "fault scenario element '" + item + "': unknown node");
+      AFDX_REQUIRE(kind == "switch" ? net.is_switch(*node)
+                                    : net.is_end_system(*node),
+                   "fault scenario element '" + item + "': node '" + arg +
+                       "' is not a " +
+                       (kind == "switch" ? "switch" : "end system"));
+      if (std::find(scenario.failed_nodes.begin(), scenario.failed_nodes.end(),
+                    *node) == scenario.failed_nodes.end()) {
+        scenario.failed_nodes.push_back(*node);
+      }
+    } else {
+      throw Error("fault scenario element '" + item +
+                  "': unknown kind '" + kind + "'");
+    }
+  }
+  return scenario;
+}
+
+std::vector<FaultScenario> single_link_scenarios(const TrafficConfig& config,
+                                                 bool used_only) {
+  const Network& net = config.network();
+  std::vector<FaultScenario> scenarios;
+  for (LinkId l = 0; l < net.link_count(); ++l) {
+    if (net.reverse(l) < l) continue;  // one scenario per cable
+    if (used_only && config.vls_on_link(l).empty() &&
+        config.vls_on_link(net.reverse(l)).empty()) {
+      continue;
+    }
+    FaultScenario s;
+    s.name = "link " + cable_name(net, l);
+    add_failed_cable(net, s, l);
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+std::vector<FaultScenario> single_switch_scenarios(const TrafficConfig& config,
+                                                   bool used_only) {
+  const Network& net = config.network();
+  std::vector<FaultScenario> scenarios;
+  for (NodeId sw : net.switches()) {
+    if (used_only) {
+      bool used = false;
+      for (LinkId l : net.links_from(sw)) {
+        if (!config.vls_on_link(l).empty()) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) continue;
+    }
+    FaultScenario s;
+    s.name = "switch " + net.node(sw).name;
+    s.failed_nodes.push_back(sw);
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+}  // namespace afdx::faults

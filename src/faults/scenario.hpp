@@ -1,0 +1,60 @@
+// Fault scenarios: which network elements are assumed failed.
+//
+// The paper's industrial configuration rides every VL over two redundant
+// sub-networks precisely because cables, switches and end systems fail.
+// A FaultScenario names one such failure hypothesis -- a set of failed
+// full-duplex cables and/or nodes assumed down simultaneously -- and the
+// enumerators produce the standard certification sweeps (every single
+// cable, every single switch) over one configuration. Scenarios are pure
+// descriptions; applying them to a TrafficConfig is degrade.hpp's job.
+//
+// Cables fail as a whole: a LinkId put into failed_links drags its reverse
+// direction along (full-duplex cable cut). A failed node takes all its
+// attached cables down implicitly when the scenario is applied.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vl/traffic_config.hpp"
+
+namespace afdx::faults {
+
+/// A set of simultaneously failed network elements.
+struct FaultScenario {
+  /// Human-readable label ("link e1-S1", "switch S2", a user spec, ...).
+  std::string name;
+  /// Failed directed links; add_failed_cable keeps both directions in sync.
+  std::vector<LinkId> failed_links;
+  /// Failed nodes (switches or end systems).
+  std::vector<NodeId> failed_nodes;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return failed_links.empty() && failed_nodes.empty();
+  }
+};
+
+/// Adds the full-duplex cable containing `any_direction` (both directed
+/// links) to the scenario. Duplicates are ignored.
+void add_failed_cable(const Network& net, FaultScenario& scenario,
+                      LinkId any_direction);
+
+/// Parses a user scenario spec: comma-separated element specs, each
+/// `link:<nodeA>-<nodeB>`, `switch:<name>` or `es:<name>` -- e.g.
+/// "link:e1-S1,switch:S2" is one double-fault scenario. Throws afdx::Error
+/// on unknown names, wrong node kinds or malformed syntax.
+[[nodiscard]] FaultScenario scenario_from_spec(const Network& net,
+                                               const std::string& spec);
+
+/// One scenario per full-duplex cable. With used_only (default) the sweep
+/// covers only cables some VL actually crosses -- failing an idle cable
+/// cannot change any bound.
+[[nodiscard]] std::vector<FaultScenario> single_link_scenarios(
+    const TrafficConfig& config, bool used_only = true);
+
+/// One scenario per switch. With used_only (default) the sweep covers only
+/// switches some VL path traverses.
+[[nodiscard]] std::vector<FaultScenario> single_switch_scenarios(
+    const TrafficConfig& config, bool used_only = true);
+
+}  // namespace afdx::faults

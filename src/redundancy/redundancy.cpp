@@ -57,6 +57,14 @@ Microseconds path_floor(const TrafficConfig& config, const VlPath& path) {
   return floor;
 }
 
+PathRedundancy combine(Microseconds bound_a, Microseconds floor_a,
+                       Microseconds bound_b, Microseconds floor_b) {
+  PathRedundancy pr;
+  pr.first_arrival_bound = std::min(bound_a, bound_b);
+  pr.skew_max = std::max(bound_a - floor_b, bound_b - floor_a);
+  return pr;
+}
+
 Result analyze(const TrafficConfig& a,
                const std::vector<Microseconds>& bounds_a,
                const TrafficConfig& b,
@@ -71,12 +79,10 @@ Result analyze(const TrafficConfig& a,
   Result result;
   result.paths.reserve(bounds_a.size());
   for (std::size_t i = 0; i < bounds_a.size(); ++i) {
-    const Microseconds floor_a = path_floor(a, a.all_paths()[i]);
-    const Microseconds floor_b = path_floor(b, b.all_paths()[i]);
-    PathRedundancy pr;
-    pr.first_arrival_bound = std::min(bounds_a[i], bounds_b[i]);
-    pr.skew_max = std::max(bounds_a[i] - floor_b, bounds_b[i] - floor_a);
-    result.paths.push_back(pr);
+    result.paths.push_back(combine(bounds_a[i],
+                                   path_floor(a, a.all_paths()[i]),
+                                   bounds_b[i],
+                                   path_floor(b, b.all_paths()[i])));
   }
   return result;
 }

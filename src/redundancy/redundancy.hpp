@@ -52,6 +52,16 @@ void require_mirrored_vls(const TrafficConfig& a, const TrafficConfig& b);
 [[nodiscard]] Microseconds path_floor(const TrafficConfig& config,
                                       const VlPath& path);
 
+/// The redundancy figures of one path from its two per-network bounds and
+/// floors. Tolerates an infinite bound (a copy lost to a fault scenario):
+/// the first-arrival bound then degrades to the surviving network's bound
+/// and the skew becomes infinite -- the RM window can no longer expect the
+/// second copy at all.
+[[nodiscard]] PathRedundancy combine(Microseconds bound_a,
+                                     Microseconds floor_a,
+                                     Microseconds bound_b,
+                                     Microseconds floor_b);
+
 /// Combines per-network delay bounds into the redundancy figures.
 /// `bounds_a` / `bounds_b` are aligned with the respective
 /// TrafficConfig::all_paths() (e.g. the combined bounds of

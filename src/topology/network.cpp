@@ -116,8 +116,16 @@ std::vector<NodeId> Network::switches() const {
 
 std::optional<std::vector<LinkId>> Network::shortest_path(NodeId from,
                                                           NodeId to) const {
+  return shortest_path(from, to, RouteConstraints{});
+}
+
+std::optional<std::vector<LinkId>> Network::shortest_path(
+    NodeId from, NodeId to, const RouteConstraints& constraints) const {
   AFDX_REQUIRE(from < nodes_.size() && to < nodes_.size(),
                "shortest_path: node id out of range");
+  if (constraints.node_blocked(from) || constraints.node_blocked(to)) {
+    return std::nullopt;
+  }
   if (from == to) return std::vector<LinkId>{};
 
   std::vector<LinkId> parent_link(nodes_.size(), kInvalidLink);
@@ -132,8 +140,9 @@ std::optional<std::vector<LinkId>> Network::shortest_path(NodeId from,
     // End systems never forward traffic; only the source may emit.
     if (cur != from && is_end_system(cur)) continue;
     for (LinkId l : out_links_[cur]) {
+      if (constraints.link_blocked(l)) continue;
       const NodeId next = links_[l].dest;
-      if (visited[next]) continue;
+      if (visited[next] || constraints.node_blocked(next)) continue;
       visited[next] = true;
       parent_link[next] = l;
       if (next == to) {

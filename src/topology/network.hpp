@@ -108,11 +108,33 @@ class Network {
   /// All switch ids, in creation order.
   [[nodiscard]] std::vector<NodeId> switches() const;
 
+  /// Elements a route must avoid (failed links and nodes, typically from a
+  /// fault scenario). Empty vectors mean "nothing blocked"; non-empty
+  /// vectors are indexed by LinkId / NodeId.
+  struct RouteConstraints {
+    std::vector<bool> blocked_links;
+    std::vector<bool> blocked_nodes;
+
+    [[nodiscard]] bool link_blocked(LinkId id) const {
+      return id < blocked_links.size() && blocked_links[id];
+    }
+    [[nodiscard]] bool node_blocked(NodeId id) const {
+      return id < blocked_nodes.size() && blocked_nodes[id];
+    }
+  };
+
   /// Shortest path (hop count) from `from` to `to` as a sequence of directed
   /// links; empty optional when unreachable. End systems are never used as
   /// intermediate hops (they do not forward).
   [[nodiscard]] std::optional<std::vector<LinkId>> shortest_path(NodeId from,
                                                                  NodeId to) const;
+
+  /// Same, avoiding every blocked link and node. Two calls from the same
+  /// source with the same constraints explore the same BFS tree, so the
+  /// per-destination paths of one VL always share prefixes (the multicast
+  /// tree property). A blocked endpoint makes the destination unreachable.
+  [[nodiscard]] std::optional<std::vector<LinkId>> shortest_path(
+      NodeId from, NodeId to, const RouteConstraints& constraints) const;
 
   /// Checks the ARINC-664 structural constraints listed in the header
   /// comment; throws afdx::Error describing the first violation.

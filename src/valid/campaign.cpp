@@ -142,10 +142,31 @@ CampaignReport run_campaigns(const CampaignOptions& options) {
     std::filesystem::create_directories(options.corpus_dir);
   }
 
+  // Checkpointed outcomes of an earlier interrupted run: replayed into
+  // their slots, never re-executed. Specs are recomputed below (pure
+  // function of grid/seed/index), so a checkpoint cannot alter them.
+  std::vector<const CampaignOutcome*> resumed(options.campaigns, nullptr);
+  for (const CampaignOutcome& r : options.resume) {
+    if (r.spec.index < options.campaigns && !r.interrupted) {
+      resumed[r.spec.index] = &r;
+    }
+  }
+
   engine::ThreadPool pool(report.threads);
   pool.parallel_for(options.campaigns, [&](std::size_t i, int) {
     CampaignOutcome& outcome = report.outcomes[i];
     outcome.spec = spec_for(options.grid, options.seed, i);
+    if (resumed[i] != nullptr) {
+      const CampaignSpec spec = outcome.spec;
+      outcome = *resumed[i];
+      outcome.spec = spec;
+      return;
+    }
+    if (options.cancel != nullptr && options.cancel->expired()) {
+      outcome.interrupted = true;
+      outcome.skip_reason = options.cancel->reason();
+      return;
+    }
     const auto t0 = Clock::now();
     try {
       const TrafficConfig cfg = gen::industrial_config(outcome.spec.gen);
@@ -189,6 +210,10 @@ CampaignReport run_campaigns(const CampaignOptions& options) {
   });
 
   for (const CampaignOutcome& outcome : report.outcomes) {
+    if (outcome.interrupted) {
+      ++report.interrupted;
+      continue;
+    }
     if (outcome.skipped) {
       ++report.skipped;
       continue;
@@ -220,6 +245,7 @@ void CampaignReport::write_json(std::ostream& out, bool include_timing) const {
   }
   out << "  \"completed\": " << completed << ",\n";
   out << "  \"skipped\": " << skipped << ",\n";
+  out << "  \"interrupted\": " << interrupted << ",\n";
   out << "  \"paths_checked\": " << paths << ",\n";
   out << "  \"schedules_simulated\": " << schedules_simulated << ",\n";
   out << "  \"violations\": " << violation_count << ",\n";
@@ -249,6 +275,10 @@ void CampaignReport::write_json(std::ostream& out, bool include_timing) const {
     out << (i == 0 ? "\n    " : ",\n    ");
     out << "{\"index\": " << o.spec.index << ", \"config_seed\": "
         << o.spec.gen.seed;
+    if (o.interrupted) {
+      out << ", \"interrupted\": true}";
+      continue;
+    }
     if (o.skipped) {
       out << ", \"skipped\": true, \"reason\": \""
           << json_escape(o.skip_reason) << "\"}";

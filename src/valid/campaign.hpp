@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/cancel.hpp"
 #include "gen/industrial.hpp"
 #include "valid/shrink.hpp"
 #include "valid/validation.hpp"
@@ -59,6 +60,24 @@ struct CampaignSpec {
                                     std::uint64_t master_seed,
                                     std::size_t index);
 
+/// What happened to one campaign.
+struct CampaignOutcome {
+  CampaignSpec spec;
+  /// True when the generator rejected the drawn spec (e.g. the utilization
+  /// cap could not be met) -- counted, never fatal.
+  bool skipped = false;
+  std::string skip_reason;
+  /// True when cancellation kept the campaign from running at all; a later
+  /// resumed run picks it up. Never counted as completed.
+  bool interrupted = false;
+  std::size_t vls = 0;
+  std::size_t paths = 0;
+  CheckResult check;
+  /// Corpus artifact of the shrunk reproducer, when one was persisted.
+  std::string corpus_file;
+  Microseconds wall_us = 0.0;
+};
+
 struct CampaignOptions {
   std::size_t campaigns = 100;
   std::uint64_t seed = 42;
@@ -75,21 +94,15 @@ struct CampaignOptions {
   /// Directory the shrunk reproducers are written to (created on demand);
   /// empty = do not persist.
   std::string corpus_dir;
-};
-
-/// What happened to one campaign.
-struct CampaignOutcome {
-  CampaignSpec spec;
-  /// True when the generator rejected the drawn spec (e.g. the utilization
-  /// cap could not be met) -- counted, never fatal.
-  bool skipped = false;
-  std::string skip_reason;
-  std::size_t vls = 0;
-  std::size_t paths = 0;
-  CheckResult check;
-  /// Corpus artifact of the shrunk reproducer, when one was persisted.
-  std::string corpus_file;
-  Microseconds wall_us = 0.0;
+  /// Optional cooperative cancellation (SIGINT/SIGTERM handler, deadline):
+  /// polled before each campaign; once expired, remaining campaigns are
+  /// marked interrupted instead of running.
+  const engine::CancelToken* cancel = nullptr;
+  /// Outcomes restored from a checkpoint of an earlier interrupted run with
+  /// the same (seed, campaigns): their campaigns are not re-executed, the
+  /// recorded results are replayed into their slots (specs are recomputed,
+  /// never trusted from the file). Indices out of range are ignored.
+  std::vector<CampaignOutcome> resume;
 };
 
 struct CampaignReport {
@@ -101,6 +114,9 @@ struct CampaignReport {
   // Aggregates (over completed campaigns).
   std::size_t completed = 0;
   std::size_t skipped = 0;
+  /// Campaigns cancellation kept from running (checkpoint/resume picks
+  /// them up on the next invocation).
+  std::size_t interrupted = 0;
   std::size_t paths = 0;
   std::uint64_t schedules_simulated = 0;
   std::size_t violation_count = 0;
@@ -110,6 +126,9 @@ struct CampaignReport {
   Microseconds wall_us = 0.0;
 
   [[nodiscard]] bool ok() const noexcept { return violation_count == 0; }
+
+  /// True when every campaign actually ran (nothing interrupted).
+  [[nodiscard]] bool complete() const noexcept { return interrupted == 0; }
 
   /// Serializes the report as JSON. With include_timing = false the
   /// wall-time fields are omitted, making the output bit-identical across

@@ -1,0 +1,212 @@
+#include "valid/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace afdx::valid {
+
+namespace {
+
+constexpr const char* kHeader = "afdx-fuzz-checkpoint v1";
+
+/// Percent-escapes a free-text value so it survives the one-record-per-line,
+/// space-separated key=value format.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '%' || c == ' ' || c == '=' || u < 0x20) {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02x", u);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      out += static_cast<char>(std::stoi(s.substr(i + 1, 2), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+using Fields = std::unordered_map<std::string, std::string>;
+
+/// Splits "key1=v1 key2=v2 ..." (after the record tag) into a field map.
+Fields parse_fields(std::istringstream& line) {
+  Fields fields;
+  std::string token;
+  while (line >> token) {
+    const std::size_t eq = token.find('=');
+    AFDX_REQUIRE(eq != std::string::npos,
+                 "checkpoint: malformed field '" + token + "'");
+    fields[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return fields;
+}
+
+const std::string& field(const Fields& fields, const std::string& key) {
+  const auto it = fields.find(key);
+  AFDX_REQUIRE(it != fields.end(), "checkpoint: missing field '" + key + "'");
+  return it->second;
+}
+
+std::uint64_t field_u64(const Fields& fields, const std::string& key) {
+  return std::stoull(field(fields, key));
+}
+
+double field_double(const Fields& fields, const std::string& key) {
+  return std::stod(field(fields, key));
+}
+
+void write_pess(std::ostream& out, std::size_t index, const char* method,
+                const analysis::PessimismStats& s) {
+  out << "pess index=" << index << " method=" << method << " mean=" << s.mean
+      << " min=" << s.min << " max=" << s.max << " paths=" << s.paths << "\n";
+}
+
+CheckKind kind_from_string(const std::string& name) {
+  for (CheckKind k :
+       {CheckKind::kSimDominance, CheckKind::kCombinedIsMin,
+        CheckKind::kRefinementMonotonic, CheckKind::kStoreForwardFloor,
+        CheckKind::kBacklogDominance}) {
+    if (to_string(k) == name) return k;
+  }
+  throw Error("checkpoint: unknown check kind '" + name + "'");
+}
+
+}  // namespace
+
+void write_checkpoint(const CampaignReport& report, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    AFDX_REQUIRE(out.good(), "checkpoint: cannot write '" + tmp + "'");
+    out.precision(std::numeric_limits<double>::max_digits10);
+
+    out << kHeader << "\n";
+    out << "run seed=" << report.seed << " campaigns=" << report.campaigns
+        << "\n";
+    for (const CampaignOutcome& o : report.outcomes) {
+      if (o.interrupted) continue;  // resume must re-run these
+      out << "outcome index=" << o.spec.index
+          << " skipped=" << (o.skipped ? 1 : 0)
+          << " reason=" << escape(o.skip_reason) << " vls=" << o.vls
+          << " paths=" << o.paths << " cpaths=" << o.check.paths
+          << " schedules=" << o.check.schedules_simulated
+          << " corpus=" << escape(o.corpus_file) << " wall_us=" << o.wall_us
+          << "\n";
+      if (o.skipped) continue;
+      write_pess(out, o.spec.index, "wcnc", o.check.wcnc);
+      write_pess(out, o.spec.index, "trajectory", o.check.trajectory);
+      write_pess(out, o.spec.index, "combined", o.check.combined);
+      for (const Violation& v : o.check.violations) {
+        out << "viol index=" << o.spec.index << " kind=" << to_string(v.kind)
+            << " method=" << escape(v.method) << " at=" << v.index
+            << " observed=" << v.observed << " bound=" << v.bound
+            << " detail=" << escape(v.detail) << "\n";
+      }
+    }
+    AFDX_REQUIRE(out.good(), "checkpoint: write to '" + tmp + "' failed");
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<Checkpoint> read_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return std::nullopt;
+
+  std::string line;
+  AFDX_REQUIRE(std::getline(in, line) && line == kHeader,
+               "checkpoint '" + path + "': bad header (expected '" +
+                   std::string(kHeader) + "')");
+
+  Checkpoint cp;
+  bool have_run = false;
+  // Maps campaign index -> slot in cp.outcomes for pess/viol attachment.
+  std::unordered_map<std::size_t, std::size_t> slots;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    Fields fields = parse_fields(ls);
+
+    if (tag == "run") {
+      cp.seed = field_u64(fields, "seed");
+      cp.campaigns = static_cast<std::size_t>(field_u64(fields, "campaigns"));
+      have_run = true;
+    } else if (tag == "outcome") {
+      CampaignOutcome o;
+      o.spec.index = static_cast<std::size_t>(field_u64(fields, "index"));
+      o.skipped = field_u64(fields, "skipped") != 0;
+      o.skip_reason = unescape(field(fields, "reason"));
+      o.vls = static_cast<std::size_t>(field_u64(fields, "vls"));
+      o.paths = static_cast<std::size_t>(field_u64(fields, "paths"));
+      o.check.paths = static_cast<std::size_t>(field_u64(fields, "cpaths"));
+      o.check.schedules_simulated = field_u64(fields, "schedules");
+      o.corpus_file = unescape(field(fields, "corpus"));
+      o.wall_us = field_double(fields, "wall_us");
+      slots[o.spec.index] = cp.outcomes.size();
+      cp.outcomes.push_back(std::move(o));
+    } else if (tag == "pess") {
+      const auto slot =
+          slots.find(static_cast<std::size_t>(field_u64(fields, "index")));
+      AFDX_REQUIRE(slot != slots.end(),
+                   "checkpoint: pess record before its outcome");
+      analysis::PessimismStats s;
+      s.mean = field_double(fields, "mean");
+      s.min = field_double(fields, "min");
+      s.max = field_double(fields, "max");
+      s.paths = static_cast<std::size_t>(field_u64(fields, "paths"));
+      CampaignOutcome& o = cp.outcomes[slot->second];
+      const std::string& method = field(fields, "method");
+      if (method == "wcnc") {
+        o.check.wcnc = s;
+      } else if (method == "trajectory") {
+        o.check.trajectory = s;
+      } else if (method == "combined") {
+        o.check.combined = s;
+      } else {
+        throw Error("checkpoint: unknown pessimism method '" + method + "'");
+      }
+    } else if (tag == "viol") {
+      const auto slot =
+          slots.find(static_cast<std::size_t>(field_u64(fields, "index")));
+      AFDX_REQUIRE(slot != slots.end(),
+                   "checkpoint: viol record before its outcome");
+      Violation v;
+      v.kind = kind_from_string(field(fields, "kind"));
+      v.method = unescape(field(fields, "method"));
+      v.index = static_cast<std::size_t>(field_u64(fields, "at"));
+      v.observed = field_double(fields, "observed");
+      v.bound = field_double(fields, "bound");
+      v.detail = unescape(field(fields, "detail"));
+      cp.outcomes[slot->second].check.violations.push_back(std::move(v));
+    } else {
+      throw Error("checkpoint '" + path + "': unknown record '" + tag + "'");
+    }
+  }
+  AFDX_REQUIRE(have_run, "checkpoint '" + path + "': missing run record");
+  return cp;
+}
+
+}  // namespace afdx::valid

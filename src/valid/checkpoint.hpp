@@ -1,0 +1,48 @@
+// Campaign checkpoint files: resume an interrupted fuzz run.
+//
+// A checkpoint persists every *completed* campaign outcome of a run (its
+// counters, pessimism statistics and violation records -- everything the
+// JSON report derives from, wall times aside). An interrupted run flushes
+// a checkpoint on SIGINT/SIGTERM or deadline expiry; the next invocation
+// with the same (seed, campaigns) loads it, replays the recorded outcomes
+// into their slots and only executes the campaigns that never ran.
+// Campaign specs are NOT stored: spec_for() is a pure function of (grid,
+// seed, index), so they are recomputed on resume -- a checkpoint can never
+// smuggle in a stale generator spec.
+//
+// Format: line-oriented `key=value` records ("afdx-fuzz-checkpoint v1"
+// header; `run`, `outcome`, `pess` and `viol` lines), with free-text
+// values percent-escaped so every record stays one line. Doubles are
+// written with max_digits10 and round-trip exactly; a resumed report is
+// bit-identical (timing aside) to the uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "valid/campaign.hpp"
+
+namespace afdx::valid {
+
+/// The restartable state of one interrupted campaign run.
+struct Checkpoint {
+  std::uint64_t seed = 0;
+  std::size_t campaigns = 0;
+  /// Completed (or generator-skipped) outcomes, in campaign-index order;
+  /// interrupted campaigns are never recorded.
+  std::vector<CampaignOutcome> outcomes;
+};
+
+/// Writes the completed outcomes of `report` to `path` (atomically: a temp
+/// file is renamed into place, so a crash mid-write never corrupts an
+/// existing checkpoint). Throws afdx::Error when the file cannot be
+/// written.
+void write_checkpoint(const CampaignReport& report, const std::string& path);
+
+/// Reads a checkpoint back. Returns nullopt when the file does not exist;
+/// throws afdx::Error on a malformed or wrong-version file.
+[[nodiscard]] std::optional<Checkpoint> read_checkpoint(
+    const std::string& path);
+
+}  // namespace afdx::valid

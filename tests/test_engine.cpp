@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
 #include <sstream>
 #include <thread>
@@ -373,6 +374,149 @@ TEST(Engine, PropagationLevelsRespectDependencies) {
       }
     }
   }
+}
+
+
+TEST(ThreadPool, ContainedFailuresDoNotPoisonSiblings) {
+  ThreadPool pool(4);
+  std::vector<int> ran(100, 0);
+  const auto failures = pool.parallel_for_contained(100, [&](std::size_t i,
+                                                            int) {
+    if (i % 10 == 3) throw Error("boom at " + std::to_string(i));
+    ++ran[i];
+  });
+  // Every non-throwing index ran exactly once -- nothing was abandoned.
+  for (std::size_t i = 0; i < ran.size(); ++i) {
+    EXPECT_EQ(ran[i], i % 10 == 3 ? 0 : 1) << i;
+  }
+  ASSERT_EQ(failures.size(), 10u);
+  // Failures are sorted by index and carry the thrown message.
+  for (std::size_t f = 0; f < failures.size(); ++f) {
+    EXPECT_EQ(failures[f].index, 10 * f + 3);
+    EXPECT_NE(failures[f].message.find("boom"), std::string::npos);
+  }
+  // The pool survives and stays usable for further batches.
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](std::size_t, int) { ++count; });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ContainedWorksSingleThreadedAndWithNonStdExceptions) {
+  ThreadPool pool(1);
+  const auto failures = pool.parallel_for_contained(5, [](std::size_t i, int) {
+    if (i == 2) throw 42;  // not a std::exception
+  });
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].index, 2u);
+  EXPECT_EQ(failures[0].message, "unknown exception");
+}
+
+// A configuration where one VL oversubscribes every port on its route
+// (~121 bits/us demand on 100 bits/us links) while a second VL rides
+// disjoint output ports.
+TrafficConfig mixed_stability_config() {
+  Network net;
+  const NodeId e1 = net.add_end_system("e1");
+  const NodeId e2 = net.add_end_system("e2");
+  const NodeId e3 = net.add_end_system("e3");
+  const NodeId e4 = net.add_end_system("e4");
+  const NodeId s1 = net.add_switch("S1");
+  const NodeId s2 = net.add_switch("S2");
+  net.connect(e1, s1);
+  net.connect(s1, s2);
+  net.connect(s2, e2);
+  net.connect(e3, s2);
+  net.connect(s2, e4);
+  std::vector<VirtualLink> vls;
+  vls.push_back({"v_bad", e1, {e2}, 100.0, 64, 1518});
+  vls.push_back({"v_ok", e3, {e4}, 4000.0, 64, 500});
+  return TrafficConfig(std::move(net), std::move(vls));
+}
+
+TEST(Engine, ResilientMatchesRunOnHealthyConfig) {
+  const TrafficConfig cfg = small_industrial();
+  AnalysisEngine a(cfg, {1});
+  AnalysisEngine b(cfg, {1});
+  const RunResult classic = a.run();
+  const RunResult resilient = b.run_resilient();
+  EXPECT_TRUE(resilient.complete());
+  expect_identical(classic.combined, resilient.combined);
+  expect_identical(classic.netcalc, resilient.netcalc);
+  expect_identical(classic.trajectory, resilient.trajectory);
+  for (const PathStatus& st : resilient.status) {
+    EXPECT_EQ(st.state, PathState::kOk);
+  }
+}
+
+TEST(Engine, ResilientContainsUnstablePortAndKeepsTheRest) {
+  const TrafficConfig cfg = mixed_stability_config();
+  AnalysisEngine throwing(cfg, {1});
+  EXPECT_THROW((void)throwing.run(), Error);  // the classic path gives up
+
+  AnalysisEngine eng(cfg, {1});
+  const RunResult r = eng.run_resilient();
+  EXPECT_FALSE(r.complete());
+  const std::size_t bad = 0, ok = 1;  // all_paths order: v_bad, v_ok
+  EXPECT_EQ(r.status[bad].state, PathState::kFailed);
+  EXPECT_NE(r.status[bad].message.find("unstable"), std::string::npos);
+  EXPECT_TRUE(std::isinf(r.combined[bad]));
+  // The unaffected path still gets its exact finite bounds.
+  EXPECT_EQ(r.status[ok].state, PathState::kOk);
+  EXPECT_TRUE(std::isfinite(r.combined[ok]));
+  EXPECT_GT(r.combined[ok], 0.0);
+  // Parallel containment is bit-identical to serial containment.
+  AnalysisEngine par(cfg, {4});
+  const RunResult rp = par.run_resilient();
+  expect_identical(r.combined, rp.combined);
+  EXPECT_EQ(rp.status[bad].state, PathState::kFailed);
+}
+
+TEST(Engine, ResilientHonoursCancelledToken) {
+  const TrafficConfig cfg = small_industrial();
+  CancelToken cancel;
+  cancel.cancel();
+  AnalysisEngine eng(cfg, {1});
+  RunControl control;
+  control.cancel = &cancel;
+  const RunResult r = eng.run_resilient({}, {}, control);
+  EXPECT_FALSE(r.complete());
+  for (const PathStatus& st : r.status) {
+    EXPECT_EQ(st.state, PathState::kSkipped);
+    EXPECT_TRUE(std::isinf(r.combined[&st - r.status.data()]));
+  }
+}
+
+TEST(Engine, CancelTokenDeadlineExpires) {
+  CancelToken token;
+  EXPECT_FALSE(token.expired());
+  token.set_deadline_after(0.0);  // already in the past
+  EXPECT_TRUE(token.expired());
+  EXPECT_FALSE(token.cancelled());
+  CancelToken cancelled;
+  cancelled.cancel();
+  EXPECT_TRUE(cancelled.expired());
+  EXPECT_STREQ(cancelled.reason(), "cancelled");
+}
+
+TEST(Engine, MetricsStayFiniteOnEmptyConfig) {
+  // Zero VLs -> zero paths and a ~zero-duration run: throughput and cache
+  // hit rate must be 0, never NaN.
+  Network net;
+  const NodeId e1 = net.add_end_system("e1");
+  const NodeId e2 = net.add_end_system("e2");
+  const NodeId s1 = net.add_switch("S1");
+  net.connect(e1, s1);
+  net.connect(s1, e2);
+  TrafficConfig cfg(std::move(net), {});
+  AnalysisEngine eng(cfg, {1});
+  const RunResult r = eng.run();
+  EXPECT_EQ(r.metrics.paths, 0u);
+  EXPECT_FALSE(std::isnan(r.metrics.paths_per_second));
+  EXPECT_EQ(r.metrics.paths_per_second, 0.0);
+  std::ostringstream out;
+  eng.metrics().print(out);
+  EXPECT_EQ(out.str().find("nan"), std::string::npos);
+  EXPECT_EQ(out.str().find("inf"), std::string::npos);
 }
 
 }  // namespace

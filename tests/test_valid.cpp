@@ -13,10 +13,12 @@
 #include <set>
 #include <sstream>
 
+#include "common/error.hpp"
 #include "config/samples.hpp"
 #include "config/serialization.hpp"
 #include "gen/industrial.hpp"
 #include "valid/campaign.hpp"
+#include "valid/checkpoint.hpp"
 #include "valid/corpus.hpp"
 #include "valid/shrink.hpp"
 
@@ -315,6 +317,92 @@ TEST(Campaign, JsonReportCarriesTheExpectedKeys) {
   std::ostringstream without_timing;
   report.write_json(without_timing, /*include_timing=*/false);
   EXPECT_EQ(without_timing.str().find("wall_ms"), std::string::npos);
+}
+
+TEST(Checkpoint, RoundTripAndMissingAndMalformedFiles) {
+  const fs::path dir = fresh_temp_dir("checkpoint");
+  CampaignOptions opts;
+  opts.campaigns = 3;
+  opts.seed = 77;
+  opts.grid = GridOptions::smoke();
+  opts.check = fast_check();
+  const CampaignReport report = run_campaigns(opts);
+  ASSERT_EQ(report.interrupted, 0u);
+
+  const std::string path = (dir / "run.ckpt").string();
+  write_checkpoint(report, path);
+  const auto cp = read_checkpoint(path);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->seed, 77u);
+  EXPECT_EQ(cp->campaigns, 3u);
+  ASSERT_EQ(cp->outcomes.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const CampaignOutcome& a = report.outcomes[i];
+    const CampaignOutcome& b = cp->outcomes[i];
+    EXPECT_EQ(b.spec.index, a.spec.index);
+    EXPECT_EQ(b.skipped, a.skipped);
+    EXPECT_EQ(b.vls, a.vls);
+    EXPECT_EQ(b.paths, a.paths);
+    EXPECT_EQ(b.check.violations.size(), a.check.violations.size());
+    EXPECT_EQ(b.check.schedules_simulated, a.check.schedules_simulated);
+    EXPECT_DOUBLE_EQ(b.check.wcnc.min, a.check.wcnc.min);
+    EXPECT_DOUBLE_EQ(b.check.combined.max, a.check.combined.max);
+  }
+
+  EXPECT_FALSE(read_checkpoint((dir / "missing.ckpt").string()).has_value());
+  {
+    std::ofstream((dir / "bad.ckpt").string()) << "not a checkpoint\n";
+  }
+  EXPECT_THROW((void)read_checkpoint((dir / "bad.ckpt").string()), Error);
+}
+
+TEST(Campaign, ExpiredTokenMarksEveryCampaignInterrupted) {
+  engine::CancelToken token;
+  token.cancel();
+  CampaignOptions opts;
+  opts.campaigns = 4;
+  opts.seed = 5;
+  opts.grid = GridOptions::smoke();
+  opts.check = fast_check();
+  opts.cancel = &token;
+  const CampaignReport report = run_campaigns(opts);
+  EXPECT_EQ(report.interrupted, 4u);
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_FALSE(report.complete());
+  EXPECT_TRUE(report.ok());  // interruption is not a soundness violation
+  for (const CampaignOutcome& o : report.outcomes) {
+    EXPECT_TRUE(o.interrupted);
+    EXPECT_FALSE(o.skip_reason.empty());
+  }
+}
+
+TEST(Campaign, ResumedRunIsBitIdenticalToUninterruptedRun) {
+  CampaignOptions opts;
+  opts.campaigns = 4;
+  opts.seed = 21;
+  opts.grid = GridOptions::smoke();
+  opts.check = fast_check();
+  const CampaignReport full = run_campaigns(opts);
+  ASSERT_EQ(full.interrupted, 0u);
+
+  // Simulate an interruption after two campaigns: resume from a truncated
+  // outcome list and re-run. Campaigns 0-1 replay from the checkpoint,
+  // 2-3 execute live; the merged report must match the uninterrupted one.
+  const fs::path dir = fresh_temp_dir("resume");
+  const std::string path = (dir / "partial.ckpt").string();
+  write_checkpoint(full, path);
+  auto cp = read_checkpoint(path);
+  ASSERT_TRUE(cp.has_value());
+  cp->outcomes.resize(2);
+
+  CampaignOptions resumed_opts = opts;
+  resumed_opts.resume = cp->outcomes;
+  const CampaignReport resumed = run_campaigns(resumed_opts);
+
+  std::ostringstream a, b;
+  full.write_json(a, /*include_timing=*/false);
+  resumed.write_json(b, /*include_timing=*/false);
+  EXPECT_EQ(a.str(), b.str());
 }
 
 // -- Committed corpus regression --------------------------------------------

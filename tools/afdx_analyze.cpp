@@ -20,18 +20,40 @@
 //   --metrics                                  print engine run metrics
 //                                              (per-phase wall time,
 //                                              paths/s, cache hit rate)
+//   --faults=single-link|single-switch|<spec>  degraded-mode analysis: run
+//                                              the listed fault scenarios
+//                                              and print the healthy vs.
+//                                              degraded DegradationReport.
+//                                              A <spec> is comma-separated
+//                                              link:<a>-<b> / switch:<n> /
+//                                              es:<n> elements (one k-fault
+//                                              scenario); the flag repeats.
+//   --partial                                  resilient run: contain
+//                                              per-port/per-path analysis
+//                                              failures and report partial
+//                                              results with a status column
+//   --deadline-ms=N                            cooperative deadline; work
+//                                              left when it expires is
+//                                              reported as skipped
 //
 // Exit status: 0 on success, 1 on usage/config errors, 2 when a simulated
-// delay exceeds a reported bound (a soundness violation).
+// delay exceeds a reported bound (a soundness violation), 3 when the run
+// produced only partial results (contained failures, deadline or
+// cancellation).
+#include <cmath>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/comparison.hpp"
 #include "common/error.hpp"
 #include "common/parse.hpp"
 #include "config/serialization.hpp"
 #include "engine/engine.hpp"
+#include "faults/report.hpp"
+#include "faults/scenario.hpp"
 #include "gen/industrial.hpp"
 #include "report/table.hpp"
 #include "sfa/sfa_analyzer.hpp"
@@ -48,7 +70,11 @@ struct CliOptions {
   bool csv = false;
   bool ports = false;
   bool metrics = false;
+  bool partial = false;
   int simulate = 0;
+  double deadline_ms = 0.0;
+  /// --faults values: "single-link", "single-switch" or custom specs.
+  std::vector<std::string> faults;
   netcalc::Options nc;
   trajectory::Options tj;
   engine::Options eng;
@@ -59,7 +85,11 @@ void print_usage(std::ostream& out) {
          "       afdx_analyze --generate[=seed] [options]\n"
          "options: --method=netcalc|trajectory|sfa|all  --csv  --ports\n"
          "         --simulate=N  --no-grouping  --no-serialization\n"
-         "         --threads=N (0 = auto)  --metrics\n";
+         "         --threads=N (0 = auto)  --metrics\n"
+         "         --faults=single-link|single-switch|<spec>  (repeatable;\n"
+         "           <spec> = comma-separated link:<a>-<b>, switch:<name>,\n"
+         "           es:<name> elements forming one scenario)\n"
+         "         --partial  --deadline-ms=N\n";
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -106,6 +136,22 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opts.eng.threads = static_cast<int>(*n);
     } else if (arg == "--metrics") {
       opts.metrics = true;
+    } else if (arg == "--partial") {
+      opts.partial = true;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      const auto ms = parse_double(arg.substr(14));
+      if (!ms.has_value() || *ms <= 0.0) {
+        std::cerr << "bad deadline: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.deadline_ms = *ms;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      const std::string spec = arg.substr(9);
+      if (spec.empty()) {
+        std::cerr << "empty --faults value\n";
+        return std::nullopt;
+      }
+      opts.faults.push_back(spec);
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option: " << arg << "\n";
       return std::nullopt;
@@ -132,6 +178,79 @@ int run(const CliOptions& opts) {
               go.seed = *opts.generate_seed;
               return gen::industrial_config(go);
             }();
+
+  engine::CancelToken cancel;
+  const engine::CancelToken* cancel_ptr = nullptr;
+  if (opts.deadline_ms > 0.0) {
+    cancel.set_deadline_after(opts.deadline_ms * 1000.0);
+    cancel_ptr = &cancel;
+  }
+
+  if (!opts.faults.empty()) {
+    std::vector<faults::FaultScenario> scenarios;
+    for (const std::string& spec : opts.faults) {
+      if (spec == "single-link") {
+        for (auto& s : faults::single_link_scenarios(config)) {
+          scenarios.push_back(std::move(s));
+        }
+      } else if (spec == "single-switch") {
+        for (auto& s : faults::single_switch_scenarios(config)) {
+          scenarios.push_back(std::move(s));
+        }
+      } else {
+        scenarios.push_back(faults::scenario_from_spec(config.network(), spec));
+      }
+    }
+    faults::ScenarioOptions so;
+    so.nc = opts.nc;
+    so.tj = opts.tj;
+    so.threads = opts.eng.threads;
+    so.cancel = cancel_ptr;
+    const faults::DegradationReport report =
+        faults::analyze_scenarios(config, std::move(scenarios), so);
+    report.print(std::cout, config);
+    return report.complete() ? 0 : 3;
+  }
+
+  if (opts.partial || cancel_ptr != nullptr) {
+    engine::AnalysisEngine eng(config, opts.eng);
+    const engine::RunResult r =
+        eng.run_resilient(opts.nc, opts.tj, engine::RunControl{cancel_ptr});
+    report::Table table({"vl", "destination", "hops", "wcnc_us",
+                         "trajectory_us", "combined_us", "status"});
+    const auto fmt_bound = [](Microseconds us) {
+      return std::isfinite(us) ? report::fmt(us) : std::string("-");
+    };
+    for (std::size_t i = 0; i < config.all_paths().size(); ++i) {
+      const VlPath& p = config.all_paths()[i];
+      std::string status = engine::to_string(r.status[i].state);
+      if (!r.status[i].message.empty()) {
+        status += " (" + r.status[i].message + ")";
+      }
+      table.add_row(
+          {config.vl(p.vl).name,
+           config.network()
+               .node(config.vl(p.vl).destinations[p.dest_index])
+               .name,
+           std::to_string(p.links.size()), fmt_bound(r.netcalc[i]),
+           fmt_bound(r.trajectory[i]), fmt_bound(r.combined[i]),
+           std::move(status)});
+    }
+    if (opts.csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+    if (opts.metrics) {
+      std::cout << "\n";
+      r.metrics.print(std::cout);
+    }
+    if (!r.complete()) {
+      std::cerr << "partial results: some paths have no bounds\n";
+      return 3;
+    }
+    return 0;
+  }
 
   const bool want_nc = opts.method == "netcalc" || opts.method == "all";
   const bool want_tj = opts.method == "trajectory" || opts.method == "all";

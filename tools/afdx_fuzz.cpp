@@ -30,9 +30,22 @@
 //                       checking (with --fault-factor=F, default 0.5)
 //   --replay=FILE       replay one corpus artifact instead of fuzzing
 //   --quiet             suppress the per-violation log lines
+//   --checkpoint=FILE   resume state: load completed campaigns from FILE if
+//                       it exists (seed/campaigns must match), write it on
+//                       exit -- an interrupted sweep (SIGINT/SIGTERM or
+//                       --deadline-ms) resumes instead of restarting
+//   --deadline-ms=N     stop starting new campaigns after N ms
+//   --self-test         harness end-to-end check: a clean smoke sweep must
+//                       be green AND an injected fault must be detected
 //
-// Exit status: 0 = all invariants hold (or replay regression passed),
-// 1 = usage/config error, 2 = violations found (or replay failed).
+// Signals: SIGINT/SIGTERM request cooperative cancellation -- running
+// campaigns finish, remaining ones are marked interrupted, and the
+// checkpoint (if any) is flushed before exit.
+//
+// Exit status: 0 = all invariants hold (or replay regression / self-test
+// passed), 1 = usage/config error, 2 = violations found (or replay /
+// self-test failed), 3 = interrupted (partial sweep; checkpoint written).
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -40,17 +53,29 @@
 
 #include "common/error.hpp"
 #include "common/parse.hpp"
+#include "engine/cancel.hpp"
 #include "valid/campaign.hpp"
+#include "valid/checkpoint.hpp"
 #include "valid/corpus.hpp"
 
 using namespace afdx;
 
 namespace {
 
+/// Cooperative cancellation shared by the signal handlers and the campaign
+/// loop. CancelToken::cancel() is a relaxed atomic store, so calling it
+/// from a signal handler is async-signal-safe.
+engine::CancelToken g_cancel;
+
+extern "C" void handle_stop_signal(int) { g_cancel.cancel(); }
+
 struct CliOptions {
   valid::CampaignOptions campaign;
   std::optional<std::string> replay_file;
   std::optional<std::string> report_file;
+  std::optional<std::string> checkpoint_file;
+  double deadline_ms = 0.0;
+  bool self_test = false;
   bool include_timing = true;
   bool quiet = false;
 };
@@ -63,7 +88,8 @@ void print_usage(std::ostream& out) {
          "         --report=FILE  --no-timing  --corpus-dir=DIR\n"
          "         --no-shrink  --no-variants  --quiet\n"
          "         --inject-fault=deflate-netcalc|deflate-trajectory|"
-         "skew-combined  --fault-factor=F\n";
+         "skew-combined  --fault-factor=F\n"
+         "         --checkpoint=FILE  --deadline-ms=N  --self-test\n";
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -143,6 +169,21 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opts.campaign.check.fault_factor = *f;
     } else if (auto v = value_of("--replay")) {
       opts.replay_file = *v;
+    } else if (auto v = value_of("--checkpoint")) {
+      if (v->empty()) {
+        std::cerr << "empty checkpoint path\n";
+        return std::nullopt;
+      }
+      opts.checkpoint_file = *v;
+    } else if (auto v = value_of("--deadline-ms")) {
+      const auto ms = parse_double(*v);
+      if (!ms.has_value() || *ms <= 0.0) {
+        std::cerr << "bad deadline: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.deadline_ms = *ms;
+    } else if (arg == "--self-test") {
+      opts.self_test = true;
     } else if (arg == "--quiet") {
       opts.quiet = true;
     } else {
@@ -181,7 +222,35 @@ int run_replay(const CliOptions& opts) {
 }
 
 int run_campaigns_cli(const CliOptions& opts) {
-  const valid::CampaignReport report = valid::run_campaigns(opts.campaign);
+  valid::CampaignOptions campaign = opts.campaign;
+  campaign.cancel = &g_cancel;
+
+  if (opts.checkpoint_file.has_value()) {
+    const auto cp = valid::read_checkpoint(*opts.checkpoint_file);
+    if (cp.has_value()) {
+      if (cp->seed != campaign.seed || cp->campaigns != campaign.campaigns) {
+        std::cerr << "error: checkpoint " << *opts.checkpoint_file
+                  << " was written by a different run (seed " << cp->seed
+                  << ", campaigns " << cp->campaigns
+                  << "); refusing to mix results\n";
+        return 1;
+      }
+      campaign.resume = cp->outcomes;
+      std::cout << "resuming from " << *opts.checkpoint_file << ": "
+                << cp->outcomes.size() << " of " << campaign.campaigns
+                << " campaigns already done\n";
+    }
+  }
+
+  const valid::CampaignReport report = valid::run_campaigns(campaign);
+
+  if (opts.checkpoint_file.has_value()) {
+    valid::write_checkpoint(report, *opts.checkpoint_file);
+    if (!report.complete()) {
+      std::cerr << "interrupted; progress saved to " << *opts.checkpoint_file
+                << " (rerun the same command to resume)\n";
+    }
+  }
 
   if (!opts.quiet) {
     for (const valid::CampaignOutcome& o : report.outcomes) {
@@ -196,7 +265,8 @@ int run_campaigns_cli(const CliOptions& opts) {
   }
 
   std::cout << "campaigns: " << report.completed << " completed, "
-            << report.skipped << " skipped (infeasible spec)\n"
+            << report.skipped << " skipped (infeasible spec), "
+            << report.interrupted << " interrupted\n"
             << "paths checked: " << report.paths << ", schedules simulated: "
             << report.schedules_simulated << "\n"
             << "violations: " << report.violation_count << "\n";
@@ -222,7 +292,44 @@ int run_campaigns_cli(const CliOptions& opts) {
     report.write_json(out, opts.include_timing);
     std::cout << "report written to " << *opts.report_file << "\n";
   }
-  return report.ok() ? 0 : 2;
+  if (!report.ok()) return 2;
+  return report.complete() ? 0 : 3;
+}
+
+/// End-to-end harness self-test: a clean smoke sweep must be green, and a
+/// sweep with a deliberately corrupted analyzer must raise violations --
+/// proving the detection machinery actually fires.
+int run_self_test(const CliOptions& opts) {
+  valid::CampaignOptions base;
+  base.campaigns = 3;
+  base.seed = opts.campaign.seed;
+  base.threads = opts.campaign.threads;
+  base.grid = valid::GridOptions::smoke();
+  base.check = opts.campaign.check;
+  base.check.fault = valid::Fault::kNone;
+  base.check.variants = false;
+  base.shrink_violations = false;
+  base.cancel = &g_cancel;
+
+  const valid::CampaignReport clean = valid::run_campaigns(base);
+  const bool clean_ok =
+      clean.ok() && clean.complete() && clean.completed > 0;
+  std::cout << "self-test clean sweep: " << clean.completed << " campaigns, "
+            << clean.violation_count << " violations -> "
+            << (clean_ok ? "ok" : "FAILED") << "\n";
+
+  valid::CampaignOptions faulted = base;
+  faulted.check.fault = valid::Fault::kDeflateTrajectory;
+  faulted.check.fault_factor = 0.25;
+  const valid::CampaignReport bad = valid::run_campaigns(faulted);
+  const bool detected = bad.violation_count > 0;
+  std::cout << "self-test injected deflate-trajectory: "
+            << bad.violation_count << " violations -> "
+            << (detected ? "detected" : "MISSED") << "\n";
+
+  const bool ok = clean_ok && detected;
+  std::cout << (ok ? "self-test OK\n" : "self-test FAILED\n");
+  return ok ? 0 : 2;
 }
 
 }  // namespace
@@ -233,7 +340,13 @@ int main(int argc, char** argv) {
     print_usage(std::cerr);
     return 1;
   }
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  if (opts->deadline_ms > 0.0) {
+    g_cancel.set_deadline_after(opts->deadline_ms * 1000.0);
+  }
   try {
+    if (opts->self_test) return run_self_test(*opts);
     return opts->replay_file.has_value() ? run_replay(*opts)
                                          : run_campaigns_cli(*opts);
   } catch (const Error& e) {
