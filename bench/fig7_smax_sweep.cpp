@@ -1,5 +1,8 @@
 // E5 -- Figure 7 of the paper: effect of s_max(v1) on the end-to-end delay
 // bounds of v1 on the sample configuration (both methods).
+#include <cstdint>
+#include <vector>
+
 #include "analysis/comparison.hpp"
 #include "bench_util.hpp"
 #include "config/samples.hpp"
@@ -10,9 +13,27 @@ namespace {
 
 using namespace afdx;
 
-void run_experiment(std::ostream& out) {
+struct SweepPoint {
+  Bytes s_max = 0;
+  double trajectory_us = 0.0;
+  double wcnc_us = 0.0;
+};
+
+void run_experiment(std::ostream& out, const benchutil::BenchCli& cli) {
   out << "E5 / Figure 7: bounds on v1 while sweeping s_max(v1), other VLs "
          "at 500 B\n\n";
+
+  std::vector<SweepPoint> points;
+  const benchutil::OverheadReport overhead =
+      benchutil::measure_run_overhead([&points] {
+        for (Bytes s = 100; s <= 1500; s += 100) {
+          config::SampleOptions o;
+          o.s_max_v1 = s;
+          const TrafficConfig cfg = config::sample_config(o);
+          const analysis::Comparison c = analysis::compare(cfg);
+          points.push_back({s, c.trajectory[0], c.netcalc[0]});
+        }
+      });
 
   report::Table t({"s_max(v1) (B)", "Trajectory (us)", "WCNC (us)",
                    "tightest"});
@@ -21,17 +42,13 @@ void run_experiment(std::ostream& out) {
   traj_series.marker = 'T';
   nc_series.name = "WCNC";
   nc_series.marker = 'N';
-
-  for (Bytes s = 100; s <= 1500; s += 100) {
-    config::SampleOptions o;
-    o.s_max_v1 = s;
-    const TrafficConfig cfg = config::sample_config(o);
-    const analysis::Comparison c = analysis::compare(cfg);
-    t.add_row({std::to_string(s), report::fmt(c.trajectory[0]),
-               report::fmt(c.netcalc[0]),
-               c.trajectory[0] < c.netcalc[0] ? "trajectory" : "WCNC"});
-    traj_series.points.push_back({static_cast<double>(s), c.trajectory[0]});
-    nc_series.points.push_back({static_cast<double>(s), c.netcalc[0]});
+  for (const SweepPoint& p : points) {
+    t.add_row({std::to_string(p.s_max), report::fmt(p.trajectory_us),
+               report::fmt(p.wcnc_us),
+               p.trajectory_us < p.wcnc_us ? "trajectory" : "WCNC"});
+    traj_series.points.push_back(
+        {static_cast<double>(p.s_max), p.trajectory_us});
+    nc_series.points.push_back({static_cast<double>(p.s_max), p.wcnc_us});
   }
   t.print(out);
   out << "\n";
@@ -39,7 +56,35 @@ void run_experiment(std::ostream& out) {
   out << "\npaper shape: the two curves intersect around the other VLs'\n"
          "frame size (500 B); below it WCNC is tighter and the gap widens\n"
          "as s_max(v1) decreases, above it the trajectory bound stays\n"
-         "slightly tighter.\n";
+         "slightly tighter.\n\n";
+  benchutil::print_overhead(out, overhead);
+
+  if (cli.json_path.has_value()) {
+    benchutil::BenchJsonDoc doc = benchutil::begin_bench_json(
+        *cli.json_path, "fig7_smax_sweep", cli);
+    if (doc.ok()) {
+      obs::JsonWriter& w = doc.w();
+      w.key("config").begin_object();
+      w.field("base", "sample")
+          .field("sweep", "s_max_v1")
+          .field("points", points.size());
+      w.end_object();
+      w.key("results").begin_object();
+      w.key("sweep").begin_array();
+      for (const SweepPoint& p : points) {
+        w.begin_object();
+        w.field("s_max_bytes", static_cast<std::uint64_t>(p.s_max))
+            .field("trajectory_us", p.trajectory_us)
+            .field("wcnc_us", p.wcnc_us);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      obs::write_registry_json(w);
+      benchutil::write_overhead_json(w, overhead);
+      benchutil::finish_bench_json(doc, *cli.json_path);
+    }
+  }
 }
 
 void BM_SweepPoint(benchmark::State& state) {
@@ -54,4 +99,4 @@ BENCHMARK(BM_SweepPoint)->Arg(100)->Arg(500)->Arg(1500);
 
 }  // namespace
 
-AFDX_BENCH_MAIN(run_experiment)
+AFDX_BENCH_MAIN_OBS(run_experiment)

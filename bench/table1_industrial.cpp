@@ -13,7 +13,7 @@ namespace {
 
 using namespace afdx;
 
-void run_experiment(std::ostream& out) {
+void run_experiment(std::ostream& out, const benchutil::BenchCli& cli) {
   out << "E2 / Table I: end-to-end delay bound comparison on an "
          "industrial-like configuration\n\n";
 
@@ -25,9 +25,12 @@ void run_experiment(std::ostream& out) {
       << report::fmt(cfg.max_utilization() * 100.0, 1) << " %\n\n";
 
   // Route through the analysis engine (every hardware thread) and surface
-  // its run metrics; bounds are bit-identical to the serial path.
+  // its run metrics; bounds are bit-identical to the serial path. The run
+  // doubles as the tracer overhead self-check workload.
   engine::AnalysisEngine eng(cfg, engine::Options{0});
-  engine::RunResult run = eng.run();
+  engine::RunResult run;
+  const benchutil::OverheadReport overhead =
+      benchutil::measure_run_overhead([&] { run = eng.run(); });
   analysis::Comparison c;
   c.netcalc = std::move(run.netcalc);
   c.trajectory = std::move(run.trajectory);
@@ -53,6 +56,40 @@ void run_experiment(std::ostream& out) {
       << "The combined bound is never worse than WCNC (minimum benefit "
       << report::fmt(best.min * 100.0) << " %).\n\n";
   run.metrics.print(out);
+  out << "\n";
+  benchutil::print_overhead(out, overhead);
+
+  if (cli.json_path.has_value()) {
+    benchutil::BenchJsonDoc doc = benchutil::begin_bench_json(
+        *cli.json_path, "table1_industrial", cli);
+    if (doc.ok()) {
+      obs::JsonWriter& w = doc.w();
+      w.key("config").begin_object();
+      w.field("switches", cfg.network().switches().size())
+          .field("end_systems", cfg.network().end_systems().size())
+          .field("vls", cfg.vl_count())
+          .field("paths", cfg.all_paths().size())
+          .field("max_utilization", cfg.max_utilization());
+      w.end_object();
+      benchutil::write_metrics_json(w, run.metrics);
+      w.key("results").begin_object();
+      const auto stats = [&w](const char* name,
+                              const analysis::BenefitStats& b) {
+        w.key(name).begin_object();
+        w.field("mean_benefit_pct", b.mean * 100.0)
+            .field("max_benefit_pct", b.max * 100.0)
+            .field("min_benefit_pct", b.min * 100.0)
+            .field("wins_fraction", b.wins_fraction);
+        w.end_object();
+      };
+      stats("trajectory_vs_wcnc", traj);
+      stats("best_vs_wcnc", best);
+      w.end_object();
+      obs::write_registry_json(w);
+      benchutil::write_overhead_json(w, overhead);
+      benchutil::finish_bench_json(doc, *cli.json_path);
+    }
+  }
 }
 
 void BM_NetcalcIndustrial(benchmark::State& state) {
@@ -109,4 +146,4 @@ BENCHMARK(BM_EngineIndustrialCached)->Arg(1)->Arg(4)
 
 }  // namespace
 
-AFDX_BENCH_MAIN(run_experiment)
+AFDX_BENCH_MAIN_OBS(run_experiment)

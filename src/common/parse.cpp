@@ -30,4 +30,22 @@ std::optional<double> parse_double(std::string_view s) {
   return parse_whole<double>(s);
 }
 
+std::optional<unsigned char> parse_hex_byte(std::string_view s) {
+  if (s.size() != 2) return std::nullopt;
+  unsigned value = 0;
+  for (const char c : s) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<unsigned>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return static_cast<unsigned char>(value);
+}
+
 }  // namespace afdx

@@ -21,4 +21,9 @@ namespace afdx {
 /// Whole-string floating-point number.
 [[nodiscard]] std::optional<double> parse_double(std::string_view s);
 
+/// Exactly two hex digits ("0a", "FF") -> byte value; nullopt otherwise.
+/// Used by percent-escape decoders ("%XX"), where a truncated or non-hex
+/// escape must be a parse error, not a crash or silent passthrough.
+[[nodiscard]] std::optional<unsigned char> parse_hex_byte(std::string_view s);
+
 }  // namespace afdx

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace afdx::config {
 
@@ -31,15 +32,24 @@ std::pair<std::string, std::string> split_kv(const std::string& tok, int line_no
   return {tok.substr(0, eq), tok.substr(eq + 1)};
 }
 
-double parse_double(const std::string& s, int line_no) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
-    AFDX_REQUIRE(pos == s.size(), "trailing characters");
-    return v;
-  } catch (const std::exception&) {
-    throw Error("line " + std::to_string(line_no) + ": bad number '" + s + "'");
-  }
+// Strict attribute decoding via common/parse (whole-string from_chars):
+// rejects empty values, trailing garbage ("12x"), and out-of-range input,
+// and names the offending key so "bad number" is actually findable.
+double attr_number(const std::string& s, const std::string& key,
+                   int line_no) {
+  const auto v = afdx::parse_double(s);
+  AFDX_REQUIRE(v.has_value(), "line " + std::to_string(line_no) +
+                                  ": attribute '" + key +
+                                  "': bad number '" + s + "'");
+  return *v;
+}
+
+std::size_t route_dest_index(const std::string& s, int line_no) {
+  const auto v = afdx::parse_uint(s);
+  AFDX_REQUIRE(v.has_value(), "line " + std::to_string(line_no) +
+                                  ": route destination index: bad unsigned "
+                                  "integer '" + s + "'");
+  return static_cast<std::size_t>(*v);
 }
 
 std::vector<std::string> split_commas(const std::string& s) {
@@ -158,11 +168,11 @@ TrafficConfig load_config(std::istream& in) {
       for (std::size_t i = 3; i < toks.size(); ++i) {
         auto [k, v] = split_kv(toks[i], line_no);
         if (k == "rate") {
-          lp.rate = parse_double(v, line_no);
+          lp.rate = attr_number(v, k, line_no);
         } else if (k == "swlat") {
-          lp.switch_latency = parse_double(v, line_no);
+          lp.switch_latency = attr_number(v, k, line_no);
         } else if (k == "eslat") {
-          lp.end_system_latency = parse_double(v, line_no);
+          lp.end_system_latency = attr_number(v, k, line_no);
         } else {
           throw Error("line " + std::to_string(line_no) + ": unknown link "
                       "attribute '" + k + "'");
@@ -183,15 +193,15 @@ TrafficConfig load_config(std::istream& in) {
             vl.destinations.push_back(node_id(d, line_no));
           }
         } else if (k == "bag") {
-          vl.bag = parse_double(v, line_no);
+          vl.bag = attr_number(v, k, line_no);
         } else if (k == "smin") {
-          vl.s_min = static_cast<Bytes>(parse_double(v, line_no));
+          vl.s_min = static_cast<Bytes>(attr_number(v, k, line_no));
         } else if (k == "smax") {
-          vl.s_max = static_cast<Bytes>(parse_double(v, line_no));
+          vl.s_max = static_cast<Bytes>(attr_number(v, k, line_no));
         } else if (k == "jit") {
-          vl.max_release_jitter = parse_double(v, line_no);
+          vl.max_release_jitter = attr_number(v, k, line_no);
         } else if (k == "prio") {
-          vl.priority = static_cast<std::uint8_t>(parse_double(v, line_no));
+          vl.priority = static_cast<std::uint8_t>(attr_number(v, k, line_no));
         } else {
           throw Error("line " + std::to_string(line_no) + ": unknown vl "
                       "attribute '" + k + "'");
@@ -202,7 +212,7 @@ TrafficConfig load_config(std::istream& in) {
       AFDX_REQUIRE(toks.size() >= 4, "line " + std::to_string(line_no) +
                                          ": route needs vl, dest index, hops");
       const std::string& vl_name = toks[1];
-      const std::size_t dest = static_cast<std::size_t>(parse_double(toks[2], line_no));
+      const std::size_t dest = route_dest_index(toks[2], line_no);
       std::vector<std::pair<std::string, std::string>> hops;
       for (std::size_t i = 3; i < toks.size(); ++i) {
         const auto gt = toks[i].find('>');

@@ -8,7 +8,11 @@
 #include <optional>
 #include <ostream>
 
+#include <ctime>
+
 #include "common/error.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace afdx::engine {
 
@@ -20,6 +24,28 @@ constexpr Microseconds kInf = std::numeric_limits<Microseconds>::infinity();
 
 Microseconds elapsed_us(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Process-wide CPU time (all threads) in microseconds; wall vs cpu is how
+/// the metrics expose effective parallelism.
+Microseconds cpu_now_us() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<Microseconds>(ts.tv_sec) * 1e6 +
+           static_cast<Microseconds>(ts.tv_nsec) * 1e-3;
+  }
+#endif
+  return static_cast<Microseconds>(std::clock()) * 1e6 /
+         static_cast<Microseconds>(CLOCKS_PER_SEC);
+}
+
+/// Per-phase wall-time histograms in the global observability registry;
+/// resolved once, then each observation is an atomic add.
+void observe_phase_us(const char* phase, Microseconds wall_us) {
+  obs::registry()
+      .histogram(std::string("engine.phase.") + phase + ".wall_us")
+      .observe(wall_us > 0.0 ? static_cast<std::uint64_t>(wall_us) : 0u);
 }
 
 /// Throughput guarded against zero-path / zero-duration runs (a trivial
@@ -68,6 +94,13 @@ void RunMetrics::print(std::ostream& out) const {
       << trajectory_wall_us / 1000.0 << " | combine "
       << combine_wall_us / 1000.0 << " | total " << total_wall_us / 1000.0
       << "\n"
+      << "  cpu ms: " << total_cpu_us / 1000.0 << " ("
+      << std::setprecision(2)
+      << finite_or_zero(total_wall_us > 0.0 ? total_cpu_us / total_wall_us
+                                            : 0.0)
+      << "x parallelism)\n"
+      << std::setprecision(3) << "  levels: " << levels << " (max width "
+      << max_level_width << ")\n"
       << "  port cache: " << cache.hits << " hits / " << cache.misses
       << " misses (" << std::setprecision(1)
       << finite_or_zero(cache.hit_rate()) * 100.0 << " % hit rate)\n"
@@ -82,8 +115,11 @@ AnalysisEngine::AnalysisEngine(const TrafficConfig& config, Options options)
     : cfg_(config), pool_(ThreadPool::resolve_thread_count(options.threads)) {}
 
 netcalc::Result AnalysisEngine::run_netcalc(const netcalc::Options& options) {
+  AFDX_TRACE_SPAN("engine.netcalc", "engine");
   const std::size_t n_links = cfg_.network().link_count();
   const std::uint64_t okey = PortCache::options_key(options);
+  metrics_.levels = 0;
+  metrics_.max_level_width = 0;
 
   netcalc::Result result;
   result.ports.assign(n_links, netcalc::PortReport{});
@@ -125,8 +161,15 @@ netcalc::Result AnalysisEngine::run_netcalc(const netcalc::Options& options) {
   // mutual dependency, so each level is sharded across the pool. Results
   // land in per-port slots, making the pass order-independent and
   // bit-identical to the serial analyzer.
+  metrics_.levels = levels->size();
+  static obs::Histogram& level_width =
+      obs::registry().histogram("engine.level.width");
   std::vector<netcalc::PortBounds> bounds(n_links);
   for (const std::vector<LinkId>& level : *levels) {
+    AFDX_TRACE_SPAN("engine.netcalc.level", "engine");
+    level_width.observe(level.size());
+    metrics_.max_level_width = std::max(metrics_.max_level_width,
+                                        level.size());
     pool_.parallel_for(level.size(), [&](std::size_t i, int) {
       const LinkId port = level[i];
       if (auto hit = cache_.lookup(okey, port); hit.has_value()) {
@@ -150,6 +193,7 @@ netcalc::Result AnalysisEngine::run_netcalc(const netcalc::Options& options) {
 
 std::vector<Microseconds> AnalysisEngine::run_trajectory(
     const trajectory::Options& options) {
+  AFDX_TRACE_SPAN("engine.trajectory", "engine");
   const std::vector<VlPath>& paths = cfg_.all_paths();
   std::vector<Microseconds> out(paths.size(), 0.0);
 
@@ -188,6 +232,7 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory(
     const std::size_t begin = vl_order.size() * w / shards;
     const std::size_t end = vl_order.size() * (w + 1) / shards;
     if (begin == end) return;
+    AFDX_TRACE_SPAN("engine.trajectory.shard", "engine");
     trajectory::Analyzer analyzer(cfg_, options);
     if (caps.has_value()) analyzer.set_backlog_caps(*caps);
     for (std::size_t k = begin; k < end; ++k) {
@@ -201,8 +246,10 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory(
 
 RunResult AnalysisEngine::run(const netcalc::Options& nc_options,
                               const trajectory::Options& tj_options) {
+  AFDX_TRACE_SPAN("engine.run", "engine");
   RunResult result;
   const auto t0 = Clock::now();
+  const Microseconds cpu0 = cpu_now_us();
   result.netcalc_result = run_netcalc(nc_options);
   result.netcalc = result.netcalc_result.path_bounds;
   const auto t1 = Clock::now();
@@ -210,10 +257,13 @@ RunResult AnalysisEngine::run(const netcalc::Options& nc_options,
   const auto t2 = Clock::now();
   AFDX_ASSERT(result.netcalc.size() == result.trajectory.size(),
               "engine: method results misaligned");
-  result.combined.reserve(result.netcalc.size());
-  for (std::size_t i = 0; i < result.netcalc.size(); ++i) {
-    result.combined.push_back(
-        std::min(result.netcalc[i], result.trajectory[i]));
+  {
+    AFDX_TRACE_SPAN("engine.combine", "engine");
+    result.combined.reserve(result.netcalc.size());
+    for (std::size_t i = 0; i < result.netcalc.size(); ++i) {
+      result.combined.push_back(
+          std::min(result.netcalc[i], result.trajectory[i]));
+    }
   }
   const auto t3 = Clock::now();
 
@@ -221,9 +271,15 @@ RunResult AnalysisEngine::run(const netcalc::Options& nc_options,
   metrics_.trajectory_wall_us += elapsed_us(t1, t2);
   metrics_.combine_wall_us += elapsed_us(t2, t3);
   metrics_.total_wall_us += elapsed_us(t0, t3);
+  metrics_.total_cpu_us += cpu_now_us() - cpu0;
   metrics_.paths = result.combined.size();
   metrics_.paths_per_second =
       safe_paths_per_second(metrics_.paths, elapsed_us(t0, t3));
+  observe_phase_us("netcalc", elapsed_us(t0, t1));
+  observe_phase_us("trajectory", elapsed_us(t1, t2));
+  observe_phase_us("combine", elapsed_us(t2, t3));
+  obs::registry().counter("engine.runs").add();
+  obs::registry().counter("engine.paths").add(result.combined.size());
   result.status.assign(result.combined.size(), PathStatus{});
   result.metrics = metrics();
   return result;
@@ -232,6 +288,7 @@ RunResult AnalysisEngine::run(const netcalc::Options& nc_options,
 netcalc::Result AnalysisEngine::run_netcalc_contained(
     const netcalc::Options& options, const RunControl& control,
     std::vector<PortOutcome>& ports) {
+  AFDX_TRACE_SPAN("engine.netcalc.contained", "engine");
   const Network& net = cfg_.network();
   const std::size_t n_links = net.link_count();
 
@@ -339,6 +396,7 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory_contained(
     const netcalc::Result& nc_result,
     const std::vector<PortOutcome>& nc_ports,
     std::vector<PathStatus>& path_status) {
+  AFDX_TRACE_SPAN("engine.trajectory.contained", "engine");
   const std::vector<VlPath>& paths = cfg_.all_paths();
   const std::size_t n_links = cfg_.network().link_count();
   std::vector<Microseconds> out(paths.size(), kInf);
@@ -420,8 +478,10 @@ RunResult AnalysisEngine::run_resilient(const netcalc::Options& nc_options,
            net.node(net.link(l).dest).name;
   };
 
+  AFDX_TRACE_SPAN("engine.run_resilient", "engine");
   RunResult result;
   const auto t0 = Clock::now();
+  const Microseconds cpu0 = cpu_now_us();
   std::vector<PortOutcome> nc_ports;
   result.netcalc_result = run_netcalc_contained(nc_options, control, nc_ports);
 
@@ -488,8 +548,14 @@ RunResult AnalysisEngine::run_resilient(const netcalc::Options& nc_options,
   metrics_.trajectory_wall_us += elapsed_us(t1, t2);
   metrics_.combine_wall_us += elapsed_us(t2, t3);
   metrics_.total_wall_us += elapsed_us(t0, t3);
+  metrics_.total_cpu_us += cpu_now_us() - cpu0;
   metrics_.paths = n;
   metrics_.paths_per_second = safe_paths_per_second(n, elapsed_us(t0, t3));
+  observe_phase_us("netcalc", elapsed_us(t0, t1));
+  observe_phase_us("trajectory", elapsed_us(t1, t2));
+  observe_phase_us("combine", elapsed_us(t2, t3));
+  obs::registry().counter("engine.runs").add();
+  obs::registry().counter("engine.paths").add(n);
   result.metrics = metrics();
   return result;
 }

@@ -55,6 +55,13 @@ struct RunMetrics {
   Microseconds trajectory_wall_us = 0.0;
   Microseconds combine_wall_us = 0.0;
   Microseconds total_wall_us = 0.0;
+  /// Process CPU time across all workers (>= wall time when the pool is
+  /// busy); wall vs cpu exposes how much of the run actually parallelized.
+  Microseconds total_cpu_us = 0.0;
+  /// Propagation levels of the last WCNC pass (0 for cyclic fallback) and
+  /// the widest level -- the parallelism ceiling of the netcalc phase.
+  std::size_t levels = 0;
+  std::size_t max_level_width = 0;
   /// VL paths bounded by the most recent run/netcalc_only/trajectory_only.
   std::size_t paths = 0;
   /// Throughput of the most recent run (paths / its wall time).

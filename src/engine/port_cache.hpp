@@ -33,13 +33,34 @@ struct CacheStats {
   }
 };
 
+// Tripwire: options_key() below must fingerprint EVERY field of
+// netcalc::Options. If this assert fires, a field was added (or resized) --
+// extend the digest with the new field and update the expected size, or the
+// cache will serve stale bounds computed under different options.
+static_assert(sizeof(netcalc::Options) == 8,
+              "netcalc::Options changed: update PortCache::options_key to "
+              "mix in every field, then bump this expected size");
+
 class PortCache {
  public:
-  /// Digest of the option fields the cached bounds depend on.
+  /// Digest of the option fields the cached bounds depend on: an FNV-1a
+  /// hash over each field, byte by byte. Unlike ad-hoc bit packing this
+  /// cannot silently alias two distinct option sets when a field grows or
+  /// a new one is appended (see the static_assert tripwire above).
   [[nodiscard]] static std::uint64_t options_key(
       const netcalc::Options& options) noexcept {
-    return (static_cast<std::uint64_t>(options.max_iterations) << 1) |
-           (options.grouping ? 1u : 0u);
+    std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+    const auto mix = [&h](std::uint64_t v, unsigned bytes) noexcept {
+      for (unsigned i = 0; i < bytes; ++i) {
+        h ^= (v >> (8 * i)) & 0xffull;
+        h *= 1099511628211ull;  // FNV-1a prime
+      }
+    };
+    mix(options.grouping ? 1u : 0u, 1);
+    mix(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(options.max_iterations)),
+        sizeof(options.max_iterations));
+    return h;
   }
 
   /// Returns the cached bounds of (options, port) and counts a hit, or

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "redundancy/redundancy.hpp"
 
 namespace afdx::faults {
@@ -37,6 +39,8 @@ void analyze_one(const TrafficConfig& healthy,
                  const std::vector<Microseconds>& healthy_bounds,
                  const std::vector<Microseconds>& healthy_floors,
                  const ScenarioOptions& options, ScenarioReport& sr) {
+  AFDX_TRACE_SPAN("faults.scenario", "faults");
+  obs::registry().counter("faults.scenarios_analyzed").add();
   const DegradedView view = apply_scenario(healthy, sr.scenario);
 
   engine::RunResult run;
@@ -109,6 +113,7 @@ bool DegradationReport::complete() const noexcept {
 DegradationReport analyze_scenarios(const TrafficConfig& healthy,
                                     std::vector<FaultScenario> scenarios,
                                     const ScenarioOptions& options) {
+  AFDX_TRACE_SPAN("faults.sweep", "faults");
   DegradationReport report;
   report.scenarios.resize(scenarios.size());
   for (std::size_t i = 0; i < scenarios.size(); ++i) {

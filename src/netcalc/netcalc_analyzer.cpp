@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "minplus/operations.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace afdx::netcalc {
 
@@ -93,6 +95,10 @@ std::map<std::uint8_t, Curve> level_aggregates_at(
 PortBounds compute_port_bounds(const TrafficConfig& config, LinkId port,
                                const Options& options,
                                const std::vector<LevelDelays>& port_delays) {
+  AFDX_TRACE_SPAN("netcalc.port", "netcalc");
+  static obs::Counter& ports_computed =
+      obs::registry().counter("netcalc.ports_computed");
+  ports_computed.add();
   const Network& net = config.network();
   const Link& link = net.link(port);
 
@@ -270,6 +276,7 @@ Microseconds Result::bound_for(const TrafficConfig& config, PathRef ref) const {
 }
 
 Result analyze(const TrafficConfig& config, const Options& options) {
+  AFDX_TRACE_SPAN("netcalc.analyze", "netcalc");
   const std::size_t n_links = config.network().link_count();
 
   Result result;
@@ -297,6 +304,8 @@ Result analyze(const TrafficConfig& config, const Options& options) {
     }
     int round = 0;
     for (; round < options.max_iterations; ++round) {
+      AFDX_TRACE_SPAN("netcalc.fixed_point_round", "netcalc");
+      obs::registry().counter("netcalc.fixed_point_rounds").add();
       double max_change = 0.0;
       for (LinkId port : used_ports) {
         PortBounds b = compute_port_bounds(config, port, options, delays);

@@ -1,0 +1,177 @@
+#include "obs/bench_json.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace afdx::obs {
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value belongs to the key just written
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ << ",";
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ << "{";
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  needs_comma_.pop_back();
+  out_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ << "[";
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  needs_comma_.pop_back();
+  out_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  out_ << "\"";
+  write_escaped(k);
+  out_ << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  out_ << "\"";
+  write_escaped(v);
+  out_ << "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+    return *this;
+  }
+  std::ostringstream tmp;
+  tmp.precision(std::numeric_limits<double>::max_digits10);
+  tmp << v;
+  out_ << tmp.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::write_uint(std::uint64_t v) {
+  comma();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::write_int(std::int64_t v) {
+  comma();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ << "null";
+  return *this;
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\t': out_ << "\\t"; break;
+      case '\r': out_ << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out_ << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          out_ << c;
+        }
+    }
+  }
+}
+
+OverheadCheck measure_span_overhead(std::size_t iterations) {
+  OverheadCheck check;
+  check.iterations = iterations;
+  if (iterations == 0) return check;
+
+  Tracer& tracer = Tracer::instance();
+  const bool was_enabled = tracing_enabled();
+  const std::size_t spans_before = tracer.span_count();
+
+  using clock = std::chrono::steady_clock;
+  const auto time_loop = [&] {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < iterations; ++i) {
+      AFDX_TRACE_SPAN("obs.selfcheck", "obs");
+    }
+    const auto t1 = clock::now();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                   .count()) /
+           static_cast<double>(iterations);
+  };
+
+  tracer.disable();
+  check.disabled_ns_per_span = time_loop();
+  tracer.enable();
+  check.enabled_ns_per_span = time_loop();
+  if (!was_enabled) tracer.disable();
+
+  // Don't let calibration spans pollute a real trace: if the buffers were
+  // clean before, drop everything we just recorded.
+  if (spans_before == 0) tracer.clear();
+  return check;
+}
+
+void write_registry_json(JsonWriter& w) {
+  w.key("counters").begin_object();
+  for (const CounterSnapshot& c : registry().counters()) {
+    w.field(c.name, c.value);
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const HistogramSnapshot& h : registry().histograms()) {
+    w.key(h.name).begin_object();
+    w.field("count", h.count)
+        .field("sum", h.sum)
+        .field("min", h.min)
+        .field("max", h.max)
+        .field("mean", h.mean);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace afdx::obs

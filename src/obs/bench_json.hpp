@@ -1,0 +1,87 @@
+// Machine-readable bench output (`BENCH_*.json`) support.
+//
+// JsonWriter is a small streaming JSON emitter (escaping, comma handling,
+// stable number formatting: max_digits10 round-trip doubles, NaN/Inf -> null)
+// used by the bench binaries and the counter/trace exporters.
+//
+// The BENCH schema itself ("afdx-bench/1") is documented in EXPERIMENTS.md
+// and validated by scripts/validate_bench_json.py; benches compose it from
+// these primitives so each can add experiment-specific result rows.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace afdx::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key for the next value inside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  // One template for every integer width; avoids the size_t/uint64_t
+  // duplicate-overload trap on LP64.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      return write_int(static_cast<std::int64_t>(v));
+    } else {
+      return write_uint(static_cast<std::uint64_t>(v));
+    }
+  }
+  JsonWriter& null();
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void comma();
+  void write_escaped(std::string_view s);
+  JsonWriter& write_uint(std::uint64_t v);
+  JsonWriter& write_int(std::int64_t v);
+
+  std::ostream& out_;
+  // One frame per open object/array: whether a value has been emitted yet.
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+/// Result of the tracer overhead self-check (see EXPERIMENTS.md):
+/// a tight loop of ScopedSpan constructions measured with tracing off
+/// (the "~0% when disabled" claim) and on (the "<5% enabled" budget).
+struct OverheadCheck {
+  std::size_t iterations = 0;
+  double disabled_ns_per_span = 0.0;
+  double enabled_ns_per_span = 0.0;
+};
+
+/// Measure ScopedSpan cost. Preserves the tracer's enabled state and drops
+/// the calibration spans it records.
+[[nodiscard]] OverheadCheck measure_span_overhead(std::size_t iterations =
+                                                      200000);
+
+/// Emit the shared "counters" + "histograms" objects of the BENCH schema
+/// from the global registry.
+void write_registry_json(JsonWriter& w);
+
+}  // namespace afdx::obs

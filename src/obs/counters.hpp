@@ -1,0 +1,123 @@
+// Process-wide counter / histogram registry.
+//
+// Absorbs and extends engine::RunMetrics: layers increment named counters
+// (cache hits, ports computed, fixed-point rounds, ...) and observe named
+// histograms (per-level parallelism, per-phase wall time, ...) without
+// threading a metrics object through every call.
+//
+// Hot-path contract: resolve the counter once per call site
+// (`static obs::Counter& c = obs::registry().counter("x");`), then each
+// update is a single relaxed atomic add. Registration is mutex-guarded and
+// returns stable references (nodes are heap-allocated, never moved).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace afdx::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Raise the counter to at least `candidate` (e.g. max queue depth seen).
+  void record_max(std::uint64_t candidate) noexcept {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (candidate > cur &&
+           !value_.compare_exchange_weak(cur, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Power-of-two bucketed histogram over non-negative integer observations
+/// (bucket b counts values v with 2^(b-1) <= v < 2^b; bucket 0 counts v==0).
+/// Tracks count / sum / min / max exactly.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(std::uint64_t v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept;  // 0 when empty
+  [[nodiscard]] std::uint64_t max() const noexcept;  // 0 when empty
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Find-or-create; returned reference is stable for the process lifetime.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] std::vector<CounterSnapshot> counters() const;
+  [[nodiscard]] std::vector<HistogramSnapshot> histograms() const;
+
+  /// Zero every counter and histogram (names stay registered).
+  void reset();
+
+  /// Human-readable dump, sorted by name; used by `--metrics`-style output.
+  void print(std::ostream& out) const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+/// Shorthand for Registry::instance().
+[[nodiscard]] inline Registry& registry() { return Registry::instance(); }
+
+}  // namespace afdx::obs

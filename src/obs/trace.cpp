@@ -1,0 +1,170 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <ostream>
+
+namespace afdx::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void write_json_escaped(std::ostream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Tracer() : epoch_ns_(steady_now_ns()) {}
+
+void Tracer::enable() noexcept {
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() noexcept {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // shared_ptr keeps the buffer alive in `buffers_` after the owning thread
+  // exits, so spans from short-lived pool workers survive until export.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    b->tid = next_tid_++;
+    buffers_.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void Tracer::record(const char* name, const char* category, double start_us,
+                    double duration_us) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.spans.size() >= kMaxSpansPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  buf.spans.push_back(SpanRecord{name, category, start_us, duration_us});
+}
+
+double Tracer::now_us() const noexcept {
+  return static_cast<double>(steady_now_ns() - epoch_ns_) * 1e-3;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::size_t total = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    total += b->spans.size();
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::uint64_t total = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    total += b->dropped;
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    b->spans.clear();
+    b->dropped = 0;
+  }
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<SpanRecord> all;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& b : buffers_) {
+      std::lock_guard<std::mutex> blk(b->mu);
+      all.insert(all.end(), b->spans.begin(), b->spans.end());
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us < b.start_us;
+            });
+  return all;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  // Fixed-point microseconds: default float formatting would round long
+  // timestamps to 6 significant digits and fold nearby spans together.
+  const std::ios_base::fmtflags flags = out.flags();
+  const std::streamsize precision = out.precision();
+  out << std::fixed << std::setprecision(3);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    for (const SpanRecord& s : b->spans) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n{\"name\":\"";
+      write_json_escaped(out, s.name);
+      out << "\",\"cat\":\"";
+      write_json_escaped(out, s.category);
+      out << "\",\"ph\":\"X\",\"ts\":" << s.start_us
+          << ",\"dur\":" << s.duration_us << ",\"pid\":1,\"tid\":" << b->tid
+          << "}";
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  out.flags(flags);
+  out.precision(precision);
+}
+
+double ScopedSpan::start_now() noexcept { return Tracer::instance().now_us(); }
+
+ScopedSpan::~ScopedSpan() {
+  if (!armed_) return;
+  Tracer& tracer = Tracer::instance();
+  const double end_us = tracer.now_us();
+  tracer.record(name_, category_, start_us_, end_us - start_us_);
+}
+
+}  // namespace afdx::obs

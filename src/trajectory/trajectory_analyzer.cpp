@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "netcalc/netcalc_analyzer.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace afdx::trajectory {
 
@@ -112,6 +114,10 @@ Microseconds Analyzer::bound_to_link(VlId vl, LinkId link) {
 }
 
 Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
+  AFDX_TRACE_SPAN("trajectory.prefix", "trajectory");
+  static obs::Counter& prefixes =
+      obs::registry().counter("trajectory.prefixes");
+  prefixes.add();
   const Network& net = cfg_.network();
   const VlRoute& route_i = cfg_.route(i);
   AFDX_REQUIRE(route_i.crosses(last), "compute_prefix: VL does not cross link");
@@ -281,6 +287,14 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
   AFDX_REQUIRE(rounds < opt_.max_busy_iterations,
                "trajectory: busy-period fixed point did not converge for VL " +
                    cfg_.vl(i).name);
+  // Competing-frame accounting: segment count and busy-period growth are
+  // the two cost drivers of the prefix recursion.
+  static obs::Histogram& seg_hist =
+      obs::registry().histogram("trajectory.segments_per_prefix");
+  static obs::Histogram& round_hist =
+      obs::registry().histogram("trajectory.busy_rounds");
+  seg_hist.observe(segments.size());
+  round_hist.observe(static_cast<std::uint64_t>(rounds));
 
   // --- Maximize over the candidate generation instants ------------------------
   // R(t) decreases with slope -1 between frame-count jumps (the caps are

@@ -11,6 +11,8 @@
 #include "common/rng.hpp"
 #include "config/serialization.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "valid/corpus.hpp"
 
 namespace afdx::valid {
@@ -168,6 +170,8 @@ CampaignReport run_campaigns(const CampaignOptions& options) {
       return;
     }
     const auto t0 = Clock::now();
+    AFDX_TRACE_SPAN("valid.campaign", "valid");
+    obs::registry().counter("valid.campaigns").add();
     try {
       const TrafficConfig cfg = gen::industrial_config(outcome.spec.gen);
       outcome.vls = cfg.vl_count();
@@ -176,8 +180,11 @@ CampaignReport run_campaigns(const CampaignOptions& options) {
       CheckOptions check = options.check;
       check.schedules.seed = options.seed * 1000003ULL + i * 10ULL;
       outcome.check = check_config(cfg, check);
+      obs::registry().counter("valid.violations")
+          .add(outcome.check.violations.size());
 
       if (!outcome.check.ok() && options.shrink_violations) {
+        AFDX_TRACE_SPAN("valid.shrink", "valid");
         ShrinkOptions shrink_opts = options.shrink;
         shrink_opts.check = check;
         const auto shrunk = shrink(cfg, shrink_opts);

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace afdx::valid {
 
@@ -37,12 +38,23 @@ std::string unescape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (std::size_t i = 0; i < s.size(); ++i) {
-    if (s[i] == '%' && i + 2 < s.size()) {
-      out += static_cast<char>(std::stoi(s.substr(i + 1, 2), nullptr, 16));
-      i += 2;
-    } else {
+    if (s[i] != '%') {
       out += s[i];
+      continue;
     }
+    // Strict %XX: a truncated escape ("...%4") or non-hex digits ("%zz")
+    // mean the record is corrupt -- fail with a diagnosable Error instead
+    // of crashing (std::stoi) or silently passing the bytes through.
+    AFDX_REQUIRE(i + 2 < s.size(),
+                 "checkpoint: truncated %XX escape at end of value '" + s +
+                     "'");
+    const auto byte =
+        parse_hex_byte(std::string_view(s).substr(i + 1, 2));
+    AFDX_REQUIRE(byte.has_value(), "checkpoint: bad %XX escape '" +
+                                       s.substr(i, 3) + "' in value '" + s +
+                                       "'");
+    out += static_cast<char>(*byte);
+    i += 2;
   }
   return out;
 }
@@ -68,12 +80,23 @@ const std::string& field(const Fields& fields, const std::string& key) {
   return it->second;
 }
 
+// Strict decoders: stoull/stod would throw bare std::invalid_argument /
+// std::out_of_range on a corrupt checkpoint (or accept trailing garbage
+// like "42x"); common/parse rejects all of that and we name the field.
 std::uint64_t field_u64(const Fields& fields, const std::string& key) {
-  return std::stoull(field(fields, key));
+  const std::string& raw = field(fields, key);
+  const auto v = parse_uint(raw);
+  AFDX_REQUIRE(v.has_value(), "checkpoint: field '" + key +
+                                  "': bad unsigned integer '" + raw + "'");
+  return *v;
 }
 
 double field_double(const Fields& fields, const std::string& key) {
-  return std::stod(field(fields, key));
+  const std::string& raw = field(fields, key);
+  const auto v = parse_double(raw);
+  AFDX_REQUIRE(v.has_value(),
+               "checkpoint: field '" + key + "': bad number '" + raw + "'");
+  return *v;
 }
 
 void write_pess(std::ostream& out, std::size_t index, const char* method,

@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "netcalc/netcalc_analyzer.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sim/worst_case_search.hpp"
 #include "trajectory/trajectory_analyzer.hpp"
 
@@ -91,6 +93,7 @@ Microseconds store_forward_floor(const TrafficConfig& config,
 
 CheckResult check_config(const TrafficConfig& config,
                          const CheckOptions& options) {
+  AFDX_TRACE_SPAN("valid.check", "valid");
   CheckResult out;
   const std::size_t path_count = config.all_paths().size();
   out.paths = path_count;
@@ -152,8 +155,10 @@ CheckResult check_config(const TrafficConfig& config,
   std::vector<Bits> observed_backlog(config.network().link_count(), 0.0);
   for (const sim::Options& schedule :
        sim::soundness_schedules(config, options.schedules)) {
+    AFDX_TRACE_SPAN("valid.simulate.schedule", "valid");
     const sim::Result observed = sim::simulate(config, schedule);
     ++out.schedules_simulated;
+    obs::registry().counter("valid.schedules_simulated").add();
     for (std::size_t i = 0; i < path_count; ++i) {
       out.simulated[i] = std::max(out.simulated[i], observed.max_path_delay[i]);
     }

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -346,6 +347,36 @@ TEST(PortCacheConcurrency, DistinctOptionKeysIsolateEntries) {
   EXPECT_EQ(cache.size(), 1u);
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
+}
+
+// Regression: options_key once ignored fields beyond `grouping`, so two
+// analyses differing only in max_iterations shared cache entries and the
+// second silently returned the first one's bounds. Every field must feed
+// the fingerprint.
+TEST(PortCacheConcurrency, OptionsKeyMixesEveryField) {
+  std::set<std::uint64_t> keys;
+  std::size_t combinations = 0;
+  for (const bool grouping : {false, true}) {
+    for (const int max_iterations : {1, 2, 100, 1000, 1001}) {
+      netcalc::Options o;
+      o.grouping = grouping;
+      o.max_iterations = max_iterations;
+      keys.insert(PortCache::options_key(o));
+      ++combinations;
+    }
+  }
+  EXPECT_EQ(keys.size(), combinations)
+      << "options differing in some field collided on the same cache key";
+
+  // Deterministic: equal options fingerprint identically.
+  netcalc::Options a, b;
+  a.max_iterations = b.max_iterations = 250;
+  EXPECT_EQ(PortCache::options_key(a), PortCache::options_key(b));
+
+  // The historical bug: max_iterations alone must change the key.
+  netcalc::Options base, deeper;
+  deeper.max_iterations = base.max_iterations + 1;
+  EXPECT_NE(PortCache::options_key(base), PortCache::options_key(deeper));
 }
 
 TEST(Engine, PropagationLevelsRespectDependencies) {

@@ -94,6 +94,51 @@ TEST(Serialization, BadNumberRejected) {
                Error);
 }
 
+// Parse errors must name the offending key and line so a hand-edited config
+// is diagnosable from the message alone.
+TEST(Serialization, BadNumberMessageNamesKeyAndLine) {
+  try {
+    load_config_string("afdx-config v1\nnode es e1\nnode sw S1\n"
+                       "link e1 S1 rate=fast\n");
+    FAIL() << "bad link attribute was accepted";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'rate'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'fast'"), std::string::npos) << msg;
+  }
+}
+
+TEST(Serialization, TrailingGarbageNumberRejectedAndNamed) {
+  // "4000x" was silently truncated to 4000 by the old stod-based parser.
+  try {
+    load_config_string("afdx-config v1\nnode es e1\nnode es e2\n"
+                       "node sw S1\nlink e1 S1\nlink S1 e2\n"
+                       "vl v1 src=e1 dst=e2 bag=4000x smin=64 smax=500\n");
+    FAIL() << "trailing garbage in vl attribute was accepted";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'bag'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'4000x'"), std::string::npos) << msg;
+  }
+}
+
+TEST(Serialization, BadRouteDestinationIndexRejectedAndNamed) {
+  try {
+    load_config_string("afdx-config v1\nnode es e1\nnode es e2\n"
+                       "node sw S1\nlink e1 S1\nlink S1 e2\n"
+                       "vl v1 src=e1 dst=e2 bag=4000 smin=64 smax=500\n"
+                       "route v1 zero e1>S1 S1>e2\n");
+    FAIL() << "non-numeric route destination index was accepted";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 8"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("route destination index"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'zero'"), std::string::npos) << msg;
+  }
+}
+
 TEST(Serialization, MalformedKeyValueRejected) {
   EXPECT_THROW(load_config_string("afdx-config v1\nnode es e1\nnode sw S1\n"
                                   "link e1 S1 rate\n"),

@@ -356,6 +356,121 @@ TEST(Checkpoint, RoundTripAndMissingAndMalformedFiles) {
   EXPECT_THROW((void)read_checkpoint((dir / "bad.ckpt").string()), Error);
 }
 
+// -- Corrupt-checkpoint corpus ----------------------------------------------
+// Every way a checkpoint can rot on disk must surface as afdx::Error with a
+// message naming the problem -- never a bare std::invalid_argument /
+// std::out_of_range from the old stoull/stod path, and never silent
+// acceptance of garbage.
+
+/// Writes `text` to a file and asserts read_checkpoint throws afdx::Error
+/// whose message contains `needle`. Any other exception type fails the test.
+void expect_checkpoint_error(const fs::path& dir, const char* tag,
+                             const std::string& text,
+                             const std::string& needle) {
+  const std::string path = (dir / (std::string(tag) + ".ckpt")).string();
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  try {
+    (void)read_checkpoint(path);
+    ADD_FAILURE() << tag << ": corrupt checkpoint was accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << tag << ": message '" << e.what() << "' should mention '" << needle
+        << "'";
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << tag << ": escaped as non-afdx exception: " << e.what();
+  }
+}
+
+TEST(Checkpoint, CorruptCorpusAlwaysFailsAsAfdxError) {
+  const fs::path dir = fresh_temp_dir("checkpoint_corrupt");
+  const std::string header = "afdx-fuzz-checkpoint v1\n";
+  const std::string run = "run seed=7 campaigns=2\n";
+  const std::string outcome =
+      "outcome index=0 skipped=0 reason=ok vls=3 paths=4 cpaths=4 "
+      "schedules=10 corpus=a.afdx wall_us=12.5\n";
+
+  // Truncated record: the outcome line lost its tail fields.
+  expect_checkpoint_error(dir, "truncated_record",
+                          header + run + "outcome index=0 skipped=0\n",
+                          "missing field");
+  // Bad hex escape in a percent-encoded value.
+  expect_checkpoint_error(
+      dir, "bad_hex_escape",
+      header + run +
+          "outcome index=0 skipped=1 reason=boom%zz vls=0 paths=0 cpaths=0 "
+          "schedules=0 corpus= wall_us=0\n",
+      "bad %XX escape");
+  // Escape truncated at end of value ("...%4").
+  expect_checkpoint_error(
+      dir, "truncated_escape",
+      header + run +
+          "outcome index=0 skipped=1 reason=boom%4 vls=0 paths=0 cpaths=0 "
+          "schedules=0 corpus= wall_us=0\n",
+      "truncated %XX escape");
+  // Trailing garbage after a numeric field (old stoull accepted "42x").
+  expect_checkpoint_error(dir, "trailing_garbage",
+                          header + "run seed=7 campaigns=42x\n",
+                          "bad unsigned integer");
+  // Out-of-range count (overflows uint64).
+  expect_checkpoint_error(
+      dir, "out_of_range_count",
+      header + "run seed=7 campaigns=99999999999999999999999999\n",
+      "bad unsigned integer");
+  // Non-numeric double field.
+  expect_checkpoint_error(
+      dir, "bad_double",
+      header + run +
+          "outcome index=0 skipped=0 reason=ok vls=3 paths=4 cpaths=4 "
+          "schedules=10 corpus= wall_us=fast\n",
+      "bad number");
+  // Field token without '='.
+  expect_checkpoint_error(dir, "no_equals",
+                          header + "run seed=7 campaigns\n",
+                          "malformed field");
+  // pess record referencing an outcome that never appeared.
+  expect_checkpoint_error(
+      dir, "orphan_pess",
+      header + run + "pess index=3 method=wcnc mean=1 min=0 max=2 paths=4\n",
+      "pess record before its outcome");
+}
+
+TEST(Checkpoint, CorruptCheckpointFallsBackToCleanFreshRun) {
+  // The resume workflow: a checkpoint that fails to parse is reported and
+  // discarded, and the campaign driver starts fresh -- the fresh run must
+  // be bit-identical to one that never saw a checkpoint.
+  const fs::path dir = fresh_temp_dir("checkpoint_fallback");
+  const std::string path = (dir / "rotten.ckpt").string();
+  {
+    std::ofstream out(path);
+    out << "afdx-fuzz-checkpoint v1\nrun seed=7 campaigns=2x\n";
+  }
+
+  CampaignOptions opts;
+  opts.campaigns = 2;
+  opts.seed = 7;
+  opts.grid = GridOptions::smoke();
+  opts.check = fast_check();
+
+  std::optional<Checkpoint> cp;
+  try {
+    cp = read_checkpoint(path);
+  } catch (const Error&) {
+    cp.reset();  // corrupt: fall back to a fresh run
+  }
+  ASSERT_FALSE(cp.has_value());
+
+  const CampaignReport fresh = run_campaigns(opts);
+  const CampaignReport reference = run_campaigns(opts);
+  std::ostringstream a, b;
+  fresh.write_json(a, /*include_timing=*/false);
+  reference.write_json(b, /*include_timing=*/false);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(fresh.completed, 2u);
+}
+
 TEST(Campaign, ExpiredTokenMarksEveryCampaignInterrupted) {
   engine::CancelToken token;
   token.cancel();

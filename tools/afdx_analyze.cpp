@@ -35,12 +35,18 @@
 //   --deadline-ms=N                            cooperative deadline; work
 //                                              left when it expires is
 //                                              reported as skipped
+//   --trace=FILE (or --trace FILE)             record scoped spans of the
+//                                              engine/netcalc/trajectory
+//                                              layers and write a Chrome
+//                                              trace-event JSON file
+//                                              (chrome://tracing, Perfetto)
 //
 // Exit status: 0 on success, 1 on usage/config errors, 2 when a simulated
 // delay exceeds a reported bound (a soundness violation), 3 when the run
 // produced only partial results (contained failures, deadline or
 // cancellation).
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -55,6 +61,7 @@
 #include "faults/report.hpp"
 #include "faults/scenario.hpp"
 #include "gen/industrial.hpp"
+#include "obs/trace.hpp"
 #include "report/table.hpp"
 #include "sfa/sfa_analyzer.hpp"
 #include "sim/simulator.hpp"
@@ -73,6 +80,8 @@ struct CliOptions {
   bool partial = false;
   int simulate = 0;
   double deadline_ms = 0.0;
+  /// --trace: Chrome trace-event JSON output file.
+  std::optional<std::string> trace_file;
   /// --faults values: "single-link", "single-switch" or custom specs.
   std::vector<std::string> faults;
   netcalc::Options nc;
@@ -89,7 +98,7 @@ void print_usage(std::ostream& out) {
          "         --faults=single-link|single-switch|<spec>  (repeatable;\n"
          "           <spec> = comma-separated link:<a>-<b>, switch:<name>,\n"
          "           es:<name> elements forming one scenario)\n"
-         "         --partial  --deadline-ms=N\n";
+         "         --partial  --deadline-ms=N  --trace=FILE\n";
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -145,6 +154,19 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
         return std::nullopt;
       }
       opts.deadline_ms = *ms;
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "--trace needs an output file\n";
+        return std::nullopt;
+      }
+      opts.trace_file = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      const std::string file = arg.substr(8);
+      if (file.empty()) {
+        std::cerr << "empty --trace value\n";
+        return std::nullopt;
+      }
+      opts.trace_file = file;
     } else if (arg.rfind("--faults=", 0) == 0) {
       const std::string spec = arg.substr(9);
       if (spec.empty()) {
@@ -366,9 +388,27 @@ int main(int argc, char** argv) {
     print_usage(std::cerr);
     return 1;
   }
+  if (opts->trace_file.has_value()) obs::Tracer::instance().enable();
+  // Flush the trace even when the run ends with a partial result or an
+  // error -- a trace of a failing run is the one you actually want.
+  const auto flush_trace = [&] {
+    if (!opts->trace_file.has_value()) return;
+    obs::Tracer::instance().disable();
+    std::ofstream out(*opts->trace_file);
+    if (!out.good()) {
+      std::cerr << "cannot write trace file '" << *opts->trace_file << "'\n";
+      return;
+    }
+    obs::Tracer::instance().write_chrome_trace(out);
+    std::cerr << "trace: " << obs::Tracer::instance().span_count()
+              << " spans -> " << *opts->trace_file << "\n";
+  };
   try {
-    return run(*opts);
+    const int code = run(*opts);
+    flush_trace();
+    return code;
   } catch (const Error& e) {
+    flush_trace();
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

@@ -35,6 +35,8 @@
 //                       exit -- an interrupted sweep (SIGINT/SIGTERM or
 //                       --deadline-ms) resumes instead of restarting
 //   --deadline-ms=N     stop starting new campaigns after N ms
+//   --trace=FILE        record scoped spans of the campaign/engine layers
+//                       and write a Chrome trace-event JSON file
 //   --self-test         harness end-to-end check: a clean smoke sweep must
 //                       be green AND an injected fault must be detected
 //
@@ -54,6 +56,7 @@
 #include "common/error.hpp"
 #include "common/parse.hpp"
 #include "engine/cancel.hpp"
+#include "obs/trace.hpp"
 #include "valid/campaign.hpp"
 #include "valid/checkpoint.hpp"
 #include "valid/corpus.hpp"
@@ -74,6 +77,7 @@ struct CliOptions {
   std::optional<std::string> replay_file;
   std::optional<std::string> report_file;
   std::optional<std::string> checkpoint_file;
+  std::optional<std::string> trace_file;
   double deadline_ms = 0.0;
   bool self_test = false;
   bool include_timing = true;
@@ -89,7 +93,8 @@ void print_usage(std::ostream& out) {
          "         --no-shrink  --no-variants  --quiet\n"
          "         --inject-fault=deflate-netcalc|deflate-trajectory|"
          "skew-combined  --fault-factor=F\n"
-         "         --checkpoint=FILE  --deadline-ms=N  --self-test\n";
+         "         --checkpoint=FILE  --deadline-ms=N  --trace=FILE\n"
+         "         --self-test\n";
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -175,6 +180,12 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
         return std::nullopt;
       }
       opts.checkpoint_file = *v;
+    } else if (auto v = value_of("--trace")) {
+      if (v->empty()) {
+        std::cerr << "empty trace path\n";
+        return std::nullopt;
+      }
+      opts.trace_file = *v;
     } else if (auto v = value_of("--deadline-ms")) {
       const auto ms = parse_double(*v);
       if (!ms.has_value() || *ms <= 0.0) {
@@ -345,11 +356,33 @@ int main(int argc, char** argv) {
   if (opts->deadline_ms > 0.0) {
     g_cancel.set_deadline_after(opts->deadline_ms * 1000.0);
   }
+  if (opts->trace_file.has_value()) obs::Tracer::instance().enable();
+  // Written even on violations/interruption: a trace of the failing sweep
+  // is exactly what the investigation needs.
+  const auto flush_trace = [&] {
+    if (!opts->trace_file.has_value()) return;
+    obs::Tracer::instance().disable();
+    std::ofstream out(*opts->trace_file);
+    if (!out.good()) {
+      std::cerr << "cannot write trace file '" << *opts->trace_file << "'\n";
+      return;
+    }
+    obs::Tracer::instance().write_chrome_trace(out);
+    std::cerr << "trace: " << obs::Tracer::instance().span_count()
+              << " spans -> " << *opts->trace_file << "\n";
+  };
   try {
-    if (opts->self_test) return run_self_test(*opts);
-    return opts->replay_file.has_value() ? run_replay(*opts)
-                                         : run_campaigns_cli(*opts);
+    int code = 0;
+    if (opts->self_test) {
+      code = run_self_test(*opts);
+    } else {
+      code = opts->replay_file.has_value() ? run_replay(*opts)
+                                           : run_campaigns_cli(*opts);
+    }
+    flush_trace();
+    return code;
   } catch (const Error& e) {
+    flush_trace();
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
