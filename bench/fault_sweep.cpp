@@ -1,0 +1,137 @@
+// P1 -- single-link fault sweep: full per-scenario recomputation versus
+// the dirty-cone incremental path (ScenarioOptions::incremental). Both
+// sweeps produce bit-identical reports (checked here); the interesting
+// number is the wall-clock ratio, since the incremental path transplants
+// every port outside the failed element's dirty cone from the healthy
+// baseline run.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "faults/degrade.hpp"
+#include "faults/report.hpp"
+#include "faults/scenario.hpp"
+#include "gen/industrial.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace afdx;
+
+gen::IndustrialOptions sweep_config(bool quick) {
+  gen::IndustrialOptions opts;
+  if (quick) {
+    opts.vl_count = 500;
+    opts.end_system_count = 60;
+  }
+  return opts;
+}
+
+double wall_ms(const std::chrono::steady_clock::time_point& t0,
+               const std::chrono::steady_clock::time_point& t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+std::size_t report_mismatches(const faults::DegradationReport& a,
+                              const faults::DegradationReport& b) {
+  std::size_t bad = 0;
+  if (a.scenarios.size() != b.scenarios.size()) return 1;
+  for (std::size_t s = 0; s < a.scenarios.size(); ++s) {
+    if (a.scenarios[s].paths.size() != b.scenarios[s].paths.size()) {
+      ++bad;
+      continue;
+    }
+    for (std::size_t p = 0; p < a.scenarios[s].paths.size(); ++p) {
+      const faults::PathDegradation& pa = a.scenarios[s].paths[p];
+      const faults::PathDegradation& pb = b.scenarios[s].paths[p];
+      if (pa.degraded_us != pb.degraded_us || pa.skew_us != pb.skew_us ||
+          pa.state != pb.state) {
+        ++bad;
+      }
+    }
+  }
+  return bad;
+}
+
+void run_experiment(std::ostream& out, const benchutil::BenchCli& cli) {
+  out << "P1: single-link fault sweep, full recomputation vs dirty-cone "
+         "incremental re-analysis\n\n";
+
+  const TrafficConfig cfg = gen::industrial_config(sweep_config(cli.quick));
+  const auto scenarios = faults::single_link_scenarios(cfg);
+  out << "configuration: " << cfg.vl_count() << " VLs, "
+      << cfg.all_paths().size() << " VL paths, " << scenarios.size()
+      << " single-link scenarios\n\n";
+
+  faults::ScenarioOptions full;
+  full.incremental = false;
+  faults::ScenarioOptions incremental;  // incremental = true is the default
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const faults::DegradationReport full_report =
+      faults::analyze_scenarios(cfg, scenarios, full);
+  const auto t1 = std::chrono::steady_clock::now();
+  const faults::DegradationReport inc_report =
+      faults::analyze_scenarios(cfg, scenarios, incremental);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const double full_ms = wall_ms(t0, t1);
+  const double inc_ms = wall_ms(t1, t2);
+  const double speedup = inc_ms > 0.0 ? full_ms / inc_ms : 0.0;
+  const std::size_t mismatches = report_mismatches(full_report, inc_report);
+
+  report::Table t({"Sweep", "wall [ms]", "speedup"});
+  t.add_row({"full recompute", report::fmt(full_ms, 1), "1.00x"});
+  t.add_row({"incremental", report::fmt(inc_ms, 1),
+             report::fmt(speedup, 2) + "x"});
+  t.print(out);
+  out << "\nreports bit-identical: " << (mismatches == 0 ? "yes" : "NO")
+      << " (" << mismatches << " mismatching records)\n";
+
+  if (cli.json_path.has_value()) {
+    benchutil::BenchJsonDoc doc =
+        benchutil::begin_bench_json(*cli.json_path, "fault_sweep", cli);
+    if (doc.ok()) {
+      obs::JsonWriter& w = doc.w();
+      w.key("config").begin_object();
+      w.field("vls", cfg.vl_count())
+          .field("paths", cfg.all_paths().size())
+          .field("scenarios", scenarios.size());
+      w.end_object();
+      w.key("results").begin_object();
+      w.field("full_wall_ms", full_ms)
+          .field("incremental_wall_ms", inc_ms)
+          .field("speedup", speedup)
+          .field("mismatching_records", mismatches);
+      w.end_object();
+      obs::write_registry_json(w);
+      benchutil::finish_bench_json(doc, *cli.json_path);
+    }
+  }
+}
+
+void BM_FaultSweepFull(benchmark::State& state) {
+  const TrafficConfig cfg = gen::industrial_config(sweep_config(true));
+  const auto scenarios = faults::single_link_scenarios(cfg);
+  faults::ScenarioOptions options;
+  options.incremental = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        faults::analyze_scenarios(cfg, scenarios, options));
+  }
+}
+BENCHMARK(BM_FaultSweepFull)->Unit(benchmark::kMillisecond);
+
+void BM_FaultSweepIncremental(benchmark::State& state) {
+  const TrafficConfig cfg = gen::industrial_config(sweep_config(true));
+  const auto scenarios = faults::single_link_scenarios(cfg);
+  faults::ScenarioOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        faults::analyze_scenarios(cfg, scenarios, options));
+  }
+}
+BENCHMARK(BM_FaultSweepIncremental)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AFDX_BENCH_MAIN_OBS(run_experiment)

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Compare two afdx-bench/1 documents and print per-phase speedups.
+
+Usage:
+    bench_compare.py OLD NEW [--max-regression PCT]
+
+OLD and NEW are afdx-bench/1 JSON files as written by the bench binaries
+via --bench-json=FILE. Either argument may address a sub-document of a
+combined baseline file (schema afdx-bench-baseline/1, e.g. the committed
+BENCH_pr5.json) with `file.json#dotted.path`, for example:
+
+    bench_compare.py BENCH_pr5.json#benches.table1_industrial.after \
+        fresh_table1.json --max-regression 10%
+
+Per-phase wall times come from the optional "metrics" object (engine
+phase breakdown); documents without one (e.g. fig7_smax_sweep) are
+compared on the wall-time fields of their "results" object instead. The
+exit status is non-zero only when --max-regression is given and one of
+the gated totals (metrics.total_wall_us, or every results.*_wall_ms /
+*_wall_us when there is no metrics object) regressed by more than the
+threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+PHASE_KEYS = [
+    "netcalc_wall_us",
+    "trajectory_wall_us",
+    "combine_wall_us",
+    "total_wall_us",
+]
+WALL_RE = re.compile(r"_(wall_ms|wall_us)$")
+
+
+def load_doc(spec: str):
+    path, _, sub = spec.partition("#")
+    with open(path) as f:
+        doc = json.load(f)
+    for part in filter(None, sub.split(".")):
+        if not isinstance(doc, dict) or part not in doc:
+            raise SystemExit(f"{spec}: no sub-document '{part}'")
+        doc = doc[part]
+    if not isinstance(doc, dict):
+        raise SystemExit(f"{spec}: not a JSON object")
+    return doc
+
+
+def wall_entries(doc: dict) -> tuple[dict[str, float], list[str]]:
+    """(name -> wall time) plus the subset of names gating --max-regression."""
+    entries: dict[str, float] = {}
+    gated: list[str] = []
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict):
+        for key in PHASE_KEYS:
+            value = metrics.get(key)
+            if isinstance(value, (int, float)):
+                entries[f"metrics.{key}"] = float(value)
+        if "metrics.total_wall_us" in entries:
+            gated.append("metrics.total_wall_us")
+    results = doc.get("results")
+    if isinstance(results, dict):
+        for key, value in results.items():
+            if WALL_RE.search(key) and isinstance(value, (int, float)):
+                entries[f"results.{key}"] = float(value)
+        if not isinstance(metrics, dict):
+            gated.extend(
+                name for name in entries if name.startswith("results.")
+            )
+    if not entries:
+        # Documents without a metrics/results wall field (e.g. sweep
+        # benches reporting bounds, not timings) still carry per-phase
+        # wall-time histograms from the obs registry.
+        histograms = doc.get("histograms")
+        if isinstance(histograms, dict):
+            for key, value in histograms.items():
+                if key.endswith(".wall_us") and isinstance(value, dict):
+                    total = value.get("sum")
+                    if isinstance(total, (int, float)):
+                        name = f"histograms.{key}.sum"
+                        entries[name] = float(total)
+                        gated.append(name)
+    return entries, gated
+
+
+def parse_pct(text: str) -> float:
+    return float(text.rstrip("%")) / 100.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two afdx-bench/1 documents."
+    )
+    parser.add_argument("old", help="baseline document (file or file#path)")
+    parser.add_argument("new", help="candidate document (file or file#path)")
+    parser.add_argument(
+        "--max-regression",
+        type=parse_pct,
+        default=None,
+        metavar="PCT",
+        help="fail when a gated total is more than PCT slower (e.g. 10%%)",
+    )
+    args = parser.parse_args()
+
+    old_doc = load_doc(args.old)
+    new_doc = load_doc(args.new)
+    if old_doc.get("bench") != new_doc.get("bench"):
+        print(
+            f"note: comparing different benches "
+            f"({old_doc.get('bench')} vs {new_doc.get('bench')})",
+            file=sys.stderr,
+        )
+
+    old_entries, old_gated = wall_entries(old_doc)
+    new_entries, _ = wall_entries(new_doc)
+    shared = [k for k in old_entries if k in new_entries]
+    if not shared:
+        print("no comparable wall-time fields found", file=sys.stderr)
+        return 2
+
+    # Wall times below this floor are timer noise in quick mode: compare
+    # them informationally, but never gate the exit status on them.
+    def gateable(name: str, old_v: float) -> bool:
+        floor = 10.0 if name.endswith("_wall_ms") else 10_000.0
+        return old_v >= floor
+
+    name_w = max(len(k) for k in shared)
+    print(f"bench: {new_doc.get('bench', '?')} "
+          f"(mode {old_doc.get('mode', '?')} -> {new_doc.get('mode', '?')})")
+    print(f"{'phase'.ljust(name_w)}  {'old':>14}  {'new':>14}  speedup")
+    failures = []
+    threshold = args.max_regression
+    for key in shared:
+        old_v, new_v = old_entries[key], new_entries[key]
+        speedup = old_v / new_v if new_v > 0 else float("inf")
+        flag = ""
+        if (
+            threshold is not None
+            and key in old_gated
+            and gateable(key, old_v)
+            and new_v > old_v * (1.0 + threshold)
+        ):
+            failures.append(key)
+            flag = "  REGRESSION"
+        print(
+            f"{key.ljust(name_w)}  {old_v:14.1f}  {new_v:14.1f}  "
+            f"{speedup:6.2f}x{flag}"
+        )
+
+    if failures:
+        pct = threshold * 100.0
+        print(
+            f"FAIL: {', '.join(failures)} regressed beyond {pct:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <iomanip>
+#include <memory>
 #include <limits>
 #include <optional>
 #include <ostream>
@@ -11,6 +13,8 @@
 #include <ctime>
 
 #include "common/error.hpp"
+#include "engine/incremental.hpp"
+#include "netcalc/flow_index.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 
@@ -61,6 +65,63 @@ double finite_or_zero(double value) {
   return std::isfinite(value) ? value : 0.0;
 }
 
+// Tripwire: trajectory_options_key below must fingerprint EVERY field of
+// trajectory::Options, same contract as PortCache::options_key.
+static_assert(sizeof(trajectory::Options) == 8,
+              "trajectory::Options changed: update trajectory_options_key to "
+              "mix in every field, then bump this expected size");
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v,
+                      unsigned bytes) noexcept {
+  for (unsigned i = 0; i < bytes; ++i) {
+    h ^= (v >> (8 * i)) & 0xffull;
+    h *= 1099511628211ull;  // FNV-1a prime
+  }
+  return h;
+}
+
+/// FNV-1a digest of the trajectory option fields prefix bounds depend on.
+std::uint64_t trajectory_options_key(const trajectory::Options& o) noexcept {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  h = fnv_mix(h, o.serialization ? 1u : 0u, 1);
+  h = fnv_mix(h, o.loose_boundary_packet ? 1u : 0u, 1);
+  h = fnv_mix(h,
+              static_cast<std::uint64_t>(
+                  static_cast<std::uint32_t>(o.max_busy_iterations)),
+              sizeof(o.max_busy_iterations));
+  return h;
+}
+
+/// Bitwise digest of a serialization-caps vector. Prefix bounds are pure
+/// functions of (configuration, options, caps); together with the options
+/// digest this keys the engine's shared prefix caches.
+std::uint64_t caps_signature(
+    const std::optional<std::vector<Microseconds>>& caps) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  if (!caps.has_value()) return fnv_mix(h, 0x9e3779b97f4a7c15ull, 8);
+  h = fnv_mix(h, caps->size(), 8);
+  for (Microseconds c : *caps) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(c));
+    std::memcpy(&bits, &c, sizeof(bits));
+    h = fnv_mix(h, bits, 8);
+  }
+  return h;
+}
+
+CacheStats cache_delta(const CacheStats& now, const CacheStats& then) {
+  return CacheStats{now.hits - then.hits, now.misses - then.misses,
+                    now.seeded - then.seeded, now.evicted - then.evicted};
+}
+
+trajectory::PrefixCacheStats prefix_delta(
+    const trajectory::PrefixCacheStats& now,
+    const trajectory::PrefixCacheStats& then) {
+  return trajectory::PrefixCacheStats{now.hits - then.hits,
+                                      now.misses - then.misses,
+                                      now.seeded - then.seeded};
+}
+
 }  // namespace
 
 const char* to_string(PathState state) noexcept {
@@ -103,8 +164,25 @@ void RunMetrics::print(std::ostream& out) const {
       << max_level_width << ")\n"
       << "  port cache: " << cache.hits << " hits / " << cache.misses
       << " misses (" << std::setprecision(1)
-      << finite_or_zero(cache.hit_rate()) * 100.0 << " % hit rate)\n"
-      << "  tasks/thread:";
+      << finite_or_zero(cache.hit_rate()) * 100.0 << " % hit rate, "
+      << cache.seeded << " seeded, " << cache.evicted << " evicted)\n"
+      << "  prefix cache: " << prefix.hits << " hits / " << prefix.misses
+      << " misses (" << finite_or_zero(prefix.hit_rate()) * 100.0
+      << " % hit rate, " << prefix.seeded << " seeded)\n"
+      << "  steals: " << steals << "\n";
+  if (incremental.attempted) {
+    if (incremental.full_fallback) {
+      out << "  incremental: full fallback ("
+          << incremental.fallback_reason << ")\n";
+    } else {
+      out << "  incremental: " << incremental.changed_links
+          << " changed links -> " << incremental.dirty_ports
+          << " dirty ports, " << incremental.seeded_ports
+          << " ports + " << incremental.seeded_prefixes
+          << " prefixes seeded\n";
+    }
+  }
+  out << "  tasks/thread:";
   for (std::size_t n : tasks_per_thread) out << " " << n;
   out << "\n";
   out.flags(flags);
@@ -123,7 +201,7 @@ netcalc::Result AnalysisEngine::run_netcalc(const netcalc::Options& options) {
 
   netcalc::Result result;
   result.ports.assign(n_links, netcalc::PortReport{});
-  std::vector<std::map<std::uint8_t, Microseconds>> delays(n_links);
+  netcalc::DelayTable delays(cfg_);
 
   const auto levels = netcalc::propagation_levels(cfg_);
   if (!levels.has_value()) {
@@ -138,7 +216,7 @@ netcalc::Result AnalysisEngine::run_netcalc(const netcalc::Options& options) {
     if (rounds != iterations_.end() && cache_.covers(okey, used_ports)) {
       for (LinkId port : used_ports) {
         const auto bounds = cache_.lookup(okey, port);
-        delays[port] = bounds->level_delays;
+        delays.assign(port, bounds->level_delays);
         result.ports[port] =
             netcalc::make_report(*bounds, cfg_.utilization(port));
       }
@@ -158,30 +236,31 @@ netcalc::Result AnalysisEngine::run_netcalc(const netcalc::Options& options) {
   }
 
   // Feed-forward: propagate level by level; ports of one level have no
-  // mutual dependency, so each level is sharded across the pool. Results
-  // land in per-port slots, making the pass order-independent and
-  // bit-identical to the serial analyzer.
+  // mutual dependency, so each level is chunked dynamically across the
+  // pool (work stealing). Results land in per-port slots, making the pass
+  // order-independent and bit-identical to the serial analyzer.
   metrics_.levels = levels->size();
   static obs::Histogram& level_width =
       obs::registry().histogram("engine.level.width");
+  const netcalc::PortFlowIndex& index = flow_index();
   std::vector<netcalc::PortBounds> bounds(n_links);
   for (const std::vector<LinkId>& level : *levels) {
     AFDX_TRACE_SPAN("engine.netcalc.level", "engine");
     level_width.observe(level.size());
     metrics_.max_level_width = std::max(metrics_.max_level_width,
                                         level.size());
-    pool_.parallel_for(level.size(), [&](std::size_t i, int) {
+    pool_.parallel_for_dynamic(level.size(), [&](std::size_t i, int) {
       const LinkId port = level[i];
       if (auto hit = cache_.lookup(okey, port); hit.has_value()) {
         bounds[port] = std::move(*hit);
       } else {
         bounds[port] =
-            netcalc::compute_port_bounds(cfg_, port, options, delays);
+            netcalc::compute_port_bounds(cfg_, port, options, delays, index);
         cache_.store(okey, port, bounds[port]);
       }
     });
     for (LinkId port : level) {
-      delays[port] = bounds[port].level_delays;
+      delays.assign(port, bounds[port].level_delays);
       result.ports[port] =
           netcalc::make_report(bounds[port], cfg_.utilization(port));
     }
@@ -218,8 +297,21 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory(
     }
   }
 
-  // Shards own whole VLs: paths of one VL share their prefix recursion,
-  // so keeping a VL on one worker preserves the analyzer's memoization.
+  // The shared prefix cache for this (options, caps) context; baseline
+  // prefixes queued by run_incremental are transplanted here first.
+  const std::shared_ptr<trajectory::PrefixCache> pcache =
+      prefix_cache_for(trajectory_options_key(options), caps_signature(caps));
+  for (const PrefixSeed& s : pending_prefix_seeds_) {
+    pcache->seed(s.vl, s.link, s.bound);
+  }
+  pending_prefix_seeds_.clear();
+  last_prefix_cache_ = pcache;
+
+  // Work items are whole VLs: paths of one VL share their prefix
+  // recursion, so keeping a VL in one chunk preserves the analyzer's local
+  // memoization; cross-VL shared prefixes land in the shared cache. Every
+  // bound is a pure function of (configuration, options, caps), so dynamic
+  // (stolen) assignment of VLs to workers stays bit-identical.
   std::vector<VlId> vl_order;
   std::vector<std::vector<std::size_t>> vl_paths(cfg_.vl_count());
   for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -227,18 +319,18 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory(
     vl_paths[paths[i].vl].push_back(i);
   }
 
-  const auto shards = static_cast<std::size_t>(pool_.thread_count());
-  pool_.parallel_for(shards, [&](std::size_t w, int) {
-    const std::size_t begin = vl_order.size() * w / shards;
-    const std::size_t end = vl_order.size() * (w + 1) / shards;
-    if (begin == end) return;
-    AFDX_TRACE_SPAN("engine.trajectory.shard", "engine");
-    trajectory::Analyzer analyzer(cfg_, options);
-    if (caps.has_value()) analyzer.set_backlog_caps(*caps);
-    for (std::size_t k = begin; k < end; ++k) {
-      for (std::size_t i : vl_paths[vl_order[k]]) {
-        out[i] = analyzer.bound_to_link(paths[i].vl, paths[i].links.back());
-      }
+  std::vector<std::unique_ptr<trajectory::Analyzer>> local(
+      static_cast<std::size_t>(pool_.thread_count()));
+  pool_.parallel_for_dynamic(vl_order.size(), [&](std::size_t k, int w) {
+    auto& analyzer = local[static_cast<std::size_t>(w)];
+    if (!analyzer) {
+      AFDX_TRACE_SPAN("engine.trajectory.shard", "engine");
+      analyzer = std::make_unique<trajectory::Analyzer>(cfg_, options);
+      if (caps.has_value()) analyzer->set_backlog_caps(*caps);
+      analyzer->set_prefix_cache(pcache.get());
+    }
+    for (std::size_t i : vl_paths[vl_order[k]]) {
+      out[i] = analyzer->bound_to_link(paths[i].vl, paths[i].links.back());
     }
   });
   return out;
@@ -248,6 +340,8 @@ RunResult AnalysisEngine::run(const netcalc::Options& nc_options,
                               const trajectory::Options& tj_options) {
   AFDX_TRACE_SPAN("engine.run", "engine");
   RunResult result;
+  const CacheStats cache0 = cache_.stats();
+  const trajectory::PrefixCacheStats prefix0 = prefix_stats_total();
   const auto t0 = Clock::now();
   const Microseconds cpu0 = cpu_now_us();
   result.netcalc_result = run_netcalc(nc_options);
@@ -280,7 +374,12 @@ RunResult AnalysisEngine::run(const netcalc::Options& nc_options,
   observe_phase_us("combine", elapsed_us(t2, t3));
   obs::registry().counter("engine.runs").add();
   obs::registry().counter("engine.paths").add(result.combined.size());
+  metrics_.cache_run = cache_delta(cache_.stats(), cache0);
+  metrics_.prefix_run = prefix_delta(prefix_stats_total(), prefix0);
   result.status.assign(result.combined.size(), PathStatus{});
+  result.nc_options_key = PortCache::options_key(nc_options);
+  result.tj_options_key = trajectory_options_key(tj_options);
+  result.prefixes = last_prefix_cache_;
   result.metrics = metrics();
   return result;
 }
@@ -329,8 +428,9 @@ netcalc::Result AnalysisEngine::run_netcalc_contained(
   }
 
   const std::uint64_t okey = PortCache::options_key(options);
+  const netcalc::PortFlowIndex& index = flow_index();
   std::vector<netcalc::PortBounds> bounds(n_links);
-  std::vector<std::map<std::uint8_t, Microseconds>> delays(n_links);
+  netcalc::DelayTable delays(cfg_);
   bool abandoned = false;
   for (const std::vector<LinkId>& level : *levels) {
     if (!abandoned && expired()) abandoned = true;
@@ -367,14 +467,14 @@ netcalc::Result AnalysisEngine::run_netcalc_contained(
       }
     }
 
-    const auto failures =
-        pool_.parallel_for_contained(compute.size(), [&](std::size_t i, int) {
+    const auto failures = pool_.parallel_for_dynamic_contained(
+        compute.size(), [&](std::size_t i, int) {
           const LinkId port = compute[i];
           if (auto hit = cache_.lookup(okey, port); hit.has_value()) {
             bounds[port] = std::move(*hit);
           } else {
-            bounds[port] =
-                netcalc::compute_port_bounds(cfg_, port, options, delays);
+            bounds[port] = netcalc::compute_port_bounds(cfg_, port, options,
+                                                        delays, index);
             cache_.store(okey, port, bounds[port]);
           }
         });
@@ -383,7 +483,7 @@ netcalc::Result AnalysisEngine::run_netcalc_contained(
     }
     for (LinkId port : level) {
       if (ports[port].state != PathState::kOk) continue;
-      delays[port] = bounds[port].level_delays;
+      delays.assign(port, bounds[port].level_delays);
       result.ports[port] =
           netcalc::make_report(bounds[port], cfg_.utilization(port));
     }
@@ -416,6 +516,23 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory_contained(
     }
   }
 
+  // The shared prefix cache for this (options, caps) context. Queued
+  // baseline prefixes are only transplanted when the WCNC phase ran to its
+  // natural end: an expired cancel token means the caps above may be
+  // uncapped placeholders rather than the baseline's values, which would
+  // poison the persistent cache. (A port-level WCNC failure cannot get
+  // here seeded wrong: seeded clean ports always hit the cache.)
+  const std::shared_ptr<trajectory::PrefixCache> pcache =
+      prefix_cache_for(trajectory_options_key(options), caps_signature(caps));
+  const bool expired = control.cancel != nullptr && control.cancel->expired();
+  if (!expired) {
+    for (const PrefixSeed& s : pending_prefix_seeds_) {
+      pcache->seed(s.vl, s.link, s.bound);
+    }
+  }
+  pending_prefix_seeds_.clear();
+  last_prefix_cache_ = pcache;
+
   std::vector<VlId> vl_order;
   std::vector<std::vector<std::size_t>> vl_paths(cfg_.vl_count());
   for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -423,44 +540,53 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory_contained(
     vl_paths[paths[i].vl].push_back(i);
   }
 
-  const auto shards = static_cast<std::size_t>(pool_.thread_count());
-  pool_.parallel_for(shards, [&](std::size_t w, int) {
-    const std::size_t begin = vl_order.size() * w / shards;
-    const std::size_t end = vl_order.size() * (w + 1) / shards;
-    if (begin == end) return;
-    // The analyzer's memoized prefix state may be left inconsistent by a
-    // throw mid-recursion, so a failed path gets a fresh instance before
-    // the shard continues.
+  // Per-worker analyzer state for the work-stealing loop. The analyzer's
+  // memoized prefix state may be left inconsistent by a throw
+  // mid-recursion, so a failed path gets a fresh instance before the
+  // worker continues (the shared cache stays consistent: it is only
+  // written after a successful compute).
+  struct Shard {
     std::optional<trajectory::Analyzer> analyzer;
     std::string construct_error;
-    const auto fresh = [&]() -> bool {
-      try {
-        analyzer.emplace(cfg_, options);
-        if (caps.has_value()) analyzer->set_backlog_caps(*caps);
-        return true;
-      } catch (const std::exception& e) {
-        construct_error = e.what();
-        return false;
+    bool alive = false;
+    bool initialized = false;
+  };
+  std::vector<Shard> local(static_cast<std::size_t>(pool_.thread_count()));
+  const auto fresh = [&](Shard& shard) {
+    try {
+      shard.analyzer.emplace(cfg_, options);
+      if (caps.has_value()) shard.analyzer->set_backlog_caps(*caps);
+      shard.analyzer->set_prefix_cache(pcache.get());
+      shard.alive = true;
+    } catch (const std::exception& e) {
+      shard.construct_error = e.what();
+      shard.alive = false;
+    }
+  };
+  // The body never throws (all analysis errors are contained per path), so
+  // the plain dynamic loop is enough.
+  pool_.parallel_for_dynamic(vl_order.size(), [&](std::size_t k, int w) {
+    Shard& shard = local[static_cast<std::size_t>(w)];
+    if (!shard.initialized) {
+      shard.initialized = true;
+      fresh(shard);
+    }
+    for (std::size_t i : vl_paths[vl_order[k]]) {
+      if (control.cancel != nullptr && control.cancel->expired()) {
+        path_status[i] =
+            PathStatus{PathState::kSkipped, control.cancel->reason()};
+        continue;
       }
-    };
-    bool alive = fresh();
-    for (std::size_t k = begin; k < end; ++k) {
-      for (std::size_t i : vl_paths[vl_order[k]]) {
-        if (control.cancel != nullptr && control.cancel->expired()) {
-          path_status[i] =
-              PathStatus{PathState::kSkipped, control.cancel->reason()};
-          continue;
-        }
-        if (!alive) {
-          path_status[i] = PathStatus{PathState::kFailed, construct_error};
-          continue;
-        }
-        try {
-          out[i] = analyzer->bound_to_link(paths[i].vl, paths[i].links.back());
-        } catch (const std::exception& e) {
-          path_status[i] = PathStatus{PathState::kFailed, e.what()};
-          alive = fresh();
-        }
+      if (!shard.alive) {
+        path_status[i] = PathStatus{PathState::kFailed, shard.construct_error};
+        continue;
+      }
+      try {
+        out[i] =
+            shard.analyzer->bound_to_link(paths[i].vl, paths[i].links.back());
+      } catch (const std::exception& e) {
+        path_status[i] = PathStatus{PathState::kFailed, e.what()};
+        fresh(shard);
       }
     }
   });
@@ -480,6 +606,8 @@ RunResult AnalysisEngine::run_resilient(const netcalc::Options& nc_options,
 
   AFDX_TRACE_SPAN("engine.run_resilient", "engine");
   RunResult result;
+  const CacheStats cache0 = cache_.stats();
+  const trajectory::PrefixCacheStats prefix0 = prefix_stats_total();
   const auto t0 = Clock::now();
   const Microseconds cpu0 = cpu_now_us();
   std::vector<PortOutcome> nc_ports;
@@ -556,8 +684,105 @@ RunResult AnalysisEngine::run_resilient(const netcalc::Options& nc_options,
   observe_phase_us("combine", elapsed_us(t2, t3));
   obs::registry().counter("engine.runs").add();
   obs::registry().counter("engine.paths").add(n);
+  metrics_.cache_run = cache_delta(cache_.stats(), cache0);
+  metrics_.prefix_run = prefix_delta(prefix_stats_total(), prefix0);
+  result.nc_options_key = PortCache::options_key(nc_options);
+  result.tj_options_key = trajectory_options_key(tj_options);
+  result.prefixes = last_prefix_cache_;
   result.metrics = metrics();
   return result;
+}
+
+RunResult AnalysisEngine::run_incremental(const TrafficConfig& baseline_config,
+                                          const RunResult& baseline,
+                                          const std::vector<LinkId>& changed_links,
+                                          const netcalc::Options& nc_options,
+                                          const trajectory::Options& tj_options,
+                                          const RunControl& control) {
+  AFDX_TRACE_SPAN("engine.run_incremental", "engine");
+  IncrementalStats inc;
+  inc.attempted = true;
+  inc.changed_links = changed_links.size();
+
+  const auto fallback = [&](std::string reason) {
+    inc.full_fallback = true;
+    inc.fallback_reason = std::move(reason);
+    metrics_.incremental = inc;
+    pending_prefix_seeds_.clear();
+    return run_resilient(nc_options, tj_options, control);
+  };
+
+  const std::uint64_t okey = PortCache::options_key(nc_options);
+  if (baseline.nc_options_key != okey) {
+    return fallback("baseline was computed under different WCNC options");
+  }
+  if (baseline.netcalc_result.ports.size() !=
+      baseline_config.network().link_count()) {
+    return fallback("baseline result does not match the baseline "
+                    "configuration");
+  }
+  const IncrementalPlan plan =
+      plan_incremental(baseline_config, cfg_, changed_links);
+  if (!plan.compatible) return fallback(plan.reason);
+  inc.dirty_ports = plan.dirty_ports.size();
+
+  // Transplant the WCNC bounds of every clean port the baseline actually
+  // computed, and drop whatever this engine may still cache for the dirty
+  // ones (defensive: entries of this engine are valid for its own fixed
+  // configuration, but a prior seed from another baseline might not be).
+  for (LinkId l : plan.clean_ports) {
+    const netcalc::PortReport& r = baseline.netcalc_result.ports[l];
+    if (!r.used) continue;
+    cache_.seed(okey, l,
+                netcalc::PortBounds{r.level_delays, r.backlog,
+                                    r.queue_backlog});
+    ++inc.seeded_ports;
+  }
+  cache_.evict(okey, plan.dirty_ports);
+
+  // Transplant trajectory prefixes whose whole upstream chain is clean --
+  // only from a baseline computed under the same trajectory options whose
+  // WCNC phase completed (otherwise its serialization caps, and therefore
+  // its prefixes, may not match what this run will derive).
+  pending_prefix_seeds_.clear();
+  bool baseline_complete =
+      baseline.prefixes != nullptr &&
+      baseline.tj_options_key == trajectory_options_key(tj_options);
+  if (baseline_complete) {
+    const std::size_t bn = baseline_config.network().link_count();
+    for (LinkId l = 0; l < bn; ++l) {
+      if (!baseline_config.vls_on_link(l).empty() &&
+          !baseline.netcalc_result.ports[l].used) {
+        baseline_complete = false;
+        break;
+      }
+    }
+  }
+  if (baseline_complete) {
+    for (VlId v = 0; v < cfg_.vl_count(); ++v) {
+      const VlId bv = plan.base_vl[v];
+      if (bv == kInvalidVl) continue;
+      const VlRoute& route = cfg_.route(v);
+      for (LinkId l : route.crossed_links()) {
+        bool chain_clean = true;
+        for (LinkId cur = l; cur != kInvalidLink;
+             cur = route.predecessor(cur)) {
+          if (plan.dirty[cur]) {
+            chain_clean = false;
+            break;
+          }
+        }
+        if (!chain_clean) continue;
+        if (const auto bound = baseline.prefixes->peek(bv, l);
+            bound.has_value()) {
+          pending_prefix_seeds_.push_back(PrefixSeed{v, l, *bound});
+        }
+      }
+    }
+  }
+  inc.seeded_prefixes = pending_prefix_seeds_.size();
+  metrics_.incremental = inc;
+  return run_resilient(nc_options, tj_options, control);
 }
 
 netcalc::Result AnalysisEngine::netcalc_only(
@@ -584,9 +809,38 @@ std::vector<Microseconds> AnalysisEngine::trajectory_only(
   return result;
 }
 
+const netcalc::PortFlowIndex& AnalysisEngine::flow_index() {
+  if (!flow_index_.has_value()) {
+    flow_index_.emplace(netcalc::build_port_flow_index(cfg_));
+  }
+  return *flow_index_;
+}
+
+std::shared_ptr<trajectory::PrefixCache> AnalysisEngine::prefix_cache_for(
+    std::uint64_t tj_key, std::uint64_t caps_sig) {
+  // One more FNV round folds the two digests into the map key.
+  const std::uint64_t key = fnv_mix(tj_key, caps_sig, 8);
+  auto& slot = prefix_caches_[key];
+  if (slot == nullptr) slot = std::make_shared<trajectory::PrefixCache>();
+  return slot;
+}
+
+trajectory::PrefixCacheStats AnalysisEngine::prefix_stats_total() const {
+  trajectory::PrefixCacheStats total;
+  for (const auto& [key, cache] : prefix_caches_) {
+    const trajectory::PrefixCacheStats s = cache->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.seeded += s.seeded;
+  }
+  return total;
+}
+
 RunMetrics AnalysisEngine::metrics() const {
   RunMetrics m = metrics_;
   m.cache = cache_.stats();
+  m.prefix = prefix_stats_total();
+  m.steals = pool_.steal_count();
   m.threads = pool_.thread_count();
   m.tasks_per_thread = pool_.tasks_per_thread();
   return m;

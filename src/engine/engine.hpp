@@ -30,6 +30,8 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +40,7 @@
 #include "engine/port_cache.hpp"
 #include "engine/thread_pool.hpp"
 #include "netcalc/netcalc_analyzer.hpp"
+#include "trajectory/prefix_cache.hpp"
 #include "trajectory/trajectory_analyzer.hpp"
 #include "vl/traffic_config.hpp"
 
@@ -47,6 +50,22 @@ struct Options {
   /// Worker threads: 1 = the legacy single-threaded path (default),
   /// 0 or negative = one per hardware thread.
   int threads = 1;
+};
+
+/// Outcome of the most recent run_incremental on an engine.
+struct IncrementalStats {
+  /// False until run_incremental is called.
+  bool attempted = false;
+  /// True when the baseline could not be reused and a full run was done.
+  bool full_fallback = false;
+  std::string fallback_reason;
+  std::size_t changed_links = 0;
+  /// Used ports inside the dirty cone (recomputed).
+  std::size_t dirty_ports = 0;
+  /// Clean used ports transplanted from the baseline.
+  std::size_t seeded_ports = 0;
+  /// Baseline trajectory prefixes transplanted into the shared cache.
+  std::size_t seeded_prefixes = 0;
 };
 
 /// Measurements of the work an engine has performed since construction.
@@ -68,6 +87,16 @@ struct RunMetrics {
   double paths_per_second = 0.0;
   /// Cumulative per-port cache statistics.
   CacheStats cache;
+  /// Per-port cache activity of the most recent run (delta of `cache`).
+  CacheStats cache_run;
+  /// Cumulative shared trajectory prefix-cache statistics (all caches of
+  /// this engine) and the most recent run's delta.
+  trajectory::PrefixCacheStats prefix;
+  trajectory::PrefixCacheStats prefix_run;
+  /// Cumulative chunks stolen by the work-stealing scheduler.
+  std::uint64_t steals = 0;
+  /// Outcome of the most recent run_incremental.
+  IncrementalStats incremental;
   int threads = 1;
   /// Cumulative scheduled work items executed per worker (ports in the
   /// WCNC phase, VL shards in the trajectory phase).
@@ -119,6 +148,13 @@ struct RunResult {
   std::vector<PathStatus> status;
   /// Full per-port WCNC detail (buffer bounds, per-class delays, ...).
   netcalc::Result netcalc_result;
+  /// Digests of the options the run was computed under -- run_incremental
+  /// validates a baseline against these before transplanting results.
+  std::uint64_t nc_options_key = 0;
+  std::uint64_t tj_options_key = 0;
+  /// The shared prefix cache the trajectory phase used (null when the
+  /// phase never ran); run_incremental reads baseline prefixes from here.
+  std::shared_ptr<const trajectory::PrefixCache> prefixes;
   /// Snapshot of the engine metrics at the end of the run.
   RunMetrics metrics;
 
@@ -146,6 +182,22 @@ class AnalysisEngine {
   /// far. Never throws on analysis errors; RunResult::status tells the
   /// story per path.
   [[nodiscard]] RunResult run_resilient(
+      const netcalc::Options& nc_options = {},
+      const trajectory::Options& tj_options = {},
+      const RunControl& control = {});
+
+  /// Incremental re-analysis against a prior run of a configuration that
+  /// shares this engine's network: only ports inside the dirty cone of
+  /// `changed_links` (plus every port whose crossing-VL set changed, and
+  /// everything downstream) are recomputed; the bounds of clean ports and
+  /// the trajectory prefixes whose whole upstream chain is clean are
+  /// transplanted from `baseline`. Bit-identical to run_resilient by
+  /// construction -- when the baseline cannot be validated (different
+  /// options, different network, ...) it silently falls back to a full
+  /// run_resilient and records the reason in metrics().incremental.
+  [[nodiscard]] RunResult run_incremental(
+      const TrafficConfig& baseline_config, const RunResult& baseline,
+      const std::vector<LinkId>& changed_links,
       const netcalc::Options& nc_options = {},
       const trajectory::Options& tj_options = {},
       const RunControl& control = {});
@@ -185,12 +237,37 @@ class AnalysisEngine {
       const std::vector<PortOutcome>& nc_ports,
       std::vector<PathStatus>& path_status);
 
+  /// The once-built flat flow index of this engine's configuration.
+  const netcalc::PortFlowIndex& flow_index();
+  /// The shared trajectory prefix cache for one (trajectory options, caps)
+  /// context, created on first use. Bounds are pure functions of that
+  /// context, so the cache persists across runs of this engine.
+  std::shared_ptr<trajectory::PrefixCache> prefix_cache_for(
+      std::uint64_t tj_key, std::uint64_t caps_sig);
+  /// Sum of the stats of every prefix cache of this engine.
+  [[nodiscard]] trajectory::PrefixCacheStats prefix_stats_total() const;
+
+  /// One baseline prefix bound queued for transplantation by the next
+  /// trajectory phase (run_incremental fills the list; the phase applies
+  /// it to the resolved cache once, then clears it).
+  struct PrefixSeed {
+    VlId vl = kInvalidVl;
+    LinkId link = kInvalidLink;
+    Microseconds bound = 0.0;
+  };
+
   const TrafficConfig& cfg_;
   ThreadPool pool_;
   PortCache cache_;
   /// Fixed-point round counts per options digest (cyclic configurations
   /// bypass the per-port cache path but still memoize their round count).
   std::unordered_map<std::uint64_t, int> iterations_;
+  std::optional<netcalc::PortFlowIndex> flow_index_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<trajectory::PrefixCache>>
+      prefix_caches_;
+  /// The cache used by the most recent trajectory phase.
+  std::shared_ptr<trajectory::PrefixCache> last_prefix_cache_;
+  std::vector<PrefixSeed> pending_prefix_seeds_;
   RunMetrics metrics_;
 };
 

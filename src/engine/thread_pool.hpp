@@ -61,6 +61,26 @@ class ThreadPool {
   [[nodiscard]] std::vector<TaskFailure> parallel_for_contained(
       std::size_t n, const std::function<void(std::size_t, int)>& body);
 
+  /// Work-stealing variant of parallel_for: every worker starts from its
+  /// static block but claims it chunk by chunk, and an idle worker steals
+  /// chunks from the BACK of the most loaded block. Which worker runs an
+  /// index is therefore scheduling-dependent -- use only when the body
+  /// writes results to per-index slots (then the outcome stays bit-exact
+  /// while imbalanced batches finish earlier). Unlike parallel_for, every
+  /// index always executes (a stolen chunk cannot be "abandoned"
+  /// deterministically); after the batch the exception raised at the
+  /// smallest index is rethrown.
+  void parallel_for_dynamic(std::size_t n,
+                            const std::function<void(std::size_t, int)>& body);
+
+  /// Containment variant of parallel_for_dynamic: per-index failures are
+  /// collected as messages and returned sorted by index, nothing rethrows.
+  [[nodiscard]] std::vector<TaskFailure> parallel_for_dynamic_contained(
+      std::size_t n, const std::function<void(std::size_t, int)>& body);
+
+  /// Cumulative number of chunks stolen across all dynamic batches.
+  [[nodiscard]] std::uint64_t steal_count() const;
+
   /// Cumulative number of indices executed per worker, since construction.
   [[nodiscard]] std::vector<std::size_t> tasks_per_thread() const;
 
@@ -80,6 +100,15 @@ class ThreadPool {
     std::exception_ptr error;
   };
 
+  /// Runs one dynamic batch to completion (all indices executed, failures
+  /// parked per worker in dyn_failures_).
+  void run_dynamic_batch(std::size_t n,
+                         const std::function<void(std::size_t, int)>& body);
+  void run_dynamic(int worker);
+  /// Hands `worker` its next chunk -- own block first, then a steal from
+  /// the back of the most loaded block. False when the batch is drained.
+  bool claim_chunk(int worker, std::size_t& begin, std::size_t& end);
+
   int threads_;
   std::vector<std::thread> workers_;
 
@@ -89,11 +118,26 @@ class ThreadPool {
   std::uint64_t batch_seq_ = 0;        // bumped per parallel_for
   const std::function<void(std::size_t, int)>* body_ = nullptr;
   std::size_t batch_n_ = 0;
+  bool dynamic_batch_ = false;         // current batch is work-stealing
   int pending_workers_ = 0;            // workers still running the batch
   bool stopping_ = false;
 
   std::vector<std::size_t> executed_;  // per worker, guarded by mu_
   std::vector<Failure> failures_;      // per worker, guarded by mu_
+
+  /// Unclaimed remainder [next, end) of a worker's block in the current
+  /// dynamic batch.
+  struct DynRange {
+    std::size_t next = 0;
+    std::size_t end = 0;
+  };
+  mutable std::mutex dyn_mu_;          // guards ranges, chunk size, steals
+  std::vector<DynRange> dyn_ranges_;
+  std::size_t dyn_chunk_ = 1;
+  std::uint64_t steals_ = 0;
+  /// Per-worker failure lists of the current dynamic batch; each worker
+  /// touches only its own slot until the batch barrier.
+  std::vector<std::vector<Failure>> dyn_failures_;
 };
 
 }  // namespace afdx::engine

@@ -34,10 +34,12 @@ void print_us(std::ostream& out, Microseconds us) {
 }
 
 /// Analyzes one scenario against the healthy baseline. `healthy_floors`
-/// are redundancy::path_floor per healthy path.
+/// are redundancy::path_floor per healthy path; a non-null `baseline`
+/// enables incremental re-analysis seeded from the healthy run.
 void analyze_one(const TrafficConfig& healthy,
                  const std::vector<Microseconds>& healthy_bounds,
                  const std::vector<Microseconds>& healthy_floors,
+                 const engine::RunResult* baseline,
                  const ScenarioOptions& options, ScenarioReport& sr) {
   AFDX_TRACE_SPAN("faults.scenario", "faults");
   obs::registry().counter("faults.scenarios_analyzed").add();
@@ -46,8 +48,15 @@ void analyze_one(const TrafficConfig& healthy,
   engine::RunResult run;
   if (view.config.has_value()) {
     engine::AnalysisEngine eng(*view.config, engine::Options{1});
-    run = eng.run_resilient(options.nc, options.tj,
-                            engine::RunControl{options.cancel});
+    if (baseline != nullptr) {
+      run = eng.run_incremental(
+          healthy, *baseline,
+          scenario_changed_links(healthy.network(), sr.scenario), options.nc,
+          options.tj, engine::RunControl{options.cancel});
+    } else {
+      run = eng.run_resilient(options.nc, options.tj,
+                              engine::RunControl{options.cancel});
+    }
   }
 
   sr.intact = view.intact;
@@ -100,6 +109,22 @@ void analyze_one(const TrafficConfig& healthy,
 
 }  // namespace
 
+std::vector<LinkId> scenario_changed_links(const Network& net,
+                                           const FaultScenario& scenario) {
+  std::vector<LinkId> changed;
+  for (LinkId l : scenario.failed_links) {
+    changed.push_back(l);
+    changed.push_back(net.reverse(l));
+  }
+  for (NodeId node : scenario.failed_nodes) {
+    for (LinkId l : net.links_from(node)) changed.push_back(l);
+    for (LinkId l : net.links_into(node)) changed.push_back(l);
+  }
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+  return changed;
+}
+
 bool DegradationReport::complete() const noexcept {
   for (const engine::PathStatus& st : healthy_status) {
     if (!st.ok()) return false;
@@ -124,10 +149,14 @@ DegradationReport analyze_scenarios(const TrafficConfig& healthy,
   // sweep -- its paths simply carry unbounded healthy figures).
   engine::AnalysisEngine healthy_engine(healthy,
                                         engine::Options{options.threads});
-  engine::RunResult healthy_run = healthy_engine.run_resilient(
+  // The run stays alive as the incremental baseline of every scenario, so
+  // the per-path figures are copied out instead of moved.
+  const engine::RunResult healthy_run = healthy_engine.run_resilient(
       options.nc, options.tj, engine::RunControl{options.cancel});
-  report.healthy = std::move(healthy_run.combined);
-  report.healthy_status = std::move(healthy_run.status);
+  report.healthy = healthy_run.combined;
+  report.healthy_status = healthy_run.status;
+  const engine::RunResult* baseline =
+      options.incremental ? &healthy_run : nullptr;
 
   std::vector<Microseconds> healthy_floors;
   healthy_floors.reserve(healthy.all_paths().size());
@@ -148,7 +177,8 @@ DegradationReport analyze_scenarios(const TrafficConfig& healthy,
               sr.skip_reason = options.cancel->reason();
               return;
             }
-            analyze_one(healthy, report.healthy, healthy_floors, options, sr);
+            analyze_one(healthy, report.healthy, healthy_floors, baseline,
+                        options, sr);
           });
   for (const engine::ThreadPool::TaskFailure& f : failures) {
     ScenarioReport& sr = report.scenarios[f.index];

@@ -41,6 +41,11 @@ struct ScenarioOptions {
   /// Worker threads; scenarios are independent, so parallelism is applied
   /// across scenarios (each scenario engine runs serially).
   int threads = 1;
+  /// Reuse the healthy run as a baseline for every scenario: only ports in
+  /// the dirty cone of the failed elements are recomputed
+  /// (engine::AnalysisEngine::run_incremental). Bit-identical to a full
+  /// per-scenario run; turn off to force full recomputation.
+  bool incremental = true;
   /// Optional cooperative cancellation / deadline shared by the healthy run
   /// and every scenario.
   const engine::CancelToken* cancel = nullptr;
@@ -96,6 +101,12 @@ struct ScenarioReport {
   double worst_inflation = 1.0;
   std::size_t worst_path = kNoPath;
 };
+
+/// Every directed link a scenario touches: the failed links, their reverse
+/// directions (cables fail whole) and every link attached to a failed
+/// node. This is the changed-link seed of the incremental dirty cone.
+[[nodiscard]] std::vector<LinkId> scenario_changed_links(
+    const Network& net, const FaultScenario& scenario);
 
 /// Healthy-vs-degraded comparison over a set of scenarios.
 struct DegradationReport {

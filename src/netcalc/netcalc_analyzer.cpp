@@ -155,6 +155,88 @@ PortBounds compute_port_bounds(const TrafficConfig& config, LinkId port,
   }
 }
 
+PortBounds compute_port_bounds(const TrafficConfig& config, LinkId port,
+                               const Options& options,
+                               const DelayTable& delays,
+                               const PortFlowIndex& index) {
+  AFDX_TRACE_SPAN("netcalc.port", "netcalc");
+  static obs::Counter& ports_computed =
+      obs::registry().counter("netcalc.ports_computed");
+  ports_computed.add();
+  const Network& net = config.network();
+  const Link& link = net.link(port);
+  const PortFlowIndex::Port& p = index.ports[port];
+
+  // Per-class grouped aggregates, ascending class order -- the flat mirror
+  // of level_aggregates_at() with the arrival curves inlined (the index
+  // stores each member's leaky-bucket parameters and upstream chain).
+  std::vector<std::pair<std::uint8_t, Curve>> level_aggregates;
+  level_aggregates.reserve(p.class_end - p.class_begin);
+  for (std::uint32_t ci = p.class_begin; ci != p.class_end; ++ci) {
+    const PortFlowIndex::ClassEntry& ce = index.classes[ci];
+    Curve aggregate;  // zero curve
+    for (std::uint32_t gi = ce.group_begin; gi != ce.group_end; ++gi) {
+      const PortFlowIndex::Group& g = index.groups[gi];
+      Curve group_curve;
+      for (std::uint32_t mi = g.member_begin; mi != g.member_end; ++mi) {
+        const PortFlowIndex::Member& mb = index.members[mi];
+        Microseconds acc = 0.0;
+        for (std::uint32_t k = mb.chain_begin; k != mb.chain_end; ++k) {
+          const LinkId up = index.chains[k];
+          if (delays.has(up, ce.cls)) acc += delays.get(up, ce.cls);
+        }
+        const Microseconds total_jitter = mb.release_jitter + acc;
+        group_curve = minplus::sum(
+            group_curve,
+            Curve::affine(mb.burst + mb.rate * total_jitter, mb.rate));
+      }
+      if (options.grouping && g.pred != kInvalidLink &&
+          g.member_end - g.member_begin >= 2) {
+        group_curve = minplus::minimum(
+            group_curve,
+            Curve::affine(g.largest_frame, net.link(g.pred).rate));
+      }
+      aggregate = minplus::sum(aggregate, group_curve);
+    }
+    level_aggregates.emplace_back(ce.cls, std::move(aggregate));
+  }
+
+  Curve total_aggregate;
+  for (const auto& [level, aggregate] : level_aggregates) {
+    total_aggregate = minplus::sum(total_aggregate, aggregate);
+  }
+
+  const Curve beta = Curve::rate_latency(link.rate, link.latency);
+  const Curve pure_rate = Curve::rate_latency(link.rate, 0.0);
+  try {
+    PortBounds bounds;
+    bounds.backlog =
+        minplus::vertical_deviation(total_aggregate, beta) + p.max_frame;
+    bounds.queue_backlog =
+        minplus::vertical_deviation(total_aggregate, pure_rate);
+
+    Curve higher;  // zero curve
+    const bool only_class = level_aggregates.size() == 1;
+    for (std::size_t idx = 0; idx < level_aggregates.size(); ++idx) {
+      const PortFlowIndex::ClassEntry& ce =
+          index.classes[p.class_begin + idx];
+      const Curve service =
+          only_class
+              ? beta
+              : minplus::residual_service(beta, higher, ce.lower_blocking);
+      bounds.level_delays[level_aggregates[idx].first] =
+          minplus::horizontal_deviation(level_aggregates[idx].second, service);
+      higher = minplus::sum(higher, level_aggregates[idx].second);
+    }
+    return bounds;
+  } catch (const Error&) {
+    throw Error("WCNC: unstable output port " +
+                net.node(link.source).name + " -> " +
+                net.node(link.dest).name + " (utilization " +
+                std::to_string(config.utilization(port)) + ")");
+  }
+}
+
 std::optional<std::vector<std::vector<LinkId>>> propagation_levels(
     const TrafficConfig& config) {
   const std::size_t n = config.network().link_count();
@@ -229,6 +311,22 @@ std::vector<Microseconds> path_bounds_from(
   return out;
 }
 
+std::vector<Microseconds> path_bounds_from(const TrafficConfig& config,
+                                           const DelayTable& delays) {
+  std::vector<Microseconds> out;
+  out.reserve(config.all_paths().size());
+  for (const VlPath& p : config.all_paths()) {
+    const std::uint8_t level = config.vl(p.vl).priority;
+    Microseconds total = 0.0;
+    for (LinkId l : p.links) {
+      AFDX_ASSERT(delays.has(l, level), "missing level delay");
+      total += delays.get(l, level);
+    }
+    out.push_back(total);
+  }
+  return out;
+}
+
 minplus::Curve arrival_curve_at(
     const TrafficConfig& config, VlId vl, LinkId port,
     const std::vector<std::map<std::uint8_t, Microseconds>>& port_delays) {
@@ -281,21 +379,25 @@ Result analyze(const TrafficConfig& config, const Options& options) {
 
   Result result;
   result.ports.assign(n_links, PortReport{});
-  std::vector<LevelDelays> delays(n_links);
 
   const auto levels = propagation_levels(config);
   if (levels.has_value()) {
-    // Feed-forward: one pass in dependency order is exact.
+    // Feed-forward: one pass in dependency order is exact. The flat delay
+    // table and the once-built flow index carry the hot per-port loop.
+    DelayTable flat(config);
+    const PortFlowIndex index = build_port_flow_index(config);
     for (const std::vector<LinkId>& level : *levels) {
       for (LinkId port : level) {
         const PortBounds b =
-            compute_port_bounds(config, port, options, delays);
-        delays[port] = b.level_delays;
+            compute_port_bounds(config, port, options, flat, index);
+        flat.assign(port, b.level_delays);
         result.ports[port] = make_report(b, config.utilization(port));
       }
     }
     result.iterations = 1;
+    result.path_bounds = path_bounds_from(config, flat);
   } else {
+    std::vector<LevelDelays> delays(n_links);
     // Cyclic dependencies: monotone fixed point from below. Delays only
     // grow between rounds; stop when stationary.
     std::vector<LinkId> used_ports;
@@ -325,9 +427,9 @@ Result analyze(const TrafficConfig& config, const Options& options) {
                  "WCNC: fixed point did not converge (cyclic configuration "
                  "too heavily loaded)");
     result.iterations = round + 1;
+    result.path_bounds = path_bounds_from(config, delays);
   }
 
-  result.path_bounds = path_bounds_from(config, delays);
   return result;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "minplus/curve.hpp"
+#include "netcalc/flow_index.hpp"
 #include "vl/traffic_config.hpp"
 
 namespace afdx::netcalc {
@@ -99,6 +100,16 @@ struct PortBounds {
     const TrafficConfig& config, LinkId port, const Options& options,
     const std::vector<std::map<std::uint8_t, Microseconds>>& port_delays);
 
+/// Flat-table overload of the per-port computation: same bounds, bit for
+/// bit (the index fixes the original aggregation order), without the
+/// per-call partition rebuild and per-upstream-port map lookups. This is
+/// the hot-path variant used by analyze() and the parallel engine.
+[[nodiscard]] PortBounds compute_port_bounds(const TrafficConfig& config,
+                                             LinkId port,
+                                             const Options& options,
+                                             const DelayTable& delays,
+                                             const PortFlowIndex& index);
+
 /// Expands computed bounds into the public per-port report.
 [[nodiscard]] PortReport make_report(const PortBounds& bounds,
                                      double utilization);
@@ -117,6 +128,10 @@ propagation_levels(const TrafficConfig& config);
 [[nodiscard]] std::vector<Microseconds> path_bounds_from(
     const TrafficConfig& config,
     const std::vector<std::map<std::uint8_t, Microseconds>>& port_delays);
+
+/// Flat-table overload of the path assembly.
+[[nodiscard]] std::vector<Microseconds> path_bounds_from(
+    const TrafficConfig& config, const DelayTable& delays);
 
 /// The arrival curve of VL `vl` when it reaches port `port`, given the
 /// already-known per-priority-class delays of upstream ports. Exposed for

@@ -1,0 +1,57 @@
+#include "trajectory/prefix_cache.hpp"
+
+#include "obs/counters.hpp"
+
+namespace afdx::trajectory {
+
+std::optional<Microseconds> PrefixCache::lookup(VlId vl, LinkId link) {
+  // Process-wide counters for the observability registry, on top of the
+  // per-cache stats that feed the engine's RunMetrics.
+  static obs::Counter& hits =
+      obs::registry().counter("trajectory.prefix_cache.hits");
+  static obs::Counter& misses =
+      obs::registry().counter("trajectory.prefix_cache.misses");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key(vl, link));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    misses.add();
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  hits.add();
+  return it->second;
+}
+
+void PrefixCache::store(VlId vl, LinkId link, Microseconds bound) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace(key(vl, link), bound);
+}
+
+void PrefixCache::seed(VlId vl, LinkId link, Microseconds bound) {
+  static obs::Counter& seeded =
+      obs::registry().counter("trajectory.prefix_cache.seeded");
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key(vl, link)] = bound;
+  ++stats_.seeded;
+  seeded.add();
+}
+
+std::optional<Microseconds> PrefixCache::peek(VlId vl, LinkId link) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key(vl, link));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+PrefixCacheStats PrefixCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t PrefixCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace afdx::trajectory

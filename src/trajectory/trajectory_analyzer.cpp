@@ -8,6 +8,7 @@
 #include "netcalc/netcalc_analyzer.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "trajectory/prefix_cache.hpp"
 
 namespace afdx::trajectory {
 
@@ -75,6 +76,10 @@ const std::vector<Microseconds>& Analyzer::backlog_caps() {
 }
 
 Microseconds Analyzer::min_arrival_at(VlId vl, LinkId link) const {
+  const std::uint64_t k = key(vl, link);
+  if (auto it = min_arrival_memo_.find(k); it != min_arrival_memo_.end()) {
+    return it->second;
+  }
   const VlRoute& route = cfg_.route(vl);
   AFDX_REQUIRE(route.crosses(link), "min_arrival_at: VL does not cross link");
   // Walk the unique tree prefix backwards: each earlier node adds its
@@ -88,7 +93,27 @@ Microseconds Analyzer::min_arrival_at(VlId vl, LinkId link) const {
     acc += cfg_.network().link(cur).latency;
     cur = pred;
   }
+  min_arrival_memo_.emplace(k, acc);
   return acc;
+}
+
+const std::vector<std::vector<Analyzer::FlowAtLink>>& Analyzer::flow_table() {
+  if (!flows_.has_value()) {
+    const Network& net = cfg_.network();
+    flows_.emplace(net.link_count());
+    for (LinkId l = 0; l < net.link_count(); ++l) {
+      const std::vector<VlId>& crossing = cfg_.vls_on_link(l);
+      std::vector<FlowAtLink>& out = (*flows_)[l];
+      out.reserve(crossing.size());
+      for (VlId j : crossing) {
+        const VirtualLink& v = cfg_.vl(j);
+        out.push_back(FlowAtLink{j, cfg_.route(j).predecessor(l),
+                                 v.max_transmission_time(net.link(l).rate),
+                                 v.bag, v.max_release_jitter});
+      }
+    }
+  }
+  return *flows_;
 }
 
 Microseconds Analyzer::max_arrival_at(VlId vl, LinkId link) {
@@ -102,6 +127,12 @@ Microseconds Analyzer::max_arrival_at(VlId vl, LinkId link) {
 Microseconds Analyzer::bound_to_link(VlId vl, LinkId link) {
   const std::uint64_t k = key(vl, link);
   if (auto it = memo_.find(k); it != memo_.end()) return it->second;
+  if (shared_ != nullptr) {
+    if (const auto cached = shared_->lookup(vl, link); cached.has_value()) {
+      memo_.emplace(k, *cached);
+      return *cached;
+    }
+  }
   AFDX_REQUIRE(in_progress_.insert(k).second,
                "trajectory: cyclic prefix dependency involving VL " +
                    cfg_.vl(vl).name +
@@ -110,6 +141,7 @@ Microseconds Analyzer::bound_to_link(VlId vl, LinkId link) {
   const Microseconds bound = compute_prefix(vl, link);
   in_progress_.erase(k);
   memo_.emplace(k, bound);
+  if (shared_ != nullptr) shared_->store(vl, link, bound);
   return bound;
 }
 
@@ -134,6 +166,11 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
     return cfg_.vl(j).max_transmission_time(net.link(l).rate);
   };
 
+  // Per-link precomputed flow rows (predecessor, C_j, BAG, jitter) -- the
+  // segment-construction loop below is the analyzer's second-hottest spot
+  // after response(), and route/hash lookups dominated it.
+  const std::vector<std::vector<FlowAtLink>>& flows = flow_table();
+
   // --- Interference segments -------------------------------------------------
   // A flow j contributes one term per maximal run of consecutive shared
   // nodes; the run is "consecutive" only when j actually travels along i's
@@ -145,8 +182,12 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
   };
   std::vector<Segment> segments;
   std::size_t own_segment = 0;  // index of i's own (first) segment
-  // Open segment per flow: index into `segments`, and last covered node.
-  std::map<VlId, std::pair<std::size_t, std::size_t>> open;
+  // Open segment per flow, indexed by VlId: index into `segments`, and last
+  // covered node. Locals (not instance scratch) on purpose: bound_to_link
+  // re-enters compute_prefix while this frame is mid-construction.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> open_seg(cfg_.vl_count(), kNone);
+  std::vector<std::size_t> open_last(cfg_.vl_count(), 0);
 
   // Segments grouped by their starting node (for the FIFO backlog caps) and
   // by (starting node, input link) (for the simultaneity surcharge of the
@@ -157,29 +198,31 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
     Microseconds max_c = 0.0;
     int members = 0;
   };
+  // Only the non-serialized variant reads the groups (surcharge below).
   std::map<std::pair<std::size_t, LinkId>, LinkGroup> link_groups;
 
   for (std::size_t idx = 0; idx < m; ++idx) {
     const LinkId lk = sub[idx];
-    for (VlId j : cfg_.vls_on_link(lk)) {
-      auto it = open.find(j);
-      const LinkId pred_j = cfg_.route(j).predecessor(lk);
-      if (it != open.end() && idx > 0 && it->second.second == idx - 1 &&
+    const Microseconds latency_lk = net.link(lk).latency;
+    for (const FlowAtLink& f : flows[lk]) {
+      const VlId j = f.id;
+      const LinkId pred_j = f.pred;
+      if (open_seg[j] != kNone && idx > 0 && open_last[j] == idx - 1 &&
           pred_j == sub[idx - 1]) {
         // j keeps travelling along i's path: extend its segment.
-        Segment& seg = segments[it->second.first];
-        seg.c = std::max(seg.c, c_of(j, lk));
-        it->second.second = idx;
+        Segment& seg = segments[open_seg[j]];
+        seg.c = std::max(seg.c, f.c);
+        open_last[j] = idx;
         continue;
       }
       // New segment starting at node lk. The arrival window of j at this
       // node is widened by its source release jitter plus the spread
       // between its best- and worst-case prefix traversal.
       const Microseconds max_arr_j =
-          cfg_.vl(j).max_release_jitter +
+          f.release_jitter +
           ((pred_j == kInvalidLink)
                ? 0.0
-               : bound_to_link(j, pred_j) + net.link(lk).latency);
+               : bound_to_link(j, pred_j) + latency_lk);
       const Microseconds jitter_j = max_arr_j - min_arrival_at(j, lk);
       Microseconds jitter_i = 0.0;
       if (j != i || idx > 0) {
@@ -188,22 +231,23 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
         // window.
         const Microseconds max_arr_i =
             (idx == 0) ? 0.0
-                       : bound_to_link(i, sub[idx - 1]) + net.link(lk).latency;
+                       : bound_to_link(i, sub[idx - 1]) + latency_lk;
         jitter_i = max_arr_i - min_arrival_at(i, lk);
       }
       Segment seg;
       seg.a = jitter_j + jitter_i;
-      seg.c = c_of(j, lk);
-      seg.period = cfg_.vl(j).bag;
+      seg.c = f.c;
+      seg.period = f.period;
       segments.push_back(seg);
-      open[j] = {segments.size() - 1, idx};
+      open_seg[j] = segments.size() - 1;
+      open_last[j] = idx;
 
       if (j == i && idx == 0) {
         own_segment = segments.size() - 1;
         continue;
       }
       node_first_met[idx].push_back(segments.size() - 1);
-      if (pred_j != kInvalidLink) {
+      if (!opt_.serialization && pred_j != kInvalidLink) {
         LinkGroup& g = link_groups[{idx, pred_j}];
         g.sum_c += seg.c;
         g.max_c = std::max(g.max_c, seg.c);
@@ -221,16 +265,15 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
   for (std::size_t idx = 1; idx < m; ++idx) {
     const LinkId lk = sub[idx];
     Microseconds biggest = 0.0;
-    for (VlId j : cfg_.vls_on_link(lk)) {
+    for (const FlowAtLink& f : flows[lk]) {
       // The boundary packet closes the busy period of node idx-1 and opens
       // the one of node idx, so it physically travels that transition;
       // only flows routed through it qualify (always at least flow i).
       // The loose variant keeps the paper's wording: any VL met in the node.
-      if (!opt_.loose_boundary_packet &&
-          cfg_.route(j).predecessor(lk) != sub[idx - 1]) {
+      if (!opt_.loose_boundary_packet && f.pred != sub[idx - 1]) {
         continue;
       }
-      biggest = std::max(biggest, c_of(j, lk));
+      biggest = std::max(biggest, f.c);
     }
     delta_sum += biggest;
     latency_sum += net.link(lk).latency;
@@ -255,20 +298,42 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
   // queued in front of the packet than the port's worst-case FIFO backlog.
   const std::vector<Microseconds>& caps = backlog_caps();
 
+  // Flatten the per-node segment lists into one contiguous array (same
+  // node-by-node summation order, so the bound is arithmetic-identical) --
+  // response() below is evaluated O(candidates x busy rounds) times and
+  // dominates the whole analysis. Capping by +infinity is exact, which
+  // makes the serialization branch loop-invariant.
+  struct Flat {
+    Microseconds a = 0.0;
+    Microseconds c = 0.0;
+    Microseconds period = 0.0;
+  };
+  std::vector<Flat> flat;
+  flat.reserve(segments.size());
+  std::vector<std::pair<std::size_t, std::size_t>> node_range(m);
+  std::vector<Microseconds> node_cap(m);
+  for (std::size_t idx = 0; idx < m; ++idx) {
+    node_range[idx].first = flat.size();
+    for (std::size_t s : node_first_met[idx]) {
+      flat.push_back(Flat{segments[s].a, segments[s].c, segments[s].period});
+    }
+    node_range[idx].second = flat.size();
+    node_cap[idx] = opt_.serialization
+                        ? caps[sub[idx]]
+                        : std::numeric_limits<Microseconds>::infinity();
+  }
+  const Flat own{segments[own_segment].a, segments[own_segment].c,
+                 segments[own_segment].period};
+
   auto response = [&](Microseconds t) {
-    Microseconds w =
-        frame_count(t, segments[own_segment].a, segments[own_segment].period) *
-        segments[own_segment].c;
+    Microseconds w = frame_count(t, own.a, own.period) * own.c;
     for (std::size_t idx = 0; idx < m; ++idx) {
       Microseconds node_sum = 0.0;
-      for (std::size_t s : node_first_met[idx]) {
-        node_sum += frame_count(t, segments[s].a, segments[s].period) *
-                    segments[s].c;
+      for (std::size_t s = node_range[idx].first; s < node_range[idx].second;
+           ++s) {
+        node_sum += frame_count(t, flat[s].a, flat[s].period) * flat[s].c;
       }
-      if (opt_.serialization) {
-        node_sum = std::min(node_sum, caps[sub[idx]]);
-      }
-      w += node_sum;
+      w += std::min(node_sum, node_cap[idx]);
     }
     return w + consts - t;
   };
@@ -298,14 +363,65 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
 
   // --- Maximize over the candidate generation instants ------------------------
   // R(t) decreases with slope -1 between frame-count jumps (the caps are
-  // constants), so the max is attained at t = 0 or at a jump.
-  Microseconds best = response(0.0);
+  // constants), so the max is attained at t = 0 or at a jump. Segments with
+  // equal (BAG, A) generate bitwise-equal jump instants, so deduplicating
+  // the sorted candidates drops repeat evaluations without changing the
+  // maximum (max over the same value set is order-free).
+  std::vector<Microseconds> candidates;
   for (const Segment& s : segments) {
     for (int k = 1;; ++k) {
       const Microseconds t = k * s.period - s.a;
       if (t > busy + kEpsilon) break;
-      if (t >= 0.0) best = std::max(best, response(t));
+      if (t >= 0.0) candidates.push_back(t);
     }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  Microseconds best = response(0.0);
+
+  // Two exact prunings of the ascending sweep, both resting on
+  // frame_count being nondecreasing in t (floating-point rounding is
+  // monotone, so the property survives fl arithmetic):
+  //  - once a node's sum reaches its cap it stays capped, and min() would
+  //    return exactly node_cap from then on -- stop re-summing the node;
+  //  - the workload w(t) + consts never exceeds its value at the largest
+  //    admissible t, so when that envelope minus t can no longer beat
+  //    `best`, neither can any later candidate.
+  const Microseconds t_max = busy + kEpsilon;
+  Microseconds w_max = frame_count(t_max, own.a, own.period) * own.c;
+  for (std::size_t idx = 0; idx < m; ++idx) {
+    Microseconds node_sum = 0.0;
+    for (std::size_t s = node_range[idx].first; s < node_range[idx].second;
+         ++s) {
+      node_sum += frame_count(t_max, flat[s].a, flat[s].period) * flat[s].c;
+    }
+    w_max += std::min(node_sum, node_cap[idx]);
+  }
+  const Microseconds envelope = w_max + consts;
+
+  std::vector<char> saturated(m, 0);
+  for (const Microseconds t : candidates) {
+    if (envelope - t <= best) break;
+    Microseconds w = frame_count(t, own.a, own.period) * own.c;
+    for (std::size_t idx = 0; idx < m; ++idx) {
+      if (saturated[idx]) {
+        w += node_cap[idx];
+        continue;
+      }
+      Microseconds node_sum = 0.0;
+      for (std::size_t s = node_range[idx].first; s < node_range[idx].second;
+           ++s) {
+        node_sum += frame_count(t, flat[s].a, flat[s].period) * flat[s].c;
+      }
+      if (node_sum >= node_cap[idx]) {
+        saturated[idx] = 1;
+        w += node_cap[idx];
+      } else {
+        w += node_sum;
+      }
+    }
+    best = std::max(best, w + consts - t);
   }
 
   // The bound can never beat the jitter-free store-and-forward traversal.

@@ -51,6 +51,8 @@
 
 namespace afdx::trajectory {
 
+class PrefixCache;
+
 struct Options {
   /// Apply the serialization (grouping) refinement. When false, the
   /// historical simultaneous-arrival worst case is used instead.
@@ -105,8 +107,29 @@ class Analyzer {
   /// shard-local analyzers this way instead of recomputing it per thread.
   void set_backlog_caps(std::vector<Microseconds> caps);
 
+  /// Attaches a shared prefix cache (thread-safe, owned by the caller,
+  /// must outlive the analyzer). Prefix bounds are looked up there after
+  /// the instance-local memo misses, and every freshly computed bound is
+  /// published back. The caller guarantees every attached analyzer runs
+  /// the same (configuration, options, caps) -- the bounds are pure
+  /// functions of that triple, so sharing never changes a result.
+  void set_prefix_cache(PrefixCache* cache) noexcept { shared_ = cache; }
+
  private:
+  /// Per-link precomputation of the crossing flows: predecessor link,
+  /// largest-frame transmission time at the link's rate, BAG and release
+  /// jitter, in vls_on_link order. Built once per instance; removes the
+  /// per-prefix route/hash lookups from the segment-construction loop.
+  struct FlowAtLink {
+    VlId id = kInvalidVl;
+    LinkId pred = kInvalidLink;
+    Microseconds c = 0.0;
+    Microseconds period = 0.0;
+    Microseconds release_jitter = 0.0;
+  };
+
   Microseconds compute_prefix(VlId vl, LinkId last);
+  const std::vector<std::vector<FlowAtLink>>& flow_table();
 
   /// Worst-case FIFO backlog of every used port, in time units at the
   /// port's rate (the serialization caps). Computed lazily from the
@@ -123,6 +146,11 @@ class Analyzer {
   std::unordered_map<std::uint64_t, Microseconds> memo_;
   std::unordered_set<std::uint64_t> in_progress_;
   std::optional<std::vector<Microseconds>> backlog_caps_;
+  std::optional<std::vector<std::vector<FlowAtLink>>> flows_;
+  /// Memoized min_arrival_at values (each first computed with the exact
+  /// chain-walk summation, so memoization cannot perturb a bound).
+  mutable std::unordered_map<std::uint64_t, Microseconds> min_arrival_memo_;
+  PrefixCache* shared_ = nullptr;
 };
 
 /// One-shot convenience wrapper.

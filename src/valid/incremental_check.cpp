@@ -1,0 +1,133 @@
+#include "valid/incremental_check.hpp"
+
+#include <cstring>
+#include <random>
+#include <sstream>
+#include <utility>
+
+#include "faults/degrade.hpp"
+#include "faults/report.hpp"
+#include "faults/scenario.hpp"
+
+namespace afdx::valid {
+
+namespace {
+
+/// Bitwise equality: inf == inf, NaN payloads included, and -- unlike
+/// operator== -- no tolerance whatsoever.
+bool same_bits(double a, double b) noexcept {
+  std::uint64_t ba = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+void compare_runs(const std::string& label, const engine::RunResult& full,
+                  const engine::RunResult& incremental,
+                  IncrementalDiffResult& result) {
+  const auto diff_vector = [&](const char* field,
+                               const std::vector<Microseconds>& a,
+                               const std::vector<Microseconds>& b) {
+    if (a.size() != b.size()) {
+      result.mismatches.push_back(IncrementalMismatch{
+          label, std::string(field) + "(size)", 0,
+          static_cast<double>(a.size()), static_cast<double>(b.size())});
+      return;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ++result.values_compared;
+      if (!same_bits(a[i], b[i])) {
+        result.mismatches.push_back(
+            IncrementalMismatch{label, field, i, a[i], b[i]});
+      }
+    }
+  };
+  diff_vector("wcnc", full.netcalc, incremental.netcalc);
+  diff_vector("trajectory", full.trajectory, incremental.trajectory);
+  diff_vector("combined", full.combined, incremental.combined);
+  const std::size_t n = std::min(full.status.size(),
+                                 incremental.status.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ++result.values_compared;
+    if (full.status[i].state != incremental.status[i].state) {
+      result.mismatches.push_back(IncrementalMismatch{
+          label, "state", i,
+          static_cast<double>(static_cast<int>(full.status[i].state)),
+          static_cast<double>(
+              static_cast<int>(incremental.status[i].state))});
+    }
+  }
+}
+
+}  // namespace
+
+std::string IncrementalMismatch::describe() const {
+  std::ostringstream out;
+  out << "scenario '" << scenario << "': " << field << "[" << index
+      << "] full=" << full << " incremental=" << incremental;
+  return out.str();
+}
+
+IncrementalDiffResult check_incremental_diff(
+    const TrafficConfig& config, const IncrementalDiffOptions& options) {
+  IncrementalDiffResult result;
+
+  // Scenario set: every used cable, every used switch, plus random
+  // multi-cable sets drawn from the cable sweep.
+  std::vector<faults::FaultScenario> scenarios =
+      faults::single_link_scenarios(config);
+  const std::size_t cables = scenarios.size();
+  if (options.switches) {
+    for (auto& s : faults::single_switch_scenarios(config)) {
+      scenarios.push_back(std::move(s));
+    }
+  }
+  if (cables > 0) {
+    std::mt19937_64 rng(options.seed);
+    for (std::size_t r = 0; r < options.random_scenarios; ++r) {
+      faults::FaultScenario multi;
+      multi.name = "random#" + std::to_string(r);
+      const std::size_t k = 1 + rng() % 3;
+      for (std::size_t j = 0; j < k; ++j) {
+        const faults::FaultScenario& pick = scenarios[rng() % cables];
+        faults::add_failed_cable(config.network(), multi,
+                                 pick.failed_links.front());
+      }
+      scenarios.push_back(std::move(multi));
+    }
+  }
+
+  // Healthy baseline the incremental runs transplant from.
+  engine::AnalysisEngine healthy_engine(config, engine::Options{1});
+  const engine::RunResult baseline =
+      healthy_engine.run_resilient(options.nc, options.tj);
+
+  for (const faults::FaultScenario& scenario : scenarios) {
+    const faults::DegradedView view = faults::apply_scenario(config, scenario);
+    if (!view.config.has_value()) {
+      ++result.scenarios_empty;
+      continue;
+    }
+
+    engine::AnalysisEngine full_engine(*view.config, engine::Options{1});
+    const engine::RunResult full =
+        full_engine.run_resilient(options.nc, options.tj);
+
+    engine::AnalysisEngine inc_engine(*view.config, engine::Options{1});
+    const engine::RunResult incremental = inc_engine.run_incremental(
+        config, baseline,
+        faults::scenario_changed_links(config.network(), scenario),
+        options.nc, options.tj);
+    const engine::IncrementalStats stats = inc_engine.metrics().incremental;
+    if (stats.full_fallback) ++result.full_fallbacks;
+    result.seeded_ports += stats.seeded_ports;
+    result.seeded_prefixes += stats.seeded_prefixes;
+
+    compare_runs(scenario.name, full, incremental, result);
+    ++result.scenarios_checked;
+  }
+  return result;
+}
+
+}  // namespace afdx::valid

@@ -1,0 +1,79 @@
+// Differential validation of incremental re-analysis.
+//
+// run_incremental's whole value proposition is "bit-identical to a full
+// run, much cheaper". check_incremental_diff() puts that claim under
+// test: for every fault scenario of a configuration (each single cable,
+// each single switch, plus randomly drawn multi-cable sets), it analyzes
+// the degraded view twice -- once from scratch with run_resilient and
+// once with run_incremental seeded from the healthy baseline -- and
+// compares every per-path WCNC, trajectory and combined bound *bitwise*
+// (plus the per-path outcome states). Any difference, down to the last
+// ulp, is a reported mismatch: the dirty-cone computation transplants
+// baseline values verbatim, so even rounding-level drift means the cone
+// was drawn too small.
+//
+// afdx_fuzz --mode=incremental-diff sweeps this check over the campaign
+// grid's generated configurations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "vl/traffic_config.hpp"
+
+namespace afdx::valid {
+
+struct IncrementalDiffOptions {
+  netcalc::Options nc;
+  trajectory::Options tj;
+  /// Randomly drawn multi-cable scenarios (1..3 cables each) on top of the
+  /// exhaustive single-link / single-switch sweeps.
+  std::size_t random_scenarios = 8;
+  std::uint64_t seed = 1;
+  /// Include the exhaustive single-switch sweep (single links are always
+  /// covered).
+  bool switches = true;
+};
+
+/// One value that differed between the full and the incremental run.
+struct IncrementalMismatch {
+  /// Scenario label ("link e1-S1", "random#3", ...).
+  std::string scenario;
+  /// "wcnc", "trajectory", "combined" or "state".
+  std::string field;
+  /// Degraded path index the difference occurred at.
+  std::size_t index = 0;
+  double full = 0.0;
+  double incremental = 0.0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct IncrementalDiffResult {
+  std::size_t scenarios_checked = 0;
+  /// Scenarios that removed every VL (nothing to analyze) -- counted, not
+  /// checked.
+  std::size_t scenarios_empty = 0;
+  /// Per-path bound/state comparisons performed.
+  std::size_t values_compared = 0;
+  /// Incremental runs that fell back to a full recompute (baseline
+  /// rejected) -- still compared, but worth surfacing: a fallback on every
+  /// scenario means the fast path never ran.
+  std::size_t full_fallbacks = 0;
+  /// Ports/prefixes transplanted across all scenarios (fast-path
+  /// evidence).
+  std::size_t seeded_ports = 0;
+  std::size_t seeded_prefixes = 0;
+  std::vector<IncrementalMismatch> mismatches;
+
+  [[nodiscard]] bool ok() const noexcept { return mismatches.empty(); }
+};
+
+/// Runs the full-vs-incremental differential over every fault scenario of
+/// `config`. Deterministic for a given (config, options).
+[[nodiscard]] IncrementalDiffResult check_incremental_diff(
+    const TrafficConfig& config, const IncrementalDiffOptions& options = {});
+
+}  // namespace afdx::valid

@@ -15,8 +15,12 @@
 #include "analysis/comparison.hpp"
 #include "common/error.hpp"
 #include "config/samples.hpp"
+#include "engine/incremental.hpp"
 #include "engine/port_cache.hpp"
 #include "engine/thread_pool.hpp"
+#include "faults/degrade.hpp"
+#include "faults/report.hpp"
+#include "faults/scenario.hpp"
 #include "gen/industrial.hpp"
 #include "netcalc/netcalc_analyzer.hpp"
 #include "trajectory/trajectory_analyzer.hpp"
@@ -548,6 +552,282 @@ TEST(Engine, MetricsStayFiniteOnEmptyConfig) {
   eng.metrics().print(out);
   EXPECT_EQ(out.str().find("nan"), std::string::npos);
   EXPECT_EQ(out.str().find("inf"), std::string::npos);
+}
+
+TEST(ThreadPool, DynamicRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for_dynamic(counts.size(),
+                            [&](std::size_t i, int) { ++counts[i]; });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+  const auto tasks = pool.tasks_per_thread();
+  EXPECT_EQ(std::accumulate(tasks.begin(), tasks.end(), std::size_t{0}),
+            counts.size());
+}
+
+TEST(ThreadPool, DynamicRethrowsSmallestIndexFailure) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for_dynamic(100, [&](std::size_t i, int) {
+      if (i >= 10) throw Error("fail at " + std::to_string(i));
+    });
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    // Unlike the static loop, every index still executes; the smallest
+    // failing one must win regardless of which worker (or thief) ran it.
+    EXPECT_STREQ(e.what(), "fail at 10");
+  }
+}
+
+TEST(ThreadPool, DynamicContainedCollectsSortedFailures) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> counts(60);
+  const auto failures = pool.parallel_for_dynamic_contained(
+      counts.size(), [&](std::size_t i, int) {
+        ++counts[i];
+        if (i % 20 == 7) throw Error("boom " + std::to_string(i));
+      });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+  ASSERT_EQ(failures.size(), 3u);
+  EXPECT_EQ(failures[0].index, 7u);
+  EXPECT_EQ(failures[1].index, 27u);
+  EXPECT_EQ(failures[2].index, 47u);
+  EXPECT_EQ(failures[0].message, "boom 7");
+}
+
+TEST(ThreadPool, DynamicStealsFromABlockedWorker) {
+  // n = 20 with 2 workers gives chunk size 1, so once worker 0 parks
+  // inside index 0, every other index of its half must be stolen by
+  // worker 1 before the wait below can complete.
+  ThreadPool pool(2);
+  const std::uint64_t steals_before = pool.steal_count();
+  std::atomic<int> done{0};
+  pool.parallel_for_dynamic(20, [&](std::size_t i, int) {
+    if (i == 0) {
+      while (done.load() < 19) std::this_thread::yield();
+    } else {
+      ++done;
+    }
+  });
+  EXPECT_EQ(done.load(), 19);
+  EXPECT_GT(pool.steal_count(), steals_before);
+}
+
+TEST(ThreadPool, DynamicSingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for_dynamic(10,
+                            [&](std::size_t i, int w) {
+                              EXPECT_EQ(w, 0);
+                              order.push_back(static_cast<int>(i));
+                            });
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(pool.steal_count(), 0u);
+}
+
+TEST(PortCache, SeedStoresAndOverwrites) {
+  PortCache cache;
+  netcalc::PortBounds a;
+  a.backlog = 1.0;
+  netcalc::PortBounds b;
+  b.backlog = 2.0;
+  cache.store(7, 0, a);
+  cache.seed(7, 0, b);  // seed overwrites, unlike store
+  cache.seed(7, 1, a);
+  const auto hit = cache.lookup(7, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->backlog, 2.0);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.seeded, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PortCache, EvictCountsOnlyExistingEntries) {
+  PortCache cache;
+  netcalc::PortBounds b;
+  cache.store(7, 0, b);
+  cache.store(7, 1, b);
+  cache.store(8, 0, b);
+  cache.evict(7, {0, 1, 2});  // 2 was never stored
+  EXPECT_EQ(cache.stats().evicted, 2u);
+  EXPECT_FALSE(cache.lookup(7, 0).has_value());
+  EXPECT_FALSE(cache.lookup(7, 1).has_value());
+  EXPECT_TRUE(cache.lookup(8, 0).has_value());  // other key untouched
+}
+
+// Strict bitwise comparison of two runs, including per-path outcomes.
+void expect_runs_identical(const RunResult& a, const RunResult& b) {
+  expect_identical(a.netcalc, b.netcalc);
+  expect_identical(a.trajectory, b.trajectory);
+  expect_identical(a.combined, b.combined);
+  ASSERT_EQ(a.status.size(), b.status.size());
+  for (std::size_t i = 0; i < a.status.size(); ++i) {
+    EXPECT_EQ(a.status[i].state, b.status[i].state) << "path " << i;
+  }
+}
+
+/// Runs every single-link and single-switch scenario of `cfg` through both
+/// a full run and an incremental run seeded from the healthy baseline.
+void check_incremental_on_all_scenarios(const TrafficConfig& cfg) {
+  AnalysisEngine healthy(cfg, Options{1});
+  const RunResult baseline = healthy.run_resilient();
+
+  std::vector<faults::FaultScenario> scenarios =
+      faults::single_link_scenarios(cfg);
+  for (auto& s : faults::single_switch_scenarios(cfg)) {
+    scenarios.push_back(std::move(s));
+  }
+  ASSERT_FALSE(scenarios.empty());
+
+  std::size_t fast_path_runs = 0;
+  for (const faults::FaultScenario& scenario : scenarios) {
+    const faults::DegradedView view = faults::apply_scenario(cfg, scenario);
+    if (!view.config.has_value()) continue;
+
+    AnalysisEngine full_engine(*view.config, Options{1});
+    const RunResult full = full_engine.run_resilient();
+
+    AnalysisEngine inc_engine(*view.config, Options{1});
+    const RunResult incremental = inc_engine.run_incremental(
+        cfg, baseline,
+        faults::scenario_changed_links(cfg.network(), scenario));
+    SCOPED_TRACE("scenario " + scenario.name);
+    expect_runs_identical(full, incremental);
+    const IncrementalStats stats = inc_engine.metrics().incremental;
+    EXPECT_TRUE(stats.attempted);
+    if (!stats.full_fallback) ++fast_path_runs;
+  }
+  // The point of the exercise: the fast path must actually engage.
+  EXPECT_GT(fast_path_runs, 0u);
+}
+
+TEST(EngineIncremental, MatchesFullRunOnSampleFaultScenarios) {
+  check_incremental_on_all_scenarios(config::sample_config());
+}
+
+TEST(EngineIncremental, MatchesFullRunOnIndustrialFaultScenarios) {
+  gen::IndustrialOptions o;
+  o.vl_count = 60;
+  o.end_system_count = 16;
+  check_incremental_on_all_scenarios(gen::industrial_config(o));
+}
+
+TEST(EngineIncremental, SeedsCleanPortsAndSkipsDirtyCone) {
+  const TrafficConfig cfg = config::sample_config();
+  AnalysisEngine healthy(cfg, Options{1});
+  const RunResult baseline = healthy.run_resilient();
+
+  const auto scenarios = faults::single_link_scenarios(cfg);
+  ASSERT_FALSE(scenarios.empty());
+  const faults::DegradedView view = faults::apply_scenario(cfg, scenarios[0]);
+  ASSERT_TRUE(view.config.has_value());
+
+  AnalysisEngine inc_engine(*view.config, Options{1});
+  const RunResult run = inc_engine.run_incremental(
+      cfg, baseline,
+      faults::scenario_changed_links(cfg.network(), scenarios[0]));
+  const RunMetrics m = inc_engine.metrics();
+  EXPECT_FALSE(m.incremental.full_fallback) << m.incremental.fallback_reason;
+  // Every used port of the degraded view is either transplanted or dirty.
+  std::size_t used = 0;
+  for (LinkId l = 0; l < view.config->network().link_count(); ++l) {
+    if (!view.config->vls_on_link(l).empty()) ++used;
+  }
+  EXPECT_EQ(m.incremental.seeded_ports + m.incremental.dirty_ports, used);
+  EXPECT_GT(m.incremental.seeded_ports, 0u);
+  // Seeding happens before the run proper, so it shows in the lifetime
+  // cache counters (the per-run delta only covers the run itself).
+  EXPECT_GT(m.cache.seeded, 0u);
+  EXPECT_TRUE(run.complete());
+}
+
+TEST(EngineIncremental, FallsBackOnDifferentOptions) {
+  const TrafficConfig cfg = config::sample_config();
+  AnalysisEngine healthy(cfg, Options{1});
+  const RunResult baseline = healthy.run_resilient();  // default options
+
+  netcalc::Options no_grouping;
+  no_grouping.grouping = false;
+  AnalysisEngine inc_engine(cfg, Options{1});
+  const RunResult run =
+      inc_engine.run_incremental(cfg, baseline, {}, no_grouping);
+  EXPECT_TRUE(inc_engine.metrics().incremental.full_fallback);
+
+  AnalysisEngine full_engine(cfg, Options{1});
+  expect_runs_identical(full_engine.run_resilient(no_grouping), run);
+}
+
+TEST(EngineIncremental, PlanRejectsDifferentNetworks) {
+  const TrafficConfig a = config::sample_config();
+  config::SampleOptions other;
+  other.link_rate = rate_from_mbps(10.0);  // different physical network
+  const TrafficConfig b = config::sample_config(other);
+  const IncrementalPlan plan = plan_incremental(a, b, {});
+  EXPECT_FALSE(plan.compatible);
+  EXPECT_FALSE(plan.reason.empty());
+}
+
+/// Rebuilds `base` with one VL mutated, keeping network and routes
+/// bit-identical -- the parameter-edit flavour of incremental re-analysis.
+template <typename Mutate>
+TrafficConfig with_mutated_vl(const TrafficConfig& base, VlId target,
+                              Mutate mutate) {
+  std::vector<VirtualLink> vls;
+  std::vector<std::vector<std::vector<LinkId>>> routes;
+  for (VlId v = 0; v < base.vl_count(); ++v) {
+    vls.push_back(base.vl(v));
+    routes.push_back(base.route(v).paths());
+  }
+  mutate(vls[target]);
+  return TrafficConfig(Network(base.network()), std::move(vls),
+                       std::move(routes));
+}
+
+TEST(EngineIncremental, ParameterEditRecomputesOnlyAffectedPrefixes) {
+  const TrafficConfig cfg = small_industrial();
+  AnalysisEngine healthy(cfg, Options{1});
+  const RunResult baseline = healthy.run_resilient();
+
+  const TrafficConfig mutated = with_mutated_vl(
+      cfg, 0, [](VirtualLink& vl) { vl.s_max = vl.s_max + 100; });
+
+  // Cold run: every prefix of the mutated config is computed from scratch.
+  AnalysisEngine cold(mutated, Options{1});
+  const RunResult cold_run = cold.run_resilient();
+  const std::uint64_t cold_prefixes = cold.metrics().prefix_run.misses;
+  ASSERT_GT(cold_prefixes, 0u);
+
+  // Incremental run with an empty changed-link set: the crossing-tuple
+  // diff alone must spot the edited VL's ports and dirty its cone.
+  AnalysisEngine inc(mutated, Options{1});
+  const RunResult inc_run = inc.run_incremental(cfg, baseline, {});
+  const RunMetrics m = inc.metrics();
+  EXPECT_FALSE(m.incremental.full_fallback) << m.incremental.fallback_reason;
+  EXPECT_GT(m.incremental.dirty_ports, 0u);
+  EXPECT_GT(m.incremental.seeded_prefixes, 0u);
+  // Counter-based "only the affected prefixes recompute": the incremental
+  // run's prefix-cache misses are exactly the cone's share, strictly fewer
+  // than the cold run's.
+  EXPECT_LT(m.prefix_run.misses, cold_prefixes);
+  EXPECT_EQ(m.prefix_run.misses + m.incremental.seeded_prefixes,
+            cold_prefixes);
+  // ... and the bounds still match the cold run bit for bit.
+  expect_runs_identical(cold_run, inc_run);
+}
+
+TEST(EngineIncremental, RunResultCarriesReusableBaselineState) {
+  const TrafficConfig cfg = config::sample_config();
+  AnalysisEngine eng(cfg, Options{1});
+  const RunResult r = eng.run_resilient();
+  EXPECT_NE(r.nc_options_key, 0u);
+  EXPECT_NE(r.tj_options_key, 0u);
+  ASSERT_NE(r.prefixes, nullptr);
+  EXPECT_GT(r.prefixes->size(), 0u);
 }
 
 }  // namespace

@@ -306,5 +306,53 @@ TEST(Report, ParallelSweepMatchesSerial) {
   EXPECT_EQ(a.worst_inflation, b.worst_inflation);
 }
 
+TEST(Report, IncrementalSweepMatchesFullRecompute) {
+  // The default sweep reuses the healthy run as a baseline; forcing full
+  // recomputation must not move a single bit of any figure.
+  const TrafficConfig cfg = config::sample_config();
+  ScenarioOptions incremental;  // incremental = true is the default
+  ScenarioOptions full;
+  full.incremental = false;
+  auto scenarios = single_link_scenarios(cfg);
+  for (auto& s : single_switch_scenarios(cfg)) scenarios.push_back(s);
+  const DegradationReport a = analyze_scenarios(cfg, scenarios, incremental);
+  const DegradationReport b = analyze_scenarios(cfg, scenarios, full);
+  ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
+  for (std::size_t s = 0; s < a.scenarios.size(); ++s) {
+    ASSERT_EQ(a.scenarios[s].paths.size(), b.scenarios[s].paths.size());
+    for (std::size_t p = 0; p < a.scenarios[s].paths.size(); ++p) {
+      const PathDegradation& pa = a.scenarios[s].paths[p];
+      const PathDegradation& pb = b.scenarios[s].paths[p];
+      EXPECT_EQ(pa.degraded_raw_us, pb.degraded_raw_us);
+      EXPECT_EQ(pa.degraded_us, pb.degraded_us);
+      EXPECT_EQ(pa.first_arrival_us, pb.first_arrival_us);
+      EXPECT_EQ(pa.skew_us, pb.skew_us);
+      EXPECT_EQ(pa.state, pb.state);
+    }
+  }
+  EXPECT_EQ(a.worst_inflation, b.worst_inflation);
+  EXPECT_EQ(a.worst_scenario, b.worst_scenario);
+}
+
+TEST(Report, ScenarioChangedLinksCoversCablesAndNodes) {
+  const TrafficConfig cfg = config::sample_config();
+  const Network& net = cfg.network();
+  FaultScenario s;
+  add_failed_cable(net, s, 0);
+  s.failed_nodes.push_back(net.link(2).source);
+  const std::vector<LinkId> changed = scenario_changed_links(net, s);
+  // Both directions of the cable are present...
+  EXPECT_NE(std::find(changed.begin(), changed.end(), 0), changed.end());
+  EXPECT_NE(std::find(changed.begin(), changed.end(), net.reverse(0)),
+            changed.end());
+  // ... plus every link attached to the failed node, without duplicates.
+  for (LinkId l : net.links_from(s.failed_nodes[0])) {
+    EXPECT_NE(std::find(changed.begin(), changed.end(), l), changed.end());
+  }
+  EXPECT_TRUE(std::is_sorted(changed.begin(), changed.end()));
+  EXPECT_EQ(std::adjacent_find(changed.begin(), changed.end()),
+            changed.end());
+}
+
 }  // namespace
 }  // namespace afdx::faults

@@ -20,6 +20,7 @@
 #include "valid/campaign.hpp"
 #include "valid/checkpoint.hpp"
 #include "valid/corpus.hpp"
+#include "valid/incremental_check.hpp"
 #include "valid/shrink.hpp"
 
 #ifndef AFDX_REPO_ROOT
@@ -557,6 +558,41 @@ std::string corpus_test_name(
 INSTANTIATE_TEST_SUITE_P(Entries, CorpusRegression,
                          ::testing::ValuesIn(committed_corpus()),
                          corpus_test_name);
+
+TEST(IncrementalDiff, SampleConfigIsBitIdenticalAcrossFaultSweep) {
+  IncrementalDiffOptions options;
+  options.random_scenarios = 4;
+  const IncrementalDiffResult result =
+      check_incremental_diff(config::sample_config(), options);
+  for (const IncrementalMismatch& m : result.mismatches) {
+    ADD_FAILURE() << m.describe();
+  }
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(result.scenarios_checked, 0u);
+  EXPECT_GT(result.values_compared, 0u);
+  // The fast path must actually engage: no fallbacks, real seeding.
+  EXPECT_EQ(result.full_fallbacks, 0u);
+  EXPECT_GT(result.seeded_ports, 0u);
+  EXPECT_GT(result.seeded_prefixes, 0u);
+}
+
+TEST(IncrementalDiff, GeneratedConfigIsBitIdentical) {
+  gen::IndustrialOptions spec;
+  spec.seed = 17;
+  spec.vl_count = 40;
+  spec.end_system_count = 12;
+  IncrementalDiffOptions options;
+  options.random_scenarios = 2;
+  options.switches = false;
+  const IncrementalDiffResult result =
+      check_incremental_diff(gen::industrial_config(spec), options);
+  for (const IncrementalMismatch& m : result.mismatches) {
+    ADD_FAILURE() << m.describe();
+  }
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(result.scenarios_checked, 0u);
+  EXPECT_EQ(result.full_fallbacks, 0u);
+}
 
 }  // namespace
 }  // namespace afdx::valid

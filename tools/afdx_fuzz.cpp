@@ -13,7 +13,16 @@
 //
 //   afdx_fuzz --replay=tests/corpus/shrunk-s42-c7.afdx
 //
+// Incremental-diff mode: sweeps the campaign grid's generated
+// configurations through valid::check_incremental_diff -- every fault
+// scenario of every configuration is analyzed from scratch AND
+// incrementally from the healthy baseline, and the two result sets must
+// match bit for bit.
+//
+//   afdx_fuzz --mode=incremental-diff --campaigns=20 --grid=smoke
+//
 // Options:
+//   --mode=campaign|incremental-diff  what to fuzz (default campaign)
 //   --campaigns=N       configurations to fuzz (default 100)
 //   --seed=S            master seed (default 42)
 //   --threads=N         campaign workers (default 1; 0 = one per hw thread)
@@ -56,10 +65,12 @@
 #include "common/error.hpp"
 #include "common/parse.hpp"
 #include "engine/cancel.hpp"
+#include "gen/industrial.hpp"
 #include "obs/trace.hpp"
 #include "valid/campaign.hpp"
 #include "valid/checkpoint.hpp"
 #include "valid/corpus.hpp"
+#include "valid/incremental_check.hpp"
 
 using namespace afdx;
 
@@ -74,6 +85,8 @@ extern "C" void handle_stop_signal(int) { g_cancel.cancel(); }
 
 struct CliOptions {
   valid::CampaignOptions campaign;
+  /// --mode=incremental-diff: full-vs-incremental differential sweep.
+  bool incremental_diff = false;
   std::optional<std::string> replay_file;
   std::optional<std::string> report_file;
   std::optional<std::string> checkpoint_file;
@@ -87,7 +100,8 @@ struct CliOptions {
 void print_usage(std::ostream& out) {
   out << "usage: afdx_fuzz [options]\n"
          "       afdx_fuzz --replay=<corpus-file>\n"
-         "options: --campaigns=N  --seed=S  --threads=N (0 = auto)\n"
+         "options: --mode=campaign|incremental-diff\n"
+         "         --campaigns=N  --seed=S  --threads=N (0 = auto)\n"
          "         --grid=default|smoke  --schedules=N  --search-paths=N\n"
          "         --report=FILE  --no-timing  --corpus-dir=DIR\n"
          "         --no-shrink  --no-variants  --quiet\n"
@@ -106,7 +120,14 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       if (arg.rfind(prefix, 0) != 0) return std::nullopt;
       return arg.substr(prefix.size());
     };
-    if (auto v = value_of("--campaigns")) {
+    if (auto v = value_of("--mode")) {
+      if (*v == "incremental-diff") {
+        opts.incremental_diff = true;
+      } else if (*v != "campaign") {
+        std::cerr << "unknown mode: " << *v << "\n";
+        return std::nullopt;
+      }
+    } else if (auto v = value_of("--campaigns")) {
       const auto n = parse_uint(*v);
       if (!n.has_value() || *n == 0) {
         std::cerr << "bad campaign count: " << arg << "\n";
@@ -307,6 +328,64 @@ int run_campaigns_cli(const CliOptions& opts) {
   return report.complete() ? 0 : 3;
 }
 
+/// Incremental-diff sweep: one grid-derived configuration per campaign,
+/// each put through the full-vs-incremental bitwise differential over all
+/// of its fault scenarios. Exit 2 on any mismatch -- a mismatch is a
+/// dirty-cone soundness bug, the incremental analogue of a violation.
+int run_incremental_diff(const CliOptions& opts) {
+  const valid::CampaignOptions& campaign = opts.campaign;
+  std::size_t checked = 0;
+  std::size_t skipped = 0;
+  std::size_t interrupted = 0;
+  valid::IncrementalDiffResult total;
+  for (std::size_t i = 0; i < campaign.campaigns; ++i) {
+    if (g_cancel.expired()) {
+      interrupted = campaign.campaigns - i;
+      break;
+    }
+    const valid::CampaignSpec spec =
+        valid::spec_for(campaign.grid, campaign.seed, i);
+    valid::IncrementalDiffOptions diff;
+    diff.seed = campaign.seed * 1000003ULL + i * 10ULL;
+    try {
+      const TrafficConfig cfg = gen::industrial_config(spec.gen);
+      const valid::IncrementalDiffResult r =
+          valid::check_incremental_diff(cfg, diff);
+      total.scenarios_checked += r.scenarios_checked;
+      total.scenarios_empty += r.scenarios_empty;
+      total.values_compared += r.values_compared;
+      total.full_fallbacks += r.full_fallbacks;
+      total.seeded_ports += r.seeded_ports;
+      total.seeded_prefixes += r.seeded_prefixes;
+      if (!r.ok() && !opts.quiet) {
+        for (const valid::IncrementalMismatch& m : r.mismatches) {
+          std::cerr << "MISMATCH campaign " << i << " (config seed "
+                    << spec.gen.seed << "): " << m.describe() << "\n";
+        }
+      }
+      total.mismatches.insert(total.mismatches.end(), r.mismatches.begin(),
+                              r.mismatches.end());
+      ++checked;
+    } catch (const Error&) {
+      // Infeasible grid point (generator rejection) -- count, keep going.
+      ++skipped;
+    }
+  }
+
+  std::cout << "incremental-diff: " << checked << " configurations, "
+            << total.scenarios_checked << " scenarios, "
+            << total.values_compared << " values compared bitwise\n"
+            << "seeded: " << total.seeded_ports << " ports, "
+            << total.seeded_prefixes << " prefixes; full fallbacks: "
+            << total.full_fallbacks << "\n";
+  if (skipped > 0) std::cout << "skipped (infeasible spec): " << skipped << "\n";
+  if (interrupted > 0) std::cout << "interrupted: " << interrupted << "\n";
+  std::cout << "mismatches: " << total.mismatches.size()
+            << (total.ok() ? " (incremental == full, bit for bit)\n" : "\n");
+  if (!total.ok()) return 2;
+  return interrupted == 0 ? 0 : 3;
+}
+
 /// End-to-end harness self-test: a clean smoke sweep must be green, and a
 /// sweep with a deliberately corrupted analyzer must raise violations --
 /// proving the detection machinery actually fires.
@@ -375,6 +454,8 @@ int main(int argc, char** argv) {
     int code = 0;
     if (opts->self_test) {
       code = run_self_test(*opts);
+    } else if (opts->incremental_diff) {
+      code = run_incremental_diff(*opts);
     } else {
       code = opts->replay_file.has_value() ? run_replay(*opts)
                                            : run_campaigns_cli(*opts);
