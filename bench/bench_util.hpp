@@ -11,8 +11,10 @@
 // binary accepts three extra flags (stripped before google-benchmark sees
 // argv, since benchmark::Initialize rejects unknown arguments):
 //   --quick            print the experiment only; skip the timed benchmarks
-//   --bench-json=FILE  emit the machine-readable BENCH_*.json document
-//                      ("afdx-bench/1" schema, see EXPERIMENTS.md)
+//   --out[=FILE]       emit the machine-readable bench JSON document
+//                      ("afdx-bench/1" schema, see EXPERIMENTS.md); bare
+//                      --out writes the default BENCH_<bench>.json
+//                      (--bench-json=FILE is the legacy spelling)
 //   --trace=FILE       record scoped spans and write Chrome trace JSON
 #pragma once
 
@@ -33,8 +35,20 @@ namespace afdx::benchutil {
 
 struct BenchCli {
   bool quick = false;
+  /// Bare --out was given: write the JSON document to the default name.
+  bool out_default = false;
   std::optional<std::string> json_path;
   std::optional<std::string> trace_path;
+
+  /// Where the bench JSON document should go, if anywhere: an explicit
+  /// --out=FILE (or the legacy --bench-json=FILE spelling) wins; a bare
+  /// --out selects the consistent default BENCH_<bench>.json.
+  [[nodiscard]] std::optional<std::string> resolve_json_path(
+      const char* bench_name) const {
+    if (json_path.has_value()) return json_path;
+    if (out_default) return "BENCH_" + std::string(bench_name) + ".json";
+    return std::nullopt;
+  }
 };
 
 /// Strips the afdx-specific flags out of argv (compacting it in place) so
@@ -46,7 +60,12 @@ inline BenchCli extract_cli(int& argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       cli.quick = true;
+    } else if (arg == "--out") {
+      cli.out_default = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      cli.json_path = arg.substr(6);
     } else if (arg.rfind("--bench-json=", 0) == 0) {
+      // Legacy spelling of --out=FILE; kept so existing scripts work.
       cli.json_path = arg.substr(13);
     } else if (arg.rfind("--trace=", 0) == 0) {
       cli.trace_path = arg.substr(8);

@@ -87,9 +87,10 @@ void run_experiment(std::ostream& out, const benchutil::BenchCli& cli) {
   out << "\nreports bit-identical: " << (mismatches == 0 ? "yes" : "NO")
       << " (" << mismatches << " mismatching records)\n";
 
-  if (cli.json_path.has_value()) {
+  const auto json_path = cli.resolve_json_path("fault_sweep");
+  if (json_path.has_value()) {
     benchutil::BenchJsonDoc doc =
-        benchutil::begin_bench_json(*cli.json_path, "fault_sweep", cli);
+        benchutil::begin_bench_json(*json_path, "fault_sweep", cli);
     if (doc.ok()) {
       obs::JsonWriter& w = doc.w();
       w.key("config").begin_object();
@@ -104,7 +105,7 @@ void run_experiment(std::ostream& out, const benchutil::BenchCli& cli) {
           .field("mismatching_records", mismatches);
       w.end_object();
       obs::write_registry_json(w);
-      benchutil::finish_bench_json(doc, *cli.json_path);
+      benchutil::finish_bench_json(doc, *json_path);
     }
   }
 }

@@ -59,9 +59,10 @@ void run_experiment(std::ostream& out, const benchutil::BenchCli& cli) {
          "slightly tighter.\n\n";
   benchutil::print_overhead(out, overhead);
 
-  if (cli.json_path.has_value()) {
+  const auto json_path = cli.resolve_json_path("fig7_smax_sweep");
+  if (json_path.has_value()) {
     benchutil::BenchJsonDoc doc = benchutil::begin_bench_json(
-        *cli.json_path, "fig7_smax_sweep", cli);
+        *json_path, "fig7_smax_sweep", cli);
     if (doc.ok()) {
       obs::JsonWriter& w = doc.w();
       w.key("config").begin_object();
@@ -82,7 +83,7 @@ void run_experiment(std::ostream& out, const benchutil::BenchCli& cli) {
       w.end_object();
       obs::write_registry_json(w);
       benchutil::write_overhead_json(w, overhead);
-      benchutil::finish_bench_json(doc, *cli.json_path);
+      benchutil::finish_bench_json(doc, *json_path);
     }
   }
 }

@@ -1,0 +1,362 @@
+// Serving-mode throughput: the cost of a warm what-if against a pinned
+// baseline versus re-analyzing the mutated configuration from scratch.
+//
+// The experiment loads a paper-scale industrial configuration (seed 7,
+// 500 VLs over a 16-switch backbone), builds the warm baseline once (the
+// price afdx_serve pays at startup), then plays single-VL what-if requests
+// through serve::Service::handle_line -- the daemon's full path: JSON
+// parse, overlay session, dirty-cone re-analysis, JSON response. The
+// reference is the cold path a CLI round trip pays per question: a fresh
+// full engine run of the same mutated configuration.
+//
+// The speedup depends on the edited VL's dirty cone, so the workload is
+// split by computed cone size: "local" edits (cone within 15% of the
+// network's paths -- a VL confined to one switch neighbourhood, the
+// common interactive tweak) against "backbone" edits (the widest-cone
+// VLs, which legitimately dirty much of the network). Reported per
+// workload: warm p50/p99/mean latency, the warm-vs-cold speedup
+// (expected >= 4x for local edits) and the warm requests/second a single
+// worker sustains.
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/session.hpp"
+#include "gen/industrial.hpp"
+#include "report/table.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace afdx;
+using Clock = std::chrono::steady_clock;
+
+std::shared_ptr<const TrafficConfig> industrial_ptr() {
+  // Paper-scale traffic (the reference industrial configuration carries
+  // ~1000 VLs) over a whole-aircraft backbone. Mostly-unicast traffic
+  // keeps routes local, so what-if cone sizes spread from switch-local to
+  // trunk-wide -- the regime a serving daemon actually sees.
+  gen::IndustrialOptions o;
+  o.seed = 7;
+  o.switch_count = 24;
+  o.end_system_count = 180;
+  o.vl_count = 1000;
+  o.multicast_fraction = 0.1;
+  o.max_multicast_fanout = 2;
+  return std::make_shared<const TrafficConfig>(gen::industrial_config(o));
+}
+
+std::string whatif_line(std::size_t request, const std::string& vl) {
+  // Alternate the mutation so consecutive requests exercise both fields:
+  // halve the BAG or grow the frames to the Ethernet maximum.
+  const bool bag = request % 2 == 0;
+  return "{\"id\":" + std::to_string(request + 1) +
+         ",\"op\":\"whatif\",\"set\":[{\"vl\":\"" + vl +
+         (bag ? "\",\"bag_us\":1000}]}" : "\",\"s_max_bytes\":1518}]}");
+}
+
+/// VL names sorted by what-if cone size: the number of paths a parameter
+/// edit of the VL actually dirties. An edit seeds every port the VL
+/// crosses; the dirt then closes downstream along the propagation edges
+/// (any VL crossing a dirty port carries it to its next hop, because its
+/// arrival there shifts) -- the same closure engine::plan_incremental
+/// computes. The path count of that closure, not the VL's route length,
+/// is what a warm what-if pays.
+struct VlCone {
+  std::string name;
+  std::size_t cone_paths = 0;
+};
+
+std::vector<VlCone> vls_by_cone_size(const TrafficConfig& cfg) {
+  const std::size_t n_links = cfg.network().link_count();
+  const std::vector<VlPath>& paths = cfg.all_paths();
+
+  std::vector<std::vector<LinkId>> successors(n_links);
+  for (LinkId port = 0; port < n_links; ++port) {
+    for (VlId v : cfg.vls_on_link(port)) {
+      const LinkId pred = cfg.route(v).predecessor(port);
+      if (pred != kInvalidLink) successors[pred].push_back(port);
+    }
+  }
+
+  std::vector<std::size_t> cone_paths(cfg.vl_count(), 0);
+  std::vector<char> dirty(n_links, 0);
+  std::vector<LinkId> stack;
+  for (VlId v = 0; v < cfg.vl_count(); ++v) {
+    std::fill(dirty.begin(), dirty.end(), 0);
+    stack.assign(cfg.route(v).crossed_links().begin(),
+                 cfg.route(v).crossed_links().end());
+    for (LinkId l : stack) dirty[l] = 1;
+    while (!stack.empty()) {
+      const LinkId p = stack.back();
+      stack.pop_back();
+      for (LinkId s : successors[p]) {
+        if (!dirty[s]) {
+          dirty[s] = 1;
+          stack.push_back(s);
+        }
+      }
+    }
+    for (const VlPath& p : paths) {
+      for (LinkId l : p.links) {
+        if (dirty[l]) {
+          ++cone_paths[v];
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<VlId> ids(cfg.vl_count());
+  for (VlId v = 0; v < cfg.vl_count(); ++v) ids[v] = v;
+  std::stable_sort(ids.begin(), ids.end(), [&cone_paths](VlId a, VlId b) {
+    return cone_paths[a] < cone_paths[b];
+  });
+  std::vector<VlCone> out;
+  out.reserve(ids.size());
+  for (const VlId v : ids) out.push_back(VlCone{cfg.vl(v).name, cone_paths[v]});
+  return out;
+}
+
+/// Names of the VLs whose cone stays within `max_fraction` of all paths
+/// (at least the `min_count` smallest, so a config without truly local
+/// traffic still yields a workload).
+std::vector<std::string> cone_slice(const std::vector<VlCone>& by_cone,
+                                    std::size_t total_paths,
+                                    double max_fraction,
+                                    std::size_t min_count) {
+  std::vector<std::string> names;
+  const auto limit =
+      static_cast<std::size_t>(max_fraction * static_cast<double>(total_paths));
+  for (const VlCone& c : by_cone) {
+    if (c.cone_paths > limit && names.size() >= min_count) break;
+    names.push_back(c.name);
+  }
+  return names;
+}
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct Latencies {
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+Latencies summarize(std::vector<double> samples_us) {
+  Latencies l;
+  if (samples_us.empty()) return l;
+  double sum = 0.0;
+  for (const double s : samples_us) sum += s;
+  l.mean_us = sum / static_cast<double>(samples_us.size());
+  std::sort(samples_us.begin(), samples_us.end());
+  l.p50_us = percentile(samples_us, 0.50);
+  l.p99_us = percentile(samples_us, 0.99);
+  return l;
+}
+
+struct WorkloadResult {
+  Latencies warm;
+  Latencies cold;
+  double requests_per_second = 0.0;
+  [[nodiscard]] double speedup() const {
+    return warm.mean_us > 0.0 ? cold.mean_us / warm.mean_us : 0.0;
+  }
+};
+
+/// Plays `warm_iters` requests over `vls` through the service, then pays
+/// `cold_iters` of the same overlays as fresh full engine runs.
+WorkloadResult run_workload(serve::Service& service,
+                            const std::shared_ptr<const engine::BaselineState>& base,
+                            const std::vector<std::string>& vls,
+                            std::size_t warm_iters, std::size_t cold_iters,
+                            std::ostream& out) {
+  WorkloadResult result;
+
+  std::vector<double> warm_us;
+  warm_us.reserve(warm_iters);
+  const auto warm_t0 = Clock::now();
+  for (std::size_t i = 0; i < warm_iters; ++i) {
+    const std::string line = whatif_line(i, vls[i % vls.size()]);
+    const auto t0 = Clock::now();
+    const std::string response = service.handle_line(line);
+    warm_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+    if (response.find("\"ok\":true") == std::string::npos) {
+      out << "unexpected response: " << response << "\n";
+      return result;
+    }
+  }
+  const double warm_total_s =
+      std::chrono::duration<double>(Clock::now() - warm_t0).count();
+  result.warm = summarize(std::move(warm_us));
+  result.requests_per_second =
+      warm_total_s > 0.0 ? static_cast<double>(warm_iters) / warm_total_s
+                         : 0.0;
+
+  std::vector<double> cold_us;
+  cold_us.reserve(cold_iters);
+  for (std::size_t i = 0; i < cold_iters; ++i) {
+    engine::OverlaySession session(base);
+    if (i % 2 == 0) {
+      session.override_bag(vls[i % vls.size()], 1000.0);
+    } else {
+      session.override_s_max(vls[i % vls.size()], 1518);
+    }
+    const TrafficConfig mutated = session.materialize();
+    const auto t0 = Clock::now();
+    engine::AnalysisEngine eng(mutated, engine::Options{1});
+    (void)eng.run_resilient();
+    cold_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+  }
+  result.cold = summarize(std::move(cold_us));
+  return result;
+}
+
+void write_workload_json(obs::JsonWriter& w, const char* name,
+                         const WorkloadResult& r) {
+  w.key(name).begin_object();
+  w.field("warm_p50_us", r.warm.p50_us)
+      .field("warm_p99_us", r.warm.p99_us)
+      .field("warm_mean_us", r.warm.mean_us)
+      .field("cold_mean_us", r.cold.mean_us)
+      .field("speedup", r.speedup())
+      .field("requests_per_second", r.requests_per_second);
+  w.end_object();
+}
+
+void run_experiment(std::ostream& out, const benchutil::BenchCli& cli) {
+  out << "== Serving-mode throughput: warm what-if vs cold full run ==\n\n";
+
+  auto cfg = industrial_ptr();
+  auto base = engine::BaselineState::build(cfg);
+  serve::Service service;
+  service.add_baseline("gen7", base);
+
+  const std::vector<VlCone> by_cone = vls_by_cone_size(base->config());
+  const std::size_t total_paths = base->config().all_paths().size();
+  // "Local" edits: cone within 15% of the network's paths (the
+  // switch-local tweaks a serving daemon mostly answers). "Backbone"
+  // edits: the widest-cone VLs, same workload size for a fair table.
+  const std::vector<std::string> local =
+      cone_slice(by_cone, total_paths, 0.15, 8);
+  std::vector<std::string> backbone;
+  for (std::size_t i = by_cone.size() - local.size(); i < by_cone.size(); ++i) {
+    backbone.push_back(by_cone[i].name);
+  }
+  out << "workloads: " << local.size() << " local VLs (cone <= 15% of "
+      << total_paths << " paths), " << backbone.size()
+      << " backbone VLs (widest cones)\n\n";
+
+  const std::size_t warm_iters = cli.quick ? 16 : 64;
+  const std::size_t cold_iters = cli.quick ? 4 : 8;
+  WorkloadResult local_r;
+  WorkloadResult backbone_r;
+  const benchutil::OverheadReport overhead = benchutil::measure_run_overhead(
+      [&] {
+        local_r = run_workload(service, base, local, warm_iters, cold_iters, out);
+        backbone_r =
+            run_workload(service, base, backbone, warm_iters, cold_iters, out);
+      });
+
+  const auto ms = [](double us) { return report::fmt(us / 1000.0, 2) + " ms"; };
+  report::Table t({"workload", "warm p50", "warm p99", "warm mean",
+                   "cold mean", "speedup", "req/s"});
+  t.add_row({"local edits", ms(local_r.warm.p50_us), ms(local_r.warm.p99_us),
+             ms(local_r.warm.mean_us), ms(local_r.cold.mean_us),
+             report::fmt(local_r.speedup(), 1) + "x",
+             report::fmt(local_r.requests_per_second, 1)});
+  t.add_row({"backbone edits", ms(backbone_r.warm.p50_us),
+             ms(backbone_r.warm.p99_us), ms(backbone_r.warm.mean_us),
+             ms(backbone_r.cold.mean_us),
+             report::fmt(backbone_r.speedup(), 1) + "x",
+             report::fmt(backbone_r.requests_per_second, 1)});
+  t.print(out);
+  out << "\nconfig: " << base->config().vl_count() << " VLs / "
+      << base->config().all_paths().size() << " paths; baseline built once in "
+      << report::fmt(base->build_wall_us() / 1000.0, 1) << " ms\n"
+      << "\na warm request re-analyzes only the dirty cone of its overlay (and\n"
+         "transplants every clean path's bound verbatim), so the speedup\n"
+         "tracks the edited VL's cone: local edits (the common interactive\n"
+         "tweak) are expected >= 4x over a cold full run; backbone edits\n"
+         "legitimately dirty much of the network and converge toward 1x.\n\n";
+  benchutil::print_overhead(out, overhead);
+
+  const auto json_path = cli.resolve_json_path("serve_throughput");
+  if (json_path.has_value()) {
+    benchutil::BenchJsonDoc doc =
+        benchutil::begin_bench_json(*json_path, "serve_throughput", cli);
+    if (doc.ok()) {
+      obs::JsonWriter& w = doc.w();
+      w.key("config").begin_object();
+      w.field("vls", base->config().vl_count())
+          .field("paths", base->config().all_paths().size())
+          .field("warm_requests_per_workload", warm_iters)
+          .field("cold_runs_per_workload", cold_iters)
+          .field("baseline_wall_ms", base->build_wall_us() / 1000.0);
+      w.end_object();
+      w.key("results").begin_object();
+      // Headline figures: the local-edit workload the daemon is built for.
+      w.field("warm_p50_us", local_r.warm.p50_us)
+          .field("warm_p99_us", local_r.warm.p99_us)
+          .field("warm_mean_us", local_r.warm.mean_us)
+          .field("cold_mean_us", local_r.cold.mean_us)
+          .field("speedup", local_r.speedup())
+          .field("requests_per_second", local_r.requests_per_second);
+      write_workload_json(w, "local_edits", local_r);
+      write_workload_json(w, "backbone_edits", backbone_r);
+      w.end_object();
+      benchutil::write_overhead_json(w, overhead);
+      obs::write_registry_json(w);
+      benchutil::finish_bench_json(doc, *json_path);
+    }
+  }
+}
+
+void BM_WarmWhatifLocal(benchmark::State& state) {
+  static auto base = engine::BaselineState::build(industrial_ptr());
+  static serve::Service* service = [] {
+    auto* s = new serve::Service();
+    s->add_baseline("gen7", base);
+    return s;
+  }();
+  static const std::vector<std::string> vls =
+      cone_slice(vls_by_cone_size(base->config()),
+                 base->config().all_paths().size(), 0.15, 8);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        service->handle_line(whatif_line(i, vls[i % vls.size()])));
+    ++i;
+  }
+}
+BENCHMARK(BM_WarmWhatifLocal)->Unit(benchmark::kMillisecond);
+
+void BM_ColdFullRun(benchmark::State& state) {
+  static auto base = engine::BaselineState::build(industrial_ptr());
+  static const std::vector<std::string> vls =
+      cone_slice(vls_by_cone_size(base->config()),
+                 base->config().all_paths().size(), 0.15, 8);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    engine::OverlaySession session(base);
+    session.override_bag(vls[i++ % vls.size()], 1000.0);
+    const TrafficConfig mutated = session.materialize();
+    engine::AnalysisEngine eng(mutated, engine::Options{1});
+    benchmark::DoNotOptimize(eng.run_resilient());
+  }
+}
+BENCHMARK(BM_ColdFullRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AFDX_BENCH_MAIN_OBS(run_experiment)

@@ -59,9 +59,10 @@ void run_experiment(std::ostream& out, const benchutil::BenchCli& cli) {
   out << "\n";
   benchutil::print_overhead(out, overhead);
 
-  if (cli.json_path.has_value()) {
+  const auto json_path = cli.resolve_json_path("table1_industrial");
+  if (json_path.has_value()) {
     benchutil::BenchJsonDoc doc = benchutil::begin_bench_json(
-        *cli.json_path, "table1_industrial", cli);
+        *json_path, "table1_industrial", cli);
     if (doc.ok()) {
       obs::JsonWriter& w = doc.w();
       w.key("config").begin_object();
@@ -87,7 +88,7 @@ void run_experiment(std::ostream& out, const benchutil::BenchCli& cli) {
       w.end_object();
       obs::write_registry_json(w);
       benchutil::write_overhead_json(w, overhead);
-      benchutil::finish_bench_json(doc, *cli.json_path);
+      benchutil::finish_bench_json(doc, *json_path);
     }
   }
 }

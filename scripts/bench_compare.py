@@ -5,11 +5,11 @@ Usage:
     bench_compare.py OLD NEW [--max-regression PCT]
 
 OLD and NEW are afdx-bench/1 JSON files as written by the bench binaries
-via --bench-json=FILE. Either argument may address a sub-document of a
+via --out=FILE (or the legacy --bench-json=FILE). Either argument may address a sub-document of a
 combined baseline file (schema afdx-bench-baseline/1, e.g. the committed
-BENCH_pr5.json) with `file.json#dotted.path`, for example:
+BENCH_baseline.json) with `file.json#dotted.path`, for example:
 
-    bench_compare.py BENCH_pr5.json#benches.table1_industrial.after \
+    bench_compare.py BENCH_baseline.json#benches.table1_industrial.after \
         fresh_table1.json --max-regression 10%
 
 Per-phase wall times come from the optional "metrics" object (engine

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Golden-file smoke test of the afdx_serve stdio protocol.
+
+Drives one deterministic session (status -> whatif -> fault_sweep) through
+`afdx_serve --generate=7 --stdio --workers=1`, normalizes the volatile
+fields (wall-clock timings, uptime, latency aggregates, live queue depth),
+and diffs the responses against tests/data/serve_smoke.golden.
+
+The analysis content -- per-path bounds, deltas, dirty-cone statistics,
+fault-sweep rows -- is deterministic for a fixed seed and must match the
+golden file bit for bit; only timing-derived fields are masked.
+
+Usage:
+  scripts/serve_smoke.py --binary build/tools/afdx_serve \
+      --golden tests/data/serve_smoke.golden [--regen]
+
+Exit status: 0 on match (or after --regen), 1 on a diff or protocol error.
+"""
+
+import argparse
+import difflib
+import json
+import subprocess
+import sys
+
+REQUESTS = [
+    {"id": 1, "op": "status"},
+    {"id": 2, "op": "whatif", "set": [{"vl": "VL1", "bag_us": 1000}]},
+    {"id": 3, "op": "fault_sweep", "scope": "switch:S1"},
+]
+
+# Keys whose values depend on wall-clock time or live server state, masked
+# before the diff. Everything else (bounds, deltas, counters, cache hit
+# totals) is deterministic under --workers=1 and must match exactly.
+VOLATILE_KEYS = {
+    "uptime_us",
+    "wall_us",
+    "build_wall_us",
+    "baseline_wall_us",
+    "latency_us",
+    "queue",
+}
+
+
+def mask_volatile(value):
+    if isinstance(value, dict):
+        return {
+            k: (None if k in VOLATILE_KEYS else mask_volatile(v))
+            for k, v in value.items()
+        }
+    if isinstance(value, list):
+        return [mask_volatile(v) for v in value]
+    return value
+
+
+def run_session(binary):
+    stdin = "".join(json.dumps(r) + "\n" for r in REQUESTS)
+    proc = subprocess.run(
+        [binary, "--generate=7", "--stdio", "--quiet", "--workers=1"],
+        input=stdin,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if proc.returncode != 0:
+        print(f"afdx_serve exited {proc.returncode}", file=sys.stderr)
+        print(proc.stderr, file=sys.stderr)
+        return None
+    lines = [l for l in proc.stdout.splitlines() if l.strip()]
+    if len(lines) != len(REQUESTS):
+        print(
+            f"expected {len(REQUESTS)} response lines, got {len(lines)}",
+            file=sys.stderr,
+        )
+        return None
+    normalized = []
+    for line in lines:
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            print(f"unparseable response line: {e}\n{line}", file=sys.stderr)
+            return None
+        normalized.append(
+            json.dumps(mask_volatile(doc), separators=(",", ":"))
+        )
+    return normalized
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", required=True, help="path to afdx_serve")
+    ap.add_argument("--golden", required=True, help="golden response file")
+    ap.add_argument(
+        "--regen",
+        action="store_true",
+        help="rewrite the golden file from the current binary's responses",
+    )
+    args = ap.parse_args()
+
+    responses = run_session(args.binary)
+    if responses is None:
+        return 1
+
+    if args.regen:
+        with open(args.golden, "w", encoding="utf-8") as f:
+            f.write("\n".join(responses) + "\n")
+        print(f"wrote {len(responses)} golden responses -> {args.golden}")
+        return 0
+
+    try:
+        with open(args.golden, encoding="utf-8") as f:
+            golden = [l for l in f.read().splitlines() if l.strip()]
+    except OSError as e:
+        print(f"cannot read golden file: {e}", file=sys.stderr)
+        return 1
+
+    if responses == golden:
+        print(f"serve smoke OK: {len(responses)} responses match {args.golden}")
+        return 0
+
+    print("serve smoke FAILED: responses differ from golden", file=sys.stderr)
+    diff = difflib.unified_diff(
+        golden, responses, fromfile=args.golden, tofile="<live responses>",
+        lineterm="",
+    )
+    for i, line in enumerate(diff):
+        if i >= 40:
+            print("... (diff truncated)", file=sys.stderr)
+            break
+        print(line, file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate a BENCH_*.json document against the afdx-bench/1 schema.
 
-Usage: scripts/validate_bench_json.py BENCH_pr4.json [...]
+Usage: scripts/validate_bench_json.py BENCH_table1_industrial.json [...]
 
 The schema is documented in EXPERIMENTS.md ("Machine-readable bench
 output"). This validator is intentionally dependency-free (stdlib json

@@ -9,6 +9,7 @@
 #include <limits>
 #include <optional>
 #include <ostream>
+#include <unordered_map>
 
 #include <ctime>
 
@@ -179,7 +180,8 @@ void RunMetrics::print(std::ostream& out) const {
           << " changed links -> " << incremental.dirty_ports
           << " dirty ports, " << incremental.seeded_ports
           << " ports + " << incremental.seeded_prefixes
-          << " prefixes seeded\n";
+          << " prefixes seeded, " << incremental.transplanted_paths
+          << " paths transplanted\n";
     }
   }
   out << "  tasks/thread:";
@@ -305,6 +307,7 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory(
     pcache->seed(s.vl, s.link, s.bound);
   }
   pending_prefix_seeds_.clear();
+  pending_path_transplants_.clear();
   last_prefix_cache_ = pcache;
 
   // Work items are whole VLs: paths of one VL share their prefix
@@ -533,9 +536,23 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory_contained(
   pending_prefix_seeds_.clear();
   last_prefix_cache_ = pcache;
 
+  // Paths fully outside the dirty cone keep their baseline trajectory
+  // bound verbatim: every input of their recursion (own route, competing
+  // VLs, their upstream chains, the serialization caps of every port
+  // involved) is bit-identical by the dirty closure, so recomputing could
+  // only reproduce the same number. Skipping them makes a small-cone
+  // what-if cost proportional to its cone, not to the network.
+  std::vector<char> transplanted(paths.size(), 0);
+  for (const PathTransplant& t : pending_path_transplants_) {
+    out[t.path] = t.trajectory;
+    transplanted[t.path] = 1;
+  }
+  pending_path_transplants_.clear();
+
   std::vector<VlId> vl_order;
   std::vector<std::vector<std::size_t>> vl_paths(cfg_.vl_count());
   for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (transplanted[i]) continue;
     if (vl_paths[paths[i].vl].empty()) vl_order.push_back(paths[i].vl);
     vl_paths[paths[i].vl].push_back(i);
   }
@@ -709,6 +726,7 @@ RunResult AnalysisEngine::run_incremental(const TrafficConfig& baseline_config,
     inc.fallback_reason = std::move(reason);
     metrics_.incremental = inc;
     pending_prefix_seeds_.clear();
+    pending_path_transplants_.clear();
     return run_resilient(nc_options, tj_options, control);
   };
 
@@ -781,6 +799,48 @@ RunResult AnalysisEngine::run_incremental(const TrafficConfig& baseline_config,
     }
   }
   inc.seeded_prefixes = pending_prefix_seeds_.size();
+
+  // Whole-path transplants: a path whose every crossed port is clean reads
+  // bit-identical inputs end to end (the dirty closure already propagated
+  // any upstream change of any competing VL into its ports), so its final
+  // trajectory bound is carried over and the trajectory phase skips it.
+  // Only from a complete baseline whose per-path vectors line up, and only
+  // finite bounds (a failed path re-runs so its status is re-derived).
+  pending_path_transplants_.clear();
+  const std::vector<VlPath>& bpaths = baseline_config.all_paths();
+  if (baseline_complete && baseline.trajectory.size() == bpaths.size()) {
+    // Baseline path index by (baseline VL, terminal link).
+    std::unordered_map<std::uint64_t, std::size_t> base_path;
+    base_path.reserve(bpaths.size());
+    const auto path_key = [n = baseline_config.network().link_count()](
+                              VlId v, LinkId last) {
+      return static_cast<std::uint64_t>(v) * n + last;
+    };
+    for (std::size_t i = 0; i < bpaths.size(); ++i) {
+      base_path.emplace(path_key(bpaths[i].vl, bpaths[i].links.back()), i);
+    }
+    const std::vector<VlPath>& cpaths = cfg_.all_paths();
+    for (std::size_t i = 0; i < cpaths.size(); ++i) {
+      const VlPath& p = cpaths[i];
+      const VlId bv = plan.base_vl[p.vl];
+      if (bv == kInvalidVl) continue;
+      bool clean = true;
+      for (LinkId l : p.links) {
+        if (plan.dirty[l]) {
+          clean = false;
+          break;
+        }
+      }
+      if (!clean) continue;
+      const auto it = base_path.find(path_key(bv, p.links.back()));
+      if (it == base_path.end()) continue;
+      if (bpaths[it->second].links != p.links) continue;
+      const Microseconds bound = baseline.trajectory[it->second];
+      if (!std::isfinite(bound)) continue;
+      pending_path_transplants_.push_back(PathTransplant{i, bound});
+    }
+  }
+  inc.transplanted_paths = pending_path_transplants_.size();
   metrics_.incremental = inc;
   return run_resilient(nc_options, tj_options, control);
 }

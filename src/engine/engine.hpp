@@ -66,6 +66,9 @@ struct IncrementalStats {
   std::size_t seeded_ports = 0;
   /// Baseline trajectory prefixes transplanted into the shared cache.
   std::size_t seeded_prefixes = 0;
+  /// Paths fully outside the dirty cone whose trajectory bound was
+  /// transplanted verbatim from the baseline (no recomputation at all).
+  std::size_t transplanted_paths = 0;
 };
 
 /// Measurements of the work an engine has performed since construction.
@@ -256,6 +259,14 @@ class AnalysisEngine {
     Microseconds bound = 0.0;
   };
 
+  /// One clean path whose trajectory bound run_incremental transplants
+  /// verbatim: the next trajectory phase writes `trajectory` for the path
+  /// and skips its recursion entirely.
+  struct PathTransplant {
+    std::size_t path = 0;
+    Microseconds trajectory = 0.0;
+  };
+
   const TrafficConfig& cfg_;
   ThreadPool pool_;
   PortCache cache_;
@@ -268,6 +279,7 @@ class AnalysisEngine {
   /// The cache used by the most recent trajectory phase.
   std::shared_ptr<trajectory::PrefixCache> last_prefix_cache_;
   std::vector<PrefixSeed> pending_prefix_seeds_;
+  std::vector<PathTransplant> pending_path_transplants_;
   RunMetrics metrics_;
 };
 

@@ -146,17 +146,24 @@ DegradationReport analyze_scenarios(const TrafficConfig& healthy,
   }
 
   // Healthy baseline (resilient: an unstable healthy port must not kill the
-  // sweep -- its paths simply carry unbounded healthy figures).
-  engine::AnalysisEngine healthy_engine(healthy,
-                                        engine::Options{options.threads});
+  // sweep -- its paths simply carry unbounded healthy figures). A caller
+  // with a pinned healthy run (the serving daemon's warm baseline) provides
+  // it via options.healthy_run and the sweep reuses it as-is.
+  engine::RunResult owned_healthy_run;
+  const engine::RunResult* healthy_run = options.healthy_run;
+  if (healthy_run == nullptr) {
+    engine::AnalysisEngine healthy_engine(healthy,
+                                          engine::Options{options.threads});
+    owned_healthy_run = healthy_engine.run_resilient(
+        options.nc, options.tj, engine::RunControl{options.cancel});
+    healthy_run = &owned_healthy_run;
+  }
   // The run stays alive as the incremental baseline of every scenario, so
   // the per-path figures are copied out instead of moved.
-  const engine::RunResult healthy_run = healthy_engine.run_resilient(
-      options.nc, options.tj, engine::RunControl{options.cancel});
-  report.healthy = healthy_run.combined;
-  report.healthy_status = healthy_run.status;
+  report.healthy = healthy_run->combined;
+  report.healthy_status = healthy_run->status;
   const engine::RunResult* baseline =
-      options.incremental ? &healthy_run : nullptr;
+      options.incremental ? healthy_run : nullptr;
 
   std::vector<Microseconds> healthy_floors;
   healthy_floors.reserve(healthy.all_paths().size());

@@ -49,6 +49,13 @@ struct ScenarioOptions {
   /// Optional cooperative cancellation / deadline shared by the healthy run
   /// and every scenario.
   const engine::CancelToken* cancel = nullptr;
+  /// Optional precomputed healthy run of the same configuration under the
+  /// same nc/tj options (e.g. a serving daemon's pinned baseline): reused
+  /// as-is -- the sweep skips its own healthy engine run. Must stay valid
+  /// for the duration of analyze_scenarios. A mismatched run is safe:
+  /// run_incremental validates the option digests and falls back to a full
+  /// per-scenario run.
+  const engine::RunResult* healthy_run = nullptr;
 };
 
 /// Comparison record of one healthy path under one scenario.

@@ -1,0 +1,106 @@
+// Strict JSON parsing for the serving protocol.
+//
+// The daemon speaks newline-delimited JSON; every request line must be one
+// complete JSON object. This is the read side of the story (the write side
+// is obs::JsonWriter): a small recursive-descent parser over the full JSON
+// grammar with the hardening the request path needs:
+//
+//   * strict numerics through common/parse (parse_double) -- "1x", "nan",
+//     hex and other strtod liberties are rejected, not truncated;
+//   * every error is an afdx::Error naming the byte offset and, where one
+//     exists, the object key being parsed ("key 'bag_us' at offset 27: ..."),
+//     so a client can fix its request without guessing;
+//   * depth-limited (kMaxDepth) -- a recursion bomb is a parse error, not a
+//     stack overflow;
+//   * duplicate object keys are rejected (a what-if carrying two "bag_us"
+//     values is ambiguous, and silently keeping either one is worse);
+//   * trailing garbage after the value is rejected (one line = one value).
+//
+// JsonValue keeps object members in insertion order; lookups are by key.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace afdx::serve {
+
+class JsonValue;
+
+/// Object members in insertion order (small requests, linear lookup).
+using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] double as_number() const noexcept { return number_; }
+  [[nodiscard]] const std::string& as_string() const noexcept {
+    return string_;
+  }
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const noexcept {
+    return array_;
+  }
+  [[nodiscard]] const JsonMembers& as_object() const noexcept {
+    return members_;
+  }
+
+  /// Member of an object by key; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  [[nodiscard]] const char* kind_name() const noexcept;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> v);
+  static JsonValue make_object(JsonMembers v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  JsonMembers members_;
+};
+
+/// Nesting limit of parse_json: deeper input is a parse error.
+inline constexpr std::size_t kMaxJsonDepth = 16;
+
+/// Parses exactly one JSON value spanning all of `text` (surrounding
+/// whitespace allowed). Throws afdx::Error with offset/key context on any
+/// syntax problem.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace afdx::serve

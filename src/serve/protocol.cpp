@@ -1,0 +1,177 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/bench_json.hpp"
+#include "serve/json.hpp"
+
+namespace afdx::serve {
+
+namespace {
+
+[[noreturn]] void fail_key(const std::string& key, const std::string& what) {
+  throw Error("request key '" + key + "': " + what);
+}
+
+const std::string& string_field(const std::string& key, const JsonValue& v) {
+  if (!v.is_string()) {
+    fail_key(key, std::string("expected a string, got ") + v.kind_name());
+  }
+  return v.as_string();
+}
+
+double number_field(const std::string& key, const JsonValue& v) {
+  if (!v.is_number()) {
+    fail_key(key, std::string("expected a number, got ") + v.kind_name());
+  }
+  return v.as_number();
+}
+
+std::uint64_t uint_field(const std::string& key, const JsonValue& v,
+                         std::uint64_t max) {
+  const double n = number_field(key, v);
+  if (!(n >= 0.0) || n != std::floor(n)) {
+    fail_key(key, "expected a non-negative integer");
+  }
+  if (n > static_cast<double>(max)) {
+    fail_key(key, "value out of range (max " + std::to_string(max) + ")");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+Op parse_op(const std::string& name) {
+  if (name == "status") return Op::kStatus;
+  if (name == "bounds") return Op::kBounds;
+  if (name == "whatif") return Op::kWhatIf;
+  if (name == "fault_sweep") return Op::kFaultSweep;
+  if (name == "shutdown") return Op::kShutdown;
+  throw Error("request key 'op': unknown op '" + name +
+              "' (expected status|bounds|whatif|fault_sweep|shutdown)");
+}
+
+engine::VlOverride parse_override(const JsonValue& entry) {
+  if (!entry.is_object()) {
+    fail_key("set", std::string("expected an array of objects, got an "
+                                "element of kind ") +
+                        entry.kind_name());
+  }
+  engine::VlOverride o;
+  for (const auto& [key, value] : entry.as_object()) {
+    if (key == "vl") {
+      o.vl = string_field("vl", value);
+    } else if (key == "bag_us") {
+      o.bag = number_field(key, value);
+    } else if (key == "s_min_bytes") {
+      o.s_min = static_cast<Bytes>(uint_field(key, value, 0xFFFFFFFFull));
+    } else if (key == "s_max_bytes") {
+      o.s_max = static_cast<Bytes>(uint_field(key, value, 0xFFFFFFFFull));
+    } else if (key == "jitter_us") {
+      o.max_release_jitter = number_field(key, value);
+    } else if (key == "priority") {
+      o.priority = static_cast<std::uint8_t>(uint_field(key, value, 255));
+    } else {
+      fail_key(key, "unknown override field (expected vl, bag_us, "
+                    "s_min_bytes, s_max_bytes, jitter_us, priority)");
+    }
+  }
+  if (o.vl.empty()) fail_key("set", "override entry is missing 'vl'");
+  if (o.empty()) {
+    fail_key("set", "override of '" + o.vl + "' changes nothing");
+  }
+  return o;
+}
+
+}  // namespace
+
+const char* to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kStatus:
+      return "status";
+    case Op::kBounds:
+      return "bounds";
+    case Op::kWhatIf:
+      return "whatif";
+    case Op::kFaultSweep:
+      return "fault_sweep";
+    case Op::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+Request parse_request(const std::string& line) {
+  const JsonValue root = parse_json(line);
+  if (!root.is_object()) {
+    throw Error(std::string("request must be a JSON object, got ") +
+                root.kind_name());
+  }
+
+  Request req;
+  bool have_op = false;
+  for (const auto& [key, value] : root.as_object()) {
+    if (key == "id") {
+      // JSON numbers are doubles: ids above 2^53 would silently collide.
+      req.id = uint_field(key, value, 1ull << 53);
+    } else if (key == "op") {
+      req.op = parse_op(string_field(key, value));
+      have_op = true;
+    } else if (key == "config") {
+      req.config = string_field(key, value);
+    } else if (key == "vl") {
+      req.vl = string_field(key, value);
+    } else if (key == "set") {
+      if (!value.is_array()) {
+        fail_key(key, std::string("expected an array, got ") +
+                          value.kind_name());
+      }
+      for (const JsonValue& entry : value.as_array()) {
+        req.set.push_back(parse_override(entry));
+      }
+    } else if (key == "fail") {
+      req.fail_spec = string_field(key, value);
+    } else if (key == "scope") {
+      req.scope = string_field(key, value);
+    } else if (key == "deadline_ms") {
+      const double ms = number_field(key, value);
+      if (!(ms >= 0.0) || !std::isfinite(ms)) {
+        fail_key(key, "expected a finite non-negative number");
+      }
+      req.deadline_ms = ms;
+    } else if (key == "limit") {
+      req.limit = static_cast<std::size_t>(uint_field(key, value, 1000000));
+    } else {
+      fail_key(key, "unknown request key (expected id, op, config, vl, set, "
+                    "fail, scope, deadline_ms, limit)");
+    }
+  }
+  if (!have_op) throw Error("request is missing 'op'");
+  return req;
+}
+
+std::string error_response(std::uint64_t id, const std::string& message) {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object()
+      .field("id", id)
+      .field("ok", false)
+      .field("error", std::string_view(message))
+      .end_object();
+  return out.str();
+}
+
+std::uint64_t peek_request_id(const std::string& line) noexcept {
+  try {
+    const JsonValue root = parse_json(line);
+    const JsonValue* id = root.find("id");
+    if (id != nullptr && id->is_number() && id->as_number() >= 0.0 &&
+        id->as_number() == std::floor(id->as_number())) {
+      return static_cast<std::uint64_t>(id->as_number());
+    }
+  } catch (const Error&) {
+  }
+  return 0;
+}
+
+}  // namespace afdx::serve

@@ -1,0 +1,88 @@
+// Wire protocol of the analysis daemon (newline-delimited JSON).
+//
+// One request per line, one response line per request, always in this
+// shape:
+//
+//   -> {"id":7,"op":"whatif","config":"main","set":[{"vl":"vl042","bag_us":4000}]}
+//   <- {"id":7,"ok":true,"op":"whatif", ...}
+//
+// Requests (all keys but "op" optional unless noted):
+//   status      server uptime, loaded baselines, request counters, queue
+//               depths and cache statistics.
+//   bounds      baseline per-path bounds of one configuration; "vl" filters
+//               to one VL, "limit" caps the rows returned.
+//   whatif      overlay query: "set" is an array of VL overrides
+//               ({"vl":name, "bag_us"|"s_min_bytes"|"s_max_bytes"|
+//                 "jitter_us"|"priority":value}), "fail" an optional fault
+//               spec ("link:<a>-<b>,switch:<n>,es:<n>"); the dirty cone is
+//               re-bounded incrementally against the warm baseline and the
+//               per-path deltas are returned.
+//   fault_sweep batched fault enumeration: "scope" is "single-link",
+//               "single-switch" or one custom spec; per-scenario summary
+//               rows come back.
+//   shutdown    acknowledge and stop the server loop.
+//
+// Shared optional keys: "id" (echoed back, default 0), "config" (baseline
+// name, default the daemon's first), "deadline_ms" (cooperative per-request
+// deadline; expired work is reported partial, never hangs), "limit" (row
+// cap of the response's detail array).
+//
+// Responses: {"id":N,"ok":true,...} on success; {"id":N,"ok":false,
+// "error":"..."} on any request error (parse failure, unknown VL, oversized
+// line, admission-queue overload with "error":"overloaded"). A request
+// error never tears down the connection, let alone the daemon.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/session.hpp"
+
+namespace afdx::serve {
+
+enum class Op : std::uint8_t {
+  kStatus,
+  kBounds,
+  kWhatIf,
+  kFaultSweep,
+  kShutdown,
+};
+
+[[nodiscard]] const char* to_string(Op op) noexcept;
+
+/// One parsed request line.
+struct Request {
+  std::uint64_t id = 0;
+  Op op = Op::kStatus;
+  /// Baseline name; empty = the daemon's default (first loaded).
+  std::string config;
+  /// bounds: optional VL filter.
+  std::optional<std::string> vl;
+  /// whatif: VL overrides, in request order.
+  std::vector<engine::VlOverride> set;
+  /// whatif: fault-scenario spec ("link:<a>-<b>,switch:<n>,es:<n>"); empty
+  /// when the request fails nothing.
+  std::string fail_spec;
+  /// fault_sweep: "single-link", "single-switch" or one custom spec.
+  std::string scope;
+  /// Per-request cooperative deadline; 0 = none (serve to completion).
+  double deadline_ms = 0.0;
+  /// Cap on the response's detail rows.
+  std::size_t limit = 0;  // 0 = the op's default
+};
+
+/// Parses one request line. Throws afdx::Error naming the offending key on
+/// any structural or type problem ("key 'bag_us': expected a number").
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// Renders the uniform error response line (no trailing newline).
+[[nodiscard]] std::string error_response(std::uint64_t id,
+                                         const std::string& message);
+
+/// Best-effort request id of an unparsed line (for overload/parse-error
+/// responses): the "id" member if the line parses as JSON, 0 otherwise.
+[[nodiscard]] std::uint64_t peek_request_id(const std::string& line) noexcept;
+
+}  // namespace afdx::serve

@@ -1,0 +1,275 @@
+#include "serve/server.hpp"
+
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "engine/thread_pool.hpp"
+#include "obs/counters.hpp"
+#include "serve/protocol.hpp"
+
+namespace afdx::serve {
+
+namespace {
+
+/// Response writer over a std::ostream (stdio mode).
+class StreamSink final : public ResponseSink {
+ public:
+  explicit StreamSink(std::ostream& out) : out_(out) {}
+
+  void write_line(const std::string& line) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out_ << line << '\n';
+    out_.flush();
+  }
+
+ private:
+  std::ostream& out_;
+  std::mutex mu_;
+};
+
+/// Response writer over a connected socket (TCP mode). Owns the fd.
+class FdSink final : public ResponseSink {
+ public:
+  explicit FdSink(int fd) : fd_(fd) {}
+  ~FdSink() override { ::close(fd_); }
+
+  void write_line(const std::string& line) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return;  // peer gone; the request result is simply dropped
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_;
+  std::mutex mu_;
+};
+
+/// Polls `fd` for readability, waking periodically to honour `stop`.
+/// Returns false once `stop` is set or the fd errors out.
+bool wait_readable(int fd, const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int r = ::poll(&p, 1, 200);
+    if (r < 0) return false;
+    if (r > 0) return (p.revents & (POLLERR | POLLNVAL)) == 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Server::Server(Service& service, ServerOptions options)
+    : service_(service), options_(options) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.max_line_bytes == 0) options_.max_line_bytes = 1;
+}
+
+Server::Push Server::push(std::string& line,
+                          const std::shared_ptr<ResponseSink>& sink) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Push::kClosed;
+    if (queue_.size() >= options_.queue_capacity) return Push::kFull;
+    queue_.push_back(Job{std::move(line), sink});
+    obs::registry().counter("serve.queue.max_depth").record_max(queue_.size());
+  }
+  cv_.notify_one();
+  return Push::kOk;
+}
+
+bool Server::pop(Job& job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  job = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void Server::close_queue() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Server::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Server::admit(std::string line, const std::shared_ptr<ResponseSink>& sink) {
+  if (line.size() > options_.max_line_bytes) {
+    // Deliberately unparsed: a hostile line length must cost O(1), so the
+    // response cannot echo a request id.
+    service_.note_error();
+    sink->write_line(error_response(
+        0, "request line exceeds " + std::to_string(options_.max_line_bytes) +
+               " bytes"));
+    return;
+  }
+  // push() consumes the line only on success, so the rejection paths can
+  // still recover the request id for their error response.
+  switch (push(line, sink)) {
+    case Push::kOk:
+      return;
+    case Push::kFull:
+      service_.note_overloaded();
+      sink->write_line(error_response(peek_request_id(line), "overloaded"));
+      return;
+    case Push::kClosed:
+      service_.note_error();
+      sink->write_line(
+          error_response(peek_request_id(line), "shutting down"));
+      return;
+  }
+}
+
+void Server::run_workers() {
+  engine::ThreadPool pool(
+      engine::ThreadPool::resolve_thread_count(options_.workers));
+  const std::size_t workers = static_cast<std::size_t>(pool.thread_count());
+  pool.parallel_for(workers, [this](std::size_t, int) {
+    Job job;
+    while (pop(job)) {
+      job.sink->write_line(service_.handle_line(job.line));
+    }
+  });
+}
+
+void Server::serve_stream(std::istream& in, std::ostream& out) {
+  auto sink = std::make_shared<StreamSink>(out);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+    queue_.clear();
+  }
+  service_.set_queue_probe([this] {
+    return QueueInfo{queue_depth(), options_.queue_capacity};
+  });
+
+  std::thread reader([this, &in, &sink] {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      admit(std::move(line), sink);
+    }
+    close_queue();
+  });
+  run_workers();
+  reader.join();
+  service_.set_queue_probe(nullptr);
+}
+
+void Server::listen_and_serve(std::uint16_t port) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) throw Error("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    ::close(listen_fd);
+    throw Error("serve: cannot listen on 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_.store(ntohs(addr.sin_port), std::memory_order_release);
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+    queue_.clear();
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  service_.set_queue_probe([this] {
+    return QueueInfo{queue_depth(), options_.queue_capacity};
+  });
+
+  std::mutex conns_mu;
+  std::vector<std::thread> conns;
+
+  std::thread acceptor([&] {
+    while (!stop_.load(std::memory_order_relaxed) &&
+           !service_.shutdown_requested()) {
+      if (!wait_readable(listen_fd, stop_)) break;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      const std::lock_guard<std::mutex> lock(conns_mu);
+      conns.emplace_back([this, fd] {
+        auto sink = std::make_shared<FdSink>(fd);
+        std::string buffer;
+        bool discarding = false;  // inside an oversized line
+        char chunk[4096];
+        while (wait_readable(fd, stop_) && !service_.shutdown_requested()) {
+          const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+          if (n <= 0) break;
+          buffer.append(chunk, static_cast<std::size_t>(n));
+          std::size_t start = 0;
+          for (std::size_t i = start; i < buffer.size(); ++i) {
+            if (buffer[i] != '\n') continue;
+            std::string line = buffer.substr(start, i - start);
+            start = i + 1;
+            if (!line.empty() && line.back() == '\r') line.pop_back();
+            if (discarding) {
+              discarding = false;  // tail of a rejected oversized line
+              continue;
+            }
+            if (!line.empty()) admit(std::move(line), sink);
+          }
+          buffer.erase(0, start);
+          if (!discarding && buffer.size() > options_.max_line_bytes) {
+            service_.note_error();
+            sink->write_line(error_response(
+                0, "request line exceeds " +
+                       std::to_string(options_.max_line_bytes) + " bytes"));
+            buffer.clear();
+            discarding = true;
+          }
+        }
+      });
+    }
+    close_queue();
+  });
+
+  run_workers();
+
+  // A shutdown request stops the workers; make the acceptor and readers
+  // notice too.
+  stop_.store(true, std::memory_order_relaxed);
+  acceptor.join();
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu);
+    for (std::thread& t : conns) t.join();
+  }
+  ::close(listen_fd);
+  service_.set_queue_probe(nullptr);
+}
+
+}  // namespace afdx::serve

@@ -1,0 +1,506 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "faults/degrade.hpp"
+#include "faults/report.hpp"
+#include "faults/scenario.hpp"
+#include "obs/bench_json.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace afdx::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr Microseconds kInf = std::numeric_limits<Microseconds>::infinity();
+
+Microseconds elapsed_us(Clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - since)
+      .count();
+}
+
+std::string path_vl_name(const TrafficConfig& config, std::size_t path_index) {
+  return config.vl(config.all_paths()[path_index].vl).name;
+}
+
+std::string path_dest_name(const TrafficConfig& config,
+                           std::size_t path_index) {
+  const VlPath& p = config.all_paths()[path_index];
+  const VirtualLink& vl = config.vl(p.vl);
+  return config.network().node(vl.destinations[p.dest_index]).name;
+}
+
+/// One whatif comparison row: healthy path index + its overlay outcome.
+struct DeltaRow {
+  std::size_t path = 0;
+  Microseconds baseline_us = 0.0;
+  Microseconds whatif_us = 0.0;
+  /// 0 for unreachable paths (there is no finite delta to rank by).
+  Microseconds delta_us = 0.0;
+  bool unreachable = false;
+  engine::PathState state = engine::PathState::kOk;
+};
+
+void write_delta_row(obs::JsonWriter& w, const TrafficConfig& config,
+                     const DeltaRow& row) {
+  w.begin_object()
+      .field("vl", path_vl_name(config, row.path))
+      .field("dest", path_dest_name(config, row.path))
+      .field("baseline_us", row.baseline_us);
+  if (row.unreachable) {
+    w.field("unreachable", true);
+  } else {
+    w.field("whatif_us", row.whatif_us).field("delta_us", row.delta_us);
+  }
+  if (row.state != engine::PathState::kOk) {
+    w.field("state", engine::to_string(row.state));
+  }
+  w.end_object();
+}
+
+void write_incremental(obs::JsonWriter& w,
+                       const engine::IncrementalStats& inc) {
+  w.key("incremental")
+      .begin_object()
+      .field("dirty_ports", inc.dirty_ports)
+      .field("seeded_ports", inc.seeded_ports)
+      .field("seeded_prefixes", inc.seeded_prefixes)
+      .field("transplanted_paths", inc.transplanted_paths)
+      .field("full_fallback", inc.full_fallback)
+      .end_object();
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(options), start_(Clock::now()) {}
+
+void Service::add_baseline(const std::string& name,
+                           std::shared_ptr<const TrafficConfig> config,
+                           const netcalc::Options& nc,
+                           const trajectory::Options& tj, int build_threads) {
+  add_baseline(name, engine::BaselineState::build(std::move(config), nc, tj,
+                                                  build_threads));
+}
+
+void Service::add_baseline(
+    const std::string& name,
+    std::shared_ptr<const engine::BaselineState> baseline) {
+  if (baseline == nullptr) throw Error("Service: null baseline");
+  for (const auto& [existing, state] : baselines_) {
+    if (existing == name) {
+      throw Error("Service: duplicate baseline '" + name + "'");
+    }
+  }
+  baselines_.emplace_back(name, std::move(baseline));
+}
+
+std::shared_ptr<const engine::BaselineState> Service::baseline(
+    const std::string& name) const {
+  if (baselines_.empty()) return nullptr;
+  if (name.empty()) return baselines_.front().second;
+  for (const auto& [existing, state] : baselines_) {
+    if (existing == name) return state;
+  }
+  return nullptr;
+}
+
+const engine::BaselineState& Service::baseline_for(const Request& req) const {
+  const auto state = baseline(req.config);
+  if (state == nullptr) {
+    if (req.config.empty()) throw Error("no configuration loaded");
+    throw Error("unknown config '" + req.config + "'");
+  }
+  return *state;
+}
+
+std::string Service::handle_line(const std::string& line) {
+  try {
+    return handle(parse_request(line));
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::registry().counter("serve.errors").add();
+    return error_response(peek_request_id(line), e.what());
+  }
+}
+
+std::string Service::handle(const Request& req) {
+  AFDX_TRACE_SPAN("serve.request", "serve");
+  const auto t0 = Clock::now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  obs::registry().counter("serve.requests").add();
+  std::string response;
+  try {
+    switch (req.op) {
+      case Op::kStatus:
+        response = handle_status(req);
+        break;
+      case Op::kBounds:
+        response = handle_bounds(req);
+        break;
+      case Op::kWhatIf:
+        response = handle_whatif(req);
+        break;
+      case Op::kFaultSweep:
+        response = handle_fault_sweep(req);
+        break;
+      case Op::kShutdown:
+        response = handle_shutdown(req);
+        break;
+    }
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::registry().counter("serve.errors").add();
+    response = error_response(req.id, e.what());
+  }
+  obs::registry()
+      .histogram("serve.request_wall_us")
+      .observe(static_cast<std::uint64_t>(elapsed_us(t0)));
+  return response;
+}
+
+void Service::note_overloaded() noexcept {
+  overloaded_.fetch_add(1, std::memory_order_relaxed);
+  obs::registry().counter("serve.overloaded").add();
+}
+
+void Service::note_error() noexcept {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  obs::registry().counter("serve.errors").add();
+}
+
+void Service::note_run(const engine::RunResult& result) noexcept {
+  const engine::RunMetrics& m = result.metrics;
+  port_hits_.fetch_add(m.cache_run.hits, std::memory_order_relaxed);
+  port_misses_.fetch_add(m.cache_run.misses, std::memory_order_relaxed);
+  prefix_hits_.fetch_add(m.prefix_run.hits, std::memory_order_relaxed);
+  prefix_misses_.fetch_add(m.prefix_run.misses, std::memory_order_relaxed);
+  seeded_ports_.fetch_add(m.incremental.seeded_ports,
+                          std::memory_order_relaxed);
+  dirty_ports_.fetch_add(m.incremental.dirty_ports, std::memory_order_relaxed);
+}
+
+std::string Service::handle_status(const Request& req) {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object()
+      .field("id", req.id)
+      .field("ok", true)
+      .field("op", "status")
+      .field("uptime_us", elapsed_us(start_));
+
+  w.key("configs").begin_array();
+  for (const auto& [name, state] : baselines_) {
+    w.begin_object()
+        .field("name", name)
+        .field("vls", state->config().vl_count())
+        .field("paths", state->config().all_paths().size())
+        .field("complete", state->healthy().complete())
+        .field("baseline_wall_us", state->build_wall_us())
+        .end_object();
+  }
+  w.end_array();
+
+  w.key("requests")
+      .begin_object()
+      .field("total", requests_.load(std::memory_order_relaxed))
+      .field("errors", errors_.load(std::memory_order_relaxed))
+      .field("overloaded", overloaded_.load(std::memory_order_relaxed))
+      .end_object();
+
+  const QueueInfo q = queue_probe_ ? queue_probe_() : QueueInfo{};
+  w.key("queue")
+      .begin_object()
+      .field("depth", q.depth)
+      .field("capacity", q.capacity)
+      .end_object();
+
+  const std::uint64_t ph = port_hits_.load(std::memory_order_relaxed);
+  const std::uint64_t pm = port_misses_.load(std::memory_order_relaxed);
+  const std::uint64_t th = prefix_hits_.load(std::memory_order_relaxed);
+  const std::uint64_t tm = prefix_misses_.load(std::memory_order_relaxed);
+  const auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  };
+  w.key("caches")
+      .begin_object()
+      .field("port_hits", ph)
+      .field("port_misses", pm)
+      .field("port_hit_rate", rate(ph, pm))
+      .field("prefix_hits", th)
+      .field("prefix_misses", tm)
+      .field("prefix_hit_rate", rate(th, tm))
+      .field("seeded_ports", seeded_ports_.load(std::memory_order_relaxed))
+      .field("dirty_ports", dirty_ports_.load(std::memory_order_relaxed))
+      .end_object();
+
+  const obs::Histogram& lat =
+      obs::registry().histogram("serve.request_wall_us");
+  w.key("latency_us")
+      .begin_object()
+      .field("count", lat.count())
+      .field("mean", lat.mean())
+      .field("min", lat.min())
+      .field("max", lat.max())
+      .end_object();
+
+  w.end_object();
+  return out.str();
+}
+
+std::string Service::handle_bounds(const Request& req) {
+  const engine::BaselineState& base = baseline_for(req);
+  const TrafficConfig& config = base.config();
+  const engine::RunResult& healthy = base.healthy();
+
+  if (req.vl.has_value() && !config.find_vl(*req.vl).has_value()) {
+    throw Error("unknown VL '" + *req.vl + "'");
+  }
+  const std::size_t limit = req.limit == 0 ? 100 : req.limit;
+
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object()
+      .field("id", req.id)
+      .field("ok", true)
+      .field("op", "bounds")
+      .field("complete", healthy.complete());
+
+  std::size_t matched = 0;
+  w.key("paths").begin_array();
+  for (std::size_t p = 0; p < config.all_paths().size(); ++p) {
+    if (req.vl.has_value() && path_vl_name(config, p) != *req.vl) continue;
+    ++matched;
+    if (matched > limit) continue;
+    w.begin_object()
+        .field("vl", path_vl_name(config, p))
+        .field("dest", path_dest_name(config, p))
+        .field("netcalc_us", healthy.netcalc[p])
+        .field("trajectory_us", healthy.trajectory[p])
+        .field("combined_us", healthy.combined[p]);
+    if (!healthy.status[p].ok()) {
+      w.field("state", engine::to_string(healthy.status[p].state));
+      if (!healthy.status[p].message.empty()) {
+        w.field("message", healthy.status[p].message);
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.field("total", matched)
+      .field("returned", std::min(matched, limit))
+      .end_object();
+  return out.str();
+}
+
+std::string Service::handle_whatif(const Request& req) {
+  AFDX_TRACE_SPAN("serve.whatif", "serve");
+  const auto t0 = Clock::now();
+  const engine::BaselineState& base = baseline_for(req);
+  const TrafficConfig& config = base.config();
+  if (req.set.empty() && req.fail_spec.empty()) {
+    throw Error("whatif changes nothing: provide 'set' overrides and/or a "
+                "'fail' spec");
+  }
+
+  auto state = baseline(req.config);  // shared_ptr for the session
+  engine::OverlaySession session(state, options_.request_threads);
+  for (const engine::VlOverride& o : req.set) session.override_vl(o);
+
+  engine::CancelToken token;
+  const double deadline_ms =
+      req.deadline_ms > 0.0 ? req.deadline_ms : options_.default_deadline_ms;
+  engine::RunControl control;
+  if (deadline_ms > 0.0) {
+    token.set_deadline_after(microseconds_from_ms(deadline_ms));
+    control.cancel = &token;
+  }
+
+  // With a fault spec the overlay is the degraded view of the materialized
+  // (VL-overridden) configuration; otherwise the materialized overlay
+  // itself. Either way run_incremental re-bounds only the dirty cone.
+  engine::RunResult run;
+  std::optional<faults::DegradedView> view;
+  std::size_t failed_elements = 0;
+  if (!req.fail_spec.empty()) {
+    faults::FaultScenario scenario =
+        faults::scenario_from_spec(config.network(), req.fail_spec);
+    failed_elements =
+        scenario.failed_links.size() / 2 + scenario.failed_nodes.size();
+    const std::vector<LinkId> changed =
+        faults::scenario_changed_links(config.network(), scenario);
+    const TrafficConfig overlay = session.materialize();
+    view = faults::apply_scenario(overlay, std::move(scenario));
+    if (view->config.has_value()) {
+      run = session.analyze_config(*view->config, changed, control);
+    }
+  } else {
+    run = session.analyze(control);
+  }
+  note_run(run);
+
+  // Compare per healthy path: overlay paths stay index-aligned unless a
+  // fault re-routed them, in which case the degraded view's map applies.
+  std::vector<DeltaRow> rows;
+  std::size_t unreachable = 0;
+  std::size_t skipped = 0;
+  const std::size_t n = config.all_paths().size();
+  for (std::size_t p = 0; p < n; ++p) {
+    DeltaRow row;
+    row.path = p;
+    row.baseline_us = base.healthy().combined[p];
+    std::size_t overlay_index = p;
+    if (view.has_value()) {
+      if (view->paths[p].fate == faults::PathFate::kUnreachable) {
+        row.unreachable = true;
+        row.whatif_us = kInf;
+        ++unreachable;
+        rows.push_back(row);
+        continue;
+      }
+      overlay_index = view->paths[p].degraded_index;
+    }
+    row.whatif_us = run.combined[overlay_index];
+    row.state = run.status[overlay_index].state;
+    if (row.state == engine::PathState::kSkipped) ++skipped;
+    if (std::isfinite(row.whatif_us) && std::isfinite(row.baseline_us)) {
+      row.delta_us = row.whatif_us - row.baseline_us;
+    }
+    const bool changed = row.state != engine::PathState::kOk ||
+                         !nearly_equal(row.whatif_us, row.baseline_us);
+    if (changed) rows.push_back(row);
+  }
+
+  // Largest movement first; path index breaks ties deterministically.
+  std::sort(rows.begin(), rows.end(), [](const DeltaRow& a, const DeltaRow& b) {
+    const double ma = a.unreachable ? kInf : std::fabs(a.delta_us);
+    const double mb = b.unreachable ? kInf : std::fabs(b.delta_us);
+    if (ma != mb) return ma > mb;
+    return a.path < b.path;
+  });
+  const std::size_t limit = req.limit == 0 ? 20 : req.limit;
+
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object()
+      .field("id", req.id)
+      .field("ok", true)
+      .field("op", "whatif")
+      .field("overrides", req.set.size())
+      .field("failed_elements", failed_elements)
+      .field("paths", n)
+      .field("paths_changed", rows.size())
+      .field("unreachable", unreachable)
+      .field("partial", skipped > 0);
+  write_incremental(w, session.last_incremental());
+  w.key("changed").begin_array();
+  for (std::size_t i = 0; i < rows.size() && i < limit; ++i) {
+    write_delta_row(w, config, rows[i]);
+  }
+  w.end_array();
+  w.field("wall_us", elapsed_us(t0)).end_object();
+  return out.str();
+}
+
+std::string Service::handle_fault_sweep(const Request& req) {
+  AFDX_TRACE_SPAN("serve.fault_sweep", "serve");
+  const auto t0 = Clock::now();
+  const engine::BaselineState& base = baseline_for(req);
+  const TrafficConfig& config = base.config();
+
+  std::vector<faults::FaultScenario> scenarios;
+  const std::string scope = req.scope.empty() ? "single-link" : req.scope;
+  if (scope == "single-link") {
+    scenarios = faults::single_link_scenarios(config);
+  } else if (scope == "single-switch") {
+    scenarios = faults::single_switch_scenarios(config);
+  } else {
+    scenarios.push_back(faults::scenario_from_spec(config.network(), scope));
+  }
+
+  engine::CancelToken token;
+  const double deadline_ms =
+      req.deadline_ms > 0.0 ? req.deadline_ms : options_.default_deadline_ms;
+  faults::ScenarioOptions options;
+  options.nc = base.nc_options();
+  options.tj = base.tj_options();
+  options.threads = options_.request_threads;
+  options.healthy_run = &base.healthy();
+  if (deadline_ms > 0.0) {
+    token.set_deadline_after(microseconds_from_ms(deadline_ms));
+    options.cancel = &token;
+  }
+  const faults::DegradationReport report =
+      faults::analyze_scenarios(config, std::move(scenarios), options);
+
+  std::size_t analyzed = 0;
+  for (const faults::ScenarioReport& sr : report.scenarios) {
+    if (sr.analyzed) ++analyzed;
+  }
+  const std::size_t limit = req.limit == 0 ? 50 : req.limit;
+
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object()
+      .field("id", req.id)
+      .field("ok", true)
+      .field("op", "fault_sweep")
+      .field("scope", scope)
+      .field("scenarios", report.scenarios.size())
+      .field("analyzed", analyzed)
+      .field("partial", analyzed < report.scenarios.size())
+      .field("complete", report.complete())
+      .field("total_unreachable", report.total_unreachable)
+      .field("worst_inflation", report.worst_inflation);
+  if (report.worst_scenario != faults::kNoPath) {
+    w.field("worst_scenario",
+            report.scenarios[report.worst_scenario].scenario.name)
+        .field("worst_vl", path_vl_name(config, report.worst_path))
+        .field("worst_dest", path_dest_name(config, report.worst_path));
+  }
+  w.key("rows").begin_array();
+  for (std::size_t s = 0; s < report.scenarios.size() && s < limit; ++s) {
+    const faults::ScenarioReport& sr = report.scenarios[s];
+    w.begin_object().field("name", sr.scenario.name);
+    if (!sr.analyzed) {
+      w.field("analyzed", false)
+          .field("skip_reason", sr.skip_reason)
+          .end_object();
+      continue;
+    }
+    w.field("intact", sr.intact)
+        .field("rerouted", sr.rerouted)
+        .field("unreachable", sr.unreachable)
+        .field("failed", sr.failed)
+        .field("skipped", sr.skipped)
+        .field("worst_inflation", sr.worst_inflation)
+        .end_object();
+  }
+  w.end_array();
+  w.field("wall_us", elapsed_us(t0)).end_object();
+  return out.str();
+}
+
+std::string Service::handle_shutdown(const Request& req) {
+  shutdown_.store(true, std::memory_order_relaxed);
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object()
+      .field("id", req.id)
+      .field("ok", true)
+      .field("op", "shutdown")
+      .end_object();
+  return out.str();
+}
+
+}  // namespace afdx::serve

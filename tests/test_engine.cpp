@@ -16,6 +16,7 @@
 #include "common/error.hpp"
 #include "config/samples.hpp"
 #include "engine/incremental.hpp"
+#include "engine/session.hpp"
 #include "engine/port_cache.hpp"
 #include "engine/thread_pool.hpp"
 #include "faults/degrade.hpp"
@@ -828,6 +829,123 @@ TEST(EngineIncremental, RunResultCarriesReusableBaselineState) {
   EXPECT_NE(r.tj_options_key, 0u);
   ASSERT_NE(r.prefixes, nullptr);
   EXPECT_GT(r.prefixes->size(), 0u);
+}
+
+// --- Baseline / overlay sessions -----------------------------------------
+// One immutable BaselineState, many concurrent OverlaySessions: the serving
+// model. Every session result must be bit-identical to a fresh full run of
+// the same overlay configuration.
+
+std::shared_ptr<const BaselineState> shared_baseline() {
+  auto cfg = std::make_shared<const TrafficConfig>(small_industrial());
+  return BaselineState::build(std::move(cfg));
+}
+
+RunResult fresh_full_run(const TrafficConfig& overlay) {
+  AnalysisEngine eng(overlay, Options{1});
+  return eng.run_resilient();
+}
+
+TEST(Session, OverlayMatchesFreshFullRun) {
+  const auto base = shared_baseline();
+  OverlaySession session(base);
+  session.override_s_max("VL3", 1518);
+  const RunResult overlay = session.analyze();
+  EXPECT_FALSE(session.last_incremental().full_fallback)
+      << session.last_incremental().fallback_reason;
+  expect_runs_identical(fresh_full_run(session.materialize()), overlay);
+}
+
+TEST(Session, RejectsUnknownVlAndContractViolations) {
+  const auto base = shared_baseline();
+  OverlaySession session(base);
+  EXPECT_THROW(session.override_bag("nonexistent", 4000.0), Error);
+  EXPECT_THROW(session.override_bag("VL1", 0.0), Error);
+  // A rejected override leaves the session clean and usable.
+  EXPECT_EQ(session.override_count(), 0u);
+  session.override_bag("VL1", 1000.0);
+  EXPECT_EQ(session.override_count(), 1u);
+}
+
+TEST(Session, ConcurrentSessionsDisjointConesShareOneBaseline) {
+  const auto base = shared_baseline();
+  // Two VLs sourced at different end systems: their dirty cones start on
+  // different access links, so the sessions mostly touch disjoint ports.
+  const std::string vl_a = "VL2";
+  const std::string vl_b = "VL60";
+  ASSERT_TRUE(base->config().find_vl(vl_a).has_value());
+  ASSERT_TRUE(base->config().find_vl(vl_b).has_value());
+
+  RunResult run_a, run_b;
+  std::thread ta([&] {
+    OverlaySession s(base);
+    s.override_bag(vl_a, 1000.0);
+    run_a = s.analyze();
+  });
+  std::thread tb([&] {
+    OverlaySession s(base);
+    s.override_s_max(vl_b, 1518);
+    run_b = s.analyze();
+  });
+  ta.join();
+  tb.join();
+
+  OverlaySession check_a(base), check_b(base);
+  check_a.override_bag(vl_a, 1000.0);
+  check_b.override_s_max(vl_b, 1518);
+  expect_runs_identical(fresh_full_run(check_a.materialize()), run_a);
+  expect_runs_identical(fresh_full_run(check_b.materialize()), run_b);
+}
+
+TEST(Session, ConcurrentSessionsOverlappingConesShareOneBaseline) {
+  const auto base = shared_baseline();
+  // Both sessions edit the same VL (maximally overlapping dirty cones) to
+  // different values -- the racing reads against the shared prefix cache
+  // must not bleed either overlay's results into the other.
+  const std::string vl = "VL5";
+  ASSERT_TRUE(base->config().find_vl(vl).has_value());
+
+  RunResult run_a, run_b;
+  std::thread ta([&] {
+    OverlaySession s(base);
+    s.override_bag(vl, 1000.0);
+    run_a = s.analyze();
+  });
+  std::thread tb([&] {
+    OverlaySession s(base);
+    s.override_bag(vl, 2000.0);
+    run_b = s.analyze();
+  });
+  ta.join();
+  tb.join();
+
+  OverlaySession check_a(base), check_b(base);
+  check_a.override_bag(vl, 1000.0);
+  check_b.override_bag(vl, 2000.0);
+  expect_runs_identical(fresh_full_run(check_a.materialize()), run_a);
+  expect_runs_identical(fresh_full_run(check_b.materialize()), run_b);
+}
+
+TEST(Session, ManyConcurrentSessionsStayIndependent) {
+  const auto base = shared_baseline();
+  constexpr int kSessions = 8;
+  std::vector<RunResult> runs(kSessions);
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&base, &runs, i] {
+      OverlaySession s(base);
+      s.override_bag("VL" + std::to_string(i + 1), 1000.0 * (i + 1));
+      runs[static_cast<std::size_t>(i)] = s.analyze();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kSessions; ++i) {
+    OverlaySession check(base);
+    check.override_bag("VL" + std::to_string(i + 1), 1000.0 * (i + 1));
+    expect_runs_identical(fresh_full_run(check.materialize()),
+                          runs[static_cast<std::size_t>(i)]);
+  }
 }
 
 }  // namespace

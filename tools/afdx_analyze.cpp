@@ -47,10 +47,12 @@
 //                                              trace-event JSON file
 //                                              (chrome://tracing, Perfetto)
 //
-// Exit status: 0 on success, 1 on usage/config errors, 2 when a simulated
-// delay exceeds a reported bound (a soundness violation), 3 when the run
-// produced only partial results (contained failures, deadline or
-// cancellation).
+// Exit status (see also --help and the README):
+//   0  success -- every requested figure was computed;
+//   1  internal error (unexpected exception);
+//   2  usage / parse error (bad flags, malformed config file);
+//   3  partial results (contained failures, deadline or cancellation);
+//   4  soundness violation -- a simulated delay exceeded a reported bound.
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -76,16 +78,27 @@ using namespace afdx;
 
 namespace {
 
+// Exit-code contract of the CLI; keep in sync with the header comment, the
+// --help text, the README and the cli_exit_* tests.
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitPartial = 3;
+constexpr int kExitViolation = 4;
+
 struct CliOptions {
   std::optional<std::string> config_file;
   std::optional<std::uint64_t> generate_seed;
+  bool help = false;
   std::string method = "all";
   bool csv = false;
   bool ports = false;
   bool metrics = false;
   bool partial = false;
   int simulate = 0;
-  double deadline_ms = 0.0;
+  /// --deadline-ms: engaged when set, even with value 0 (which expires
+  /// immediately and exercises the partial-result path end to end).
+  std::optional<double> deadline_ms;
   /// --trace: Chrome trace-event JSON output file.
   std::optional<std::string> trace_file;
   /// --faults values: "single-link", "single-switch" or custom specs.
@@ -108,7 +121,15 @@ void print_usage(std::ostream& out) {
          "         --faults=single-link|single-switch|<spec>  (repeatable;\n"
          "           <spec> = comma-separated link:<a>-<b>, switch:<name>,\n"
          "           es:<name> elements forming one scenario)\n"
-         "         --partial  --deadline-ms=N  --trace=FILE\n";
+         "         --partial  --deadline-ms=N (0 expires at once)\n"
+         "         --trace=FILE  --help\n"
+         "exit codes: 0 success\n"
+         "            1 internal error\n"
+         "            2 usage or parse error\n"
+         "            3 partial results (contained failures, deadline,\n"
+         "              cancellation)\n"
+         "            4 soundness violation (simulated delay exceeded a\n"
+         "              reported bound)\n";
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -163,11 +184,13 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opts.partial = true;
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       const auto ms = parse_double(arg.substr(14));
-      if (!ms.has_value() || *ms <= 0.0) {
+      if (!ms.has_value() || *ms < 0.0) {
         std::cerr << "bad deadline: " << arg << "\n";
         return std::nullopt;
       }
       opts.deadline_ms = *ms;
+    } else if (arg == "--help") {
+      opts.help = true;
     } else if (arg == "--trace") {
       if (i + 1 >= argc) {
         std::cerr << "--trace needs an output file\n";
@@ -198,7 +221,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       return std::nullopt;
     }
   }
-  if (opts.config_file.has_value() == opts.generate_seed.has_value()) {
+  if (!opts.help &&
+      opts.config_file.has_value() == opts.generate_seed.has_value()) {
     std::cerr << "provide either a config file or --generate\n";
     return std::nullopt;
   }
@@ -217,8 +241,8 @@ int run(const CliOptions& opts) {
 
   engine::CancelToken cancel;
   const engine::CancelToken* cancel_ptr = nullptr;
-  if (opts.deadline_ms > 0.0) {
-    cancel.set_deadline_after(opts.deadline_ms * 1000.0);
+  if (opts.deadline_ms.has_value()) {
+    cancel.set_deadline_after(*opts.deadline_ms * 1000.0);
     cancel_ptr = &cancel;
   }
 
@@ -246,7 +270,7 @@ int run(const CliOptions& opts) {
     const faults::DegradationReport report =
         faults::analyze_scenarios(config, std::move(scenarios), so);
     report.print(std::cout, config);
-    return report.complete() ? 0 : 3;
+    return report.complete() ? kExitOk : kExitPartial;
   }
 
   if (opts.partial || cancel_ptr != nullptr) {
@@ -284,9 +308,9 @@ int run(const CliOptions& opts) {
     }
     if (!r.complete()) {
       std::cerr << "partial results: some paths have no bounds\n";
-      return 3;
+      return kExitPartial;
     }
-    return 0;
+    return kExitOk;
   }
 
   const bool want_nc = opts.method == "netcalc" || opts.method == "all";
@@ -390,9 +414,9 @@ int run(const CliOptions& opts) {
     }
     std::cout << "\nsimulated " << opts.simulate
               << " schedules: " << violations << " bound violations\n";
-    if (violations > 0) return 2;
+    if (violations > 0) return kExitViolation;
   }
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -401,7 +425,11 @@ int main(int argc, char** argv) {
   const auto opts = parse_args(argc, argv);
   if (!opts.has_value()) {
     print_usage(std::cerr);
-    return 1;
+    return kExitUsage;
+  }
+  if (opts->help) {
+    print_usage(std::cout);
+    return kExitOk;
   }
   if (opts->trace_file.has_value()) obs::Tracer::instance().enable();
   // Flush the trace even when the run ends with a partial result or an
@@ -423,8 +451,14 @@ int main(int argc, char** argv) {
     flush_trace();
     return code;
   } catch (const Error& e) {
+    // Library errors stem from the inputs (config files, specs, flag
+    // values) -- the parse-error exit code; anything else is internal.
     flush_trace();
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    flush_trace();
+    std::cerr << "internal error: " << e.what() << "\n";
+    return kExitInternal;
   }
 }

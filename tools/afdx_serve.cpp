@@ -1,0 +1,271 @@
+// afdx_serve -- long-lived analysis daemon.
+//
+// Loads one or more configurations at startup, computes and pins a warm
+// baseline per configuration (full engine run + cache state), then serves
+// concurrent what-if / bounds / fault-sweep requests over newline-delimited
+// JSON (see src/serve/protocol.hpp for the wire format). A warm what-if
+// re-analyzes only the dirty cone of the requested change, so it costs a
+// small fraction of the full run the baseline already paid.
+//
+// Usage:
+//   afdx_serve --config=FILE [--config=NAME=FILE ...] [options]
+//   afdx_serve --generate[=seed] [options]
+//
+// Transports:
+//   --stdio                 serve stdin -> stdout (default; ends at EOF)
+//   --port=N                serve TCP on 127.0.0.1:N (0 = ephemeral; the
+//                           bound port is announced on stderr); ends on a
+//                           shutdown request, SIGINT or SIGTERM
+//
+// Options:
+//   --workers=N             concurrent request workers (default 1; 0 = one
+//                           per hardware thread). With 1 worker responses
+//                           come back in request order.
+//   --request-threads=N     threads inside each per-request engine
+//                           (default 1: parallelism across requests)
+//   --build-threads=N       threads for the baseline builds (default 0 =
+//                           one per hardware thread; the result is
+//                           bit-identical for every N)
+//   --queue-depth=N         admission-queue capacity (default 16); requests
+//                           beyond it get an explicit "overloaded" error
+//   --max-line-bytes=N      longest accepted request line (default 65536);
+//                           longer lines get a clean error response
+//   --default-deadline-ms=N deadline for requests that carry none
+//   --no-grouping           baseline WCNC without the grouping technique
+//   --no-serialization      baseline trajectory without serialization
+//   --quiet                 no startup banner on stderr
+//
+// Exit status: 0 on a clean shutdown, 2 on usage/parse errors, 1 on
+// internal errors (cannot load a configuration, cannot bind the port).
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+#include "config/serialization.hpp"
+#include "gen/industrial.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+using namespace afdx;
+
+namespace {
+
+struct BaselineSpec {
+  std::string name;
+  /// Config file path; nullopt = generate (seed below).
+  std::optional<std::string> file;
+  std::uint64_t seed = 42;
+};
+
+struct CliOptions {
+  std::vector<BaselineSpec> baselines;
+  bool stdio = true;
+  std::uint16_t port = 0;
+  int workers = 1;
+  int request_threads = 1;
+  int build_threads = 0;
+  std::size_t queue_depth = 16;
+  std::size_t max_line_bytes = 1 << 16;
+  double default_deadline_ms = 0.0;
+  bool quiet = false;
+  netcalc::Options nc;
+  trajectory::Options tj;
+};
+
+void print_usage(std::ostream& out) {
+  out << "usage: afdx_serve --config=[NAME=]FILE [--config=...] [options]\n"
+         "       afdx_serve --generate[=seed] [options]\n"
+         "options: --stdio | --port=N (0 = ephemeral)\n"
+         "         --workers=N (0 = auto)  --request-threads=N\n"
+         "         --build-threads=N (0 = auto)  --queue-depth=N\n"
+         "         --max-line-bytes=N  --default-deadline-ms=N\n"
+         "         --no-grouping  --no-serialization  --quiet\n";
+}
+
+/// "NAME=PATH" -> (NAME, PATH); bare "PATH" -> (file stem, PATH).
+BaselineSpec config_spec(const std::string& value) {
+  BaselineSpec spec;
+  const std::size_t eq = value.find('=');
+  if (eq != std::string::npos) {
+    spec.name = value.substr(0, eq);
+    spec.file = value.substr(eq + 1);
+  } else {
+    spec.file = value;
+    std::string stem = value;
+    const std::size_t slash = stem.find_last_of('/');
+    if (slash != std::string::npos) stem = stem.substr(slash + 1);
+    const std::size_t dot = stem.find_last_of('.');
+    if (dot != std::string::npos && dot > 0) stem = stem.substr(0, dot);
+    spec.name = stem;
+  }
+  return spec;
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto uint_value = [&](std::size_t prefix,
+                                const char* what) -> std::optional<std::uint64_t> {
+      const auto v = parse_uint(arg.substr(prefix));
+      if (!v.has_value()) std::cerr << "bad " << what << ": " << arg << "\n";
+      return v;
+    };
+    if (arg.rfind("--config=", 0) == 0) {
+      const std::string value = arg.substr(9);
+      if (value.empty()) {
+        std::cerr << "empty --config value\n";
+        return std::nullopt;
+      }
+      opts.baselines.push_back(config_spec(value));
+    } else if (arg == "--generate") {
+      opts.baselines.push_back(BaselineSpec{"gen42", std::nullopt, 42});
+    } else if (arg.rfind("--generate=", 0) == 0) {
+      const auto seed = uint_value(11, "generate seed");
+      if (!seed.has_value()) return std::nullopt;
+      opts.baselines.push_back(
+          BaselineSpec{"gen" + std::to_string(*seed), std::nullopt, *seed});
+    } else if (arg == "--stdio") {
+      opts.stdio = true;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      const auto p = uint_value(7, "port");
+      if (!p.has_value() || *p > 65535) {
+        if (p.has_value()) std::cerr << "bad port: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.port = static_cast<std::uint16_t>(*p);
+      opts.stdio = false;
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      const auto n = uint_value(10, "worker count");
+      if (!n.has_value()) return std::nullopt;
+      opts.workers = static_cast<int>(*n);
+    } else if (arg.rfind("--request-threads=", 0) == 0) {
+      const auto n = uint_value(18, "request thread count");
+      if (!n.has_value()) return std::nullopt;
+      opts.request_threads = static_cast<int>(*n);
+    } else if (arg.rfind("--build-threads=", 0) == 0) {
+      const auto n = uint_value(16, "build thread count");
+      if (!n.has_value()) return std::nullopt;
+      opts.build_threads = static_cast<int>(*n);
+    } else if (arg.rfind("--queue-depth=", 0) == 0) {
+      const auto n = uint_value(14, "queue depth");
+      if (!n.has_value() || *n == 0) {
+        if (n.has_value()) std::cerr << "queue depth must be >= 1\n";
+        return std::nullopt;
+      }
+      opts.queue_depth = static_cast<std::size_t>(*n);
+    } else if (arg.rfind("--max-line-bytes=", 0) == 0) {
+      const auto n = uint_value(17, "line limit");
+      if (!n.has_value() || *n == 0) {
+        if (n.has_value()) std::cerr << "line limit must be >= 1\n";
+        return std::nullopt;
+      }
+      opts.max_line_bytes = static_cast<std::size_t>(*n);
+    } else if (arg.rfind("--default-deadline-ms=", 0) == 0) {
+      const auto ms = parse_double(arg.substr(22));
+      if (!ms.has_value() || *ms < 0.0) {
+        std::cerr << "bad deadline: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.default_deadline_ms = *ms;
+    } else if (arg == "--no-grouping") {
+      opts.nc.grouping = false;
+    } else if (arg == "--no-serialization") {
+      opts.tj.serialization = false;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return std::nullopt;
+    }
+  }
+  if (opts.baselines.empty()) {
+    std::cerr << "provide at least one --config or --generate\n";
+    return std::nullopt;
+  }
+  return opts;
+}
+
+serve::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();  // atomic store only
+}
+
+int run(const CliOptions& opts) {
+  serve::ServiceOptions service_options;
+  service_options.request_threads = opts.request_threads;
+  service_options.default_deadline_ms = opts.default_deadline_ms;
+  serve::Service service(service_options);
+
+  for (const BaselineSpec& spec : opts.baselines) {
+    auto config = std::make_shared<const TrafficConfig>(
+        spec.file.has_value() ? config::load_config_file(*spec.file) : [&] {
+          gen::IndustrialOptions go;
+          go.seed = spec.seed;
+          return gen::industrial_config(go);
+        }());
+    service.add_baseline(spec.name, std::move(config), opts.nc, opts.tj,
+                         opts.build_threads);
+    if (!opts.quiet) {
+      const auto base = service.baseline(spec.name);
+      std::cerr << "baseline '" << spec.name << "': "
+                << base->config().vl_count() << " VLs, "
+                << base->config().all_paths().size() << " paths, warm in "
+                << static_cast<long long>(base->build_wall_us() / 1000.0)
+                << " ms" << (base->healthy().complete() ? "" : " (partial)")
+                << "\n";
+    }
+  }
+
+  serve::ServerOptions server_options;
+  server_options.workers = opts.workers;
+  server_options.queue_capacity = opts.queue_depth;
+  server_options.max_line_bytes = opts.max_line_bytes;
+  serve::Server server(service, server_options);
+
+  if (opts.stdio) {
+    server.serve_stream(std::cin, std::cout);
+    return 0;
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::thread announcer([&server, quiet = opts.quiet] {
+    for (int i = 0; i < 5000 && server.bound_port() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!quiet && server.bound_port() != 0) {
+      std::cerr << "listening on 127.0.0.1:" << server.bound_port() << "\n";
+    }
+  });
+  server.listen_and_serve(opts.port);
+  announcer.join();
+  g_server = nullptr;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse_args(argc, argv);
+  if (!opts.has_value()) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  try {
+    return run(*opts);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
