@@ -1,0 +1,180 @@
+// Evaluation beyond the paper: the accuracy/cost frontier of the bound
+// ladder. The ladder runs its cheapest rung everywhere and then escalates
+// the paths with the largest rung disagreement until the budget is spent,
+// so every extra token of budget buys some tightening. This bench sweeps
+// the token budget from "base rung only" to unlimited and measures the
+// residual pessimism (analytic bound / best simulated delay) at each stop:
+// the tightness-vs-cpu frontier a deadline-bound caller actually navigates.
+//
+// Token budgets make the frontier exactly monotone: the ladder's schedule
+// is deterministic and a larger budget performs a strict superset of the
+// per-path rung evaluations, so the mean pessimism never increases as the
+// budget grows (asserted by scripts/validate_bench_json.py).
+#include <string>
+#include <vector>
+
+#include "analysis/comparison.hpp"
+#include "analysis/ladder.hpp"
+#include "bench_util.hpp"
+#include "gen/industrial.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace afdx;
+
+TrafficConfig frontier_config() {
+  gen::IndustrialOptions go;
+  go.vl_count = 60;
+  go.end_system_count = 16;
+  go.switch_count = 5;
+  return gen::industrial_config(go);
+}
+
+/// Best simulated delay per path over the standard soundness battery: the
+/// lower-bound witness the pessimism ratios divide by.
+std::vector<Microseconds> simulated_lower_bounds(const TrafficConfig& cfg) {
+  std::vector<Microseconds> best(cfg.all_paths().size(), 0.0);
+  sim::ScheduleSuiteOptions suite;
+  suite.random_schedules = 2;
+  suite.adversarial_stride = 9;
+  for (const sim::Options& schedule : sim::soundness_schedules(cfg, suite)) {
+    const sim::Result r = sim::simulate(cfg, schedule);
+    for (std::size_t i = 0; i < best.size(); ++i) {
+      best[i] = std::max(best[i], r.max_path_delay[i]);
+    }
+  }
+  return best;
+}
+
+struct FrontierPoint {
+  std::string label;
+  std::uint64_t max_path_evals = 0;  // 0 = unlimited
+  analysis::LadderResult result;
+  analysis::PessimismStats pessimism;
+};
+
+FrontierPoint run_point(const TrafficConfig& cfg,
+                        const std::vector<Microseconds>& sim_lb,
+                        const std::string& label,
+                        std::uint64_t max_path_evals) {
+  FrontierPoint point;
+  point.label = label;
+  point.max_path_evals = max_path_evals;
+  analysis::LadderOptions opts;
+  opts.max_path_evals = max_path_evals;
+  opts.wave = 16;
+  point.result = analysis::run_ladder(cfg, opts);
+  point.pessimism = analysis::pessimism_stats(sim_lb, point.result.bounds);
+  return point;
+}
+
+void run_experiment(std::ostream& out, const benchutil::BenchCli& cli) {
+  out << "EXT / ladder frontier: bound tightness vs escalation budget\n\n";
+
+  const TrafficConfig cfg = frontier_config();
+  const std::size_t n = cfg.all_paths().size();
+  out << "configuration: " << cfg.network().switches().size() << " switches, "
+      << cfg.network().end_systems().size() << " end systems, "
+      << cfg.vl_count() << " VLs, " << n << " VL paths\n\n";
+
+  const std::vector<Microseconds> sim_lb = simulated_lower_bounds(cfg);
+
+  // Token budgets in multiples of the path count: 1n = the cheapest rung
+  // only, 3n = all three whole-configuration rungs, beyond that the
+  // trajectory escalation waves, 0 = unlimited (the full ladder).
+  const std::vector<std::pair<std::string, double>> budgets = {
+      {"1n", 1.0}, {"2n", 2.0}, {"3n", 3.0},
+      {"3.5n", 3.5}, {"4n", 4.0}, {"4.5n", 4.5},
+  };
+  std::vector<FrontierPoint> frontier;
+  for (const auto& [label, mult] : budgets) {
+    frontier.push_back(run_point(
+        cfg, sim_lb, label,
+        static_cast<std::uint64_t>(mult * static_cast<double>(n))));
+  }
+  // The unlimited run doubles as the tracer-overhead workload.
+  FrontierPoint full;
+  const benchutil::OverheadReport overhead = benchutil::measure_run_overhead(
+      [&] { full = run_point(cfg, sim_lb, "unlimited", 0); });
+  frontier.push_back(std::move(full));
+
+  report::Table t({"budget", "evals", "escalated", "exhausted",
+                   "mean pessimism", "max pessimism", "wall (ms)"});
+  for (const FrontierPoint& p : frontier) {
+    t.add_row({p.label, std::to_string(p.result.path_evals),
+               std::to_string(p.result.paths_escalated),
+               p.result.budget_exhausted ? "yes" : "no",
+               report::fmt(p.pessimism.mean, 4) + " x",
+               report::fmt(p.pessimism.max, 4) + " x",
+               report::fmt(p.result.wall_us / 1000.0, 2)});
+  }
+  t.print(out);
+  out << "\nEvery budget keeps 100 % path coverage (the cheapest rung bounds\n"
+         "everything first); extra budget only re-bounds the paths with the\n"
+         "largest rung disagreement, so the mean pessimism falls\n"
+         "monotonically towards the full ladder's.\n\n";
+  benchutil::print_overhead(out, overhead);
+
+  const auto json_path = cli.resolve_json_path("ladder_frontier");
+  if (json_path.has_value()) {
+    benchutil::BenchJsonDoc doc =
+        benchutil::begin_bench_json(*json_path, "ladder_frontier", cli);
+    if (doc.ok()) {
+      obs::JsonWriter& w = doc.w();
+      w.key("config").begin_object();
+      w.field("switches", cfg.network().switches().size())
+          .field("end_systems", cfg.network().end_systems().size())
+          .field("vls", cfg.vl_count())
+          .field("paths", n)
+          .field("sim_schedules_random", 2)
+          .field("sim_adversarial_stride", 9);
+      w.end_object();
+      w.key("results").begin_object();
+      w.key("frontier").begin_array();
+      for (const FrontierPoint& p : frontier) {
+        w.begin_object()
+            .field("budget", p.label)
+            .field("max_path_evals", p.max_path_evals)
+            .field("path_evals", p.result.path_evals)
+            .field("paths_escalated", p.result.paths_escalated)
+            .field("budget_exhausted", p.result.budget_exhausted)
+            .field("mean_pessimism", p.pessimism.mean)
+            .field("max_pessimism", p.pessimism.max)
+            .field("min_pessimism", p.pessimism.min)
+            .field("paths_measured", p.pessimism.paths)
+            .field("wall_us", p.result.wall_us)
+            .end_object();
+      }
+      w.end_array();
+      w.end_object();
+      obs::write_registry_json(w);
+      benchutil::write_overhead_json(w, overhead);
+      benchutil::finish_bench_json(doc, *json_path);
+    }
+  }
+}
+
+void BM_LadderUnlimited(benchmark::State& state) {
+  const TrafficConfig cfg = frontier_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::run_ladder(cfg));
+  }
+}
+BENCHMARK(BM_LadderUnlimited)->Unit(benchmark::kMillisecond);
+
+void BM_LadderBudget3n(benchmark::State& state) {
+  const TrafficConfig cfg = frontier_config();
+  analysis::LadderOptions opts;
+  opts.max_path_evals = 3 * cfg.all_paths().size();
+  opts.wave = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::run_ladder(cfg, opts));
+  }
+}
+BENCHMARK(BM_LadderBudget3n)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AFDX_BENCH_MAIN_OBS(run_experiment)

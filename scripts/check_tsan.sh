@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Builds the project under ThreadSanitizer and runs the parallel analysis
 # engine's determinism/cache tests, the observability layer's tracer /
-# counter concurrency tests, and the serving subsystem's concurrent
-# session / server tests (see README "Sanitizer builds").
+# counter concurrency tests, the serving subsystem's concurrent
+# session / server tests, and the accuracy/cost ladder's sharded
+# escalation tests (see README "Sanitizer builds").
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -10,7 +11,7 @@ set -eu
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." -DAFDX_SANITIZE=thread
-cmake --build "$BUILD_DIR" --target test_engine test_obs test_serve -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target test_engine test_obs test_serve test_ladder -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" \
-    -R '^(Engine|ThreadPool|PortCache|Tracer|Counters|JsonWriter|Overhead|Session|Serve)' \
+    -R '^(Engine|ThreadPool|PortCache|Tracer|Counters|JsonWriter|Overhead|Session|Serve|Ladder)' \
     --output-on-failure

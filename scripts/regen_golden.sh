@@ -7,7 +7,9 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" --target test_golden -j >/dev/null
+cmake --build "$BUILD_DIR" --target test_golden test_ladder -j >/dev/null
 
 AFDX_REGEN_GOLDEN=1 "$BUILD_DIR"/tests/test_golden
+AFDX_REGEN_GOLDEN=1 "$BUILD_DIR"/tests/test_ladder \
+    --gtest_filter='LadderGolden.*'
 echo "regenerated tests/golden/ -- review with: git diff tests/golden"

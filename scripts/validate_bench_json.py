@@ -85,6 +85,39 @@ def check_metrics(doc):
         check_number(doc, f"metrics.cache.{field}", allow_none=True)
 
 
+def check_ladder_frontier(doc):
+    """Bench-specific contract of BENCH_ladder_frontier.json: the frontier
+    is non-empty, every point is sound (pessimism >= 1) with full path
+    coverage, and the mean pessimism is monotonically non-increasing as the
+    token budget grows (the points are emitted in budget order)."""
+    if doc.get("bench") != "ladder_frontier":
+        return
+    frontier = doc["results"].get("frontier")
+    require(isinstance(frontier, list) and frontier,
+            "results.frontier: missing/empty")
+    prev_mean = None
+    for i, point in enumerate(frontier):
+        require(isinstance(point, dict), f"frontier[{i}]: not an object")
+        for field in ("budget", "path_evals", "paths_escalated",
+                      "mean_pessimism", "max_pessimism", "min_pessimism",
+                      "paths_measured", "wall_us"):
+            require(field in point, f"frontier[{i}].{field}: missing")
+        require(point["min_pessimism"] >= 1.0 - 1e-9,
+                f"frontier[{i}] ({point['budget']}): min pessimism "
+                f"{point['min_pessimism']} < 1 witnesses unsoundness")
+        require(point["paths_measured"] > 0,
+                f"frontier[{i}] ({point['budget']}): no paths measured")
+        if prev_mean is not None:
+            require(point["mean_pessimism"] <= prev_mean + 1e-9,
+                    f"frontier[{i}] ({point['budget']}): mean pessimism "
+                    f"{point['mean_pessimism']} rose above the cheaper "
+                    f"budget's {prev_mean} (frontier must be monotone)")
+        prev_mean = point["mean_pessimism"]
+    last = frontier[-1]
+    require(last["budget"] == "unlimited" and not last["budget_exhausted"],
+            "frontier[-1]: expected the unlimited (complete) ladder run")
+
+
 def validate(doc):
     require(isinstance(doc, dict), "top level: not an object")
     require(doc.get("schema") == "afdx-bench/1",
@@ -99,6 +132,7 @@ def validate(doc):
     check_metrics(doc)
     check_registry(doc)
     check_tracer_overhead(doc)
+    check_ladder_frontier(doc)
 
 
 def main(argv):

@@ -1,0 +1,242 @@
+// Budget-driven accuracy/cost ladder over the repo's delay analyses.
+//
+// The paper's "combined" method already mixes two analyses per path (keep
+// the tightest of WCNC+grouping and trajectory). BoundLadder generalizes
+// that into a *ladder* of five rungs ordered loosest -> tightest:
+//
+//   rung 0  sfa              generic SFA (pay bursts only once, blind
+//                            multiplexing residuals) -- the cheap baseline
+//   rung 1  wcnc             WCNC without the grouping refinement
+//   rung 2  wcnc_grouping    WCNC with grouping (the paper's Section III)
+//   rung 3  trajectory       historical trajectory approach (no
+//                            serialization refinement: simultaneous-
+//                            arrival surcharge at every crossed port)
+//   rung 4  trajectory_pruned  serialization-refined trajectory with the
+//                            exact candidate-sweep prunings -- the
+//                            tightest (and costliest) analysis in the repo
+//
+// Each rung registers a (cost_estimate_fn, compute_fn) pair. The
+// scheduler runs the cheapest rung on every path (so no path is ever left
+// without a bound), then climbs: whole-config rungs run in cost order
+// while the budget allows, and the per-path trajectory rungs escalate the
+// paths with the largest rung-vs-rung disagreement first, in waves
+// sharded across the engine's work-stealing pool, until the budget is
+// spent.
+//
+// Bound semantics -- cumulative rungs. Raw per-rung bounds do NOT form a
+// chain (the golden lock has paths where raw WCNC beats raw trajectory
+// and vice versa; that crossover is the whole point of the paper's
+// combined method). The *ladder bound at rung k* is therefore the minimum
+// over the raw bounds of rungs 0..k -- the bound the ladder would report
+// had it stopped at rung k. With that definition the dominance chain
+//
+//   sim <= ladder(trajectory_pruned) <= ladder(trajectory)
+//       <= ladder(wcnc_grouping) <= ladder(wcnc) <= ladder(sfa)
+//
+// holds by construction plus per-rung soundness, and is what the fuzzing
+// oracle (valid::check_config with CheckOptions::ladder) enforces. Two
+// raw refinement edges are analytic and checked as well: grouping only
+// tightens (raw wcnc_grouping <= raw wcnc) and the serialization
+// refinement only tightens (raw trajectory_pruned <= raw trajectory).
+//
+// Budgets: wall-clock (budget_ms, enforced through a CancelToken
+// deadline, plus an optional external token for serving-mode deadlines)
+// and/or a deterministic path-evaluation token budget (max_path_evals --
+// one token per rung application to one path). Token budgets are checked
+// only at wave boundaries, so for a fixed token budget the escalation
+// schedule -- and every bound and provenance record -- is bit-identical
+// across thread counts.
+//
+// Provenance: every path records the rungs attempted on it, the winning
+// (tightest) rung, the first (cheapest-rung) bound and the tightening
+// achieved. When the budget expires mid-escalation the unescalated paths
+// keep their cheapest completed bound and their PathStatus carries a
+// partial-provenance message (never a missing or zero bound);
+// LadderResult::budget_exhausted tells the caller (afdx_analyze exits 3).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/cancel.hpp"
+#include "engine/engine.hpp"
+#include "netcalc/netcalc_analyzer.hpp"
+#include "trajectory/trajectory_analyzer.hpp"
+#include "vl/traffic_config.hpp"
+
+namespace afdx::analysis {
+
+/// The five standard rungs, ordered loosest (cheapest) -> tightest
+/// (costliest). The numeric order is the ladder order.
+enum class Rung : std::uint8_t {
+  kSfa = 0,
+  kWcnc = 1,
+  kWcncGrouping = 2,
+  kTrajectory = 3,
+  kTrajectoryPruned = 4,
+};
+
+inline constexpr std::size_t kRungCount = 5;
+
+/// Stable short name ("sfa", "wcnc", "wcnc_grouping", "trajectory",
+/// "trajectory_pruned") used in provenance CSVs, JSON and CLI output.
+[[nodiscard]] const char* to_string(Rung rung) noexcept;
+
+/// Budget and tuning knobs of one ladder run.
+struct LadderOptions {
+  /// Wall-clock budget in milliseconds; 0 or negative = unlimited.
+  double budget_ms = 0.0;
+  /// Deterministic token budget: one token is spent per rung application
+  /// to one path; 0 = unlimited. Checked only at wave boundaries, so the
+  /// escalation schedule is bit-identical across thread counts.
+  std::uint64_t max_path_evals = 0;
+  /// External cancellation (e.g. a serving-mode request deadline). The
+  /// cheapest completed rung's bounds are still reported when it fires.
+  const engine::CancelToken* cancel = nullptr;
+  /// Paths escalated per wave; 0 = a fixed default (32). The default is
+  /// deliberately independent of the thread count: token budgets are
+  /// checked at wave boundaries, so a thread-independent wave size keeps
+  /// budgeted runs bit-identical across --threads.
+  std::size_t wave = 0;
+  /// Base options for the WCNC rungs (the grouping flag is overridden per
+  /// rung) and the trajectory rungs (the serialization flag is overridden
+  /// per rung).
+  netcalc::Options netcalc;
+  trajectory::Options trajectory;
+};
+
+/// Per-rung execution record of one ladder run.
+struct RungStats {
+  /// The rung was started (it may still have bounded only some paths).
+  bool attempted = false;
+  /// Whole-config rungs: ran to completion on every path.
+  bool completed = false;
+  /// Rung failed outright (e.g. SFA on an unstable port); message below.
+  bool failed = false;
+  std::string message;
+  /// Paths this rung produced a raw bound for.
+  std::size_t paths_bounded = 0;
+  /// Pre-run relative cost estimate, in path-evaluation units.
+  double cost_estimate = 0.0;
+  Microseconds wall_us = 0.0;
+};
+
+/// Per-path provenance of one ladder run.
+struct PathProvenance {
+  /// The tightest rung attempted on this path (ties break toward the
+  /// cheaper rung, deterministically).
+  Rung winner = Rung::kSfa;
+  /// Bit k set = rung k produced a raw bound for this path.
+  std::uint8_t attempted_mask = 0;
+  /// Bound after the cheapest successful rung (start of the ladder).
+  Microseconds first_bound_us = 0.0;
+  /// Final (cumulative-minimum) bound.
+  Microseconds final_bound_us = 0.0;
+  /// The path received at least one per-path trajectory escalation.
+  bool escalated = false;
+
+  [[nodiscard]] bool attempted(Rung rung) const noexcept {
+    return (attempted_mask >> static_cast<unsigned>(rung)) & 1u;
+  }
+  /// Tightening achieved by climbing: first - final (>= 0).
+  [[nodiscard]] Microseconds tightening_us() const noexcept {
+    return first_bound_us - final_bound_us;
+  }
+};
+
+/// Result of one ladder run. All vectors align with
+/// TrafficConfig::all_paths().
+struct LadderResult {
+  /// Final per-path bounds: min over the raw bounds of every rung
+  /// attempted on the path. Finite for every path whose status is not
+  /// kFailed.
+  std::vector<Microseconds> bounds;
+  /// Raw per-rung bounds. A rung's vector is empty if the rung never ran;
+  /// +infinity marks a path the rung did not reach (per-path escalation).
+  std::array<std::vector<Microseconds>, kRungCount> rung_bounds;
+  /// Provenance for 100% of paths.
+  std::vector<PathProvenance> provenance;
+  /// Per-path status: kOk with an empty message for fully escalated
+  /// paths, kOk with a "ladder: budget exhausted ..." message for paths
+  /// stranded below the top rung, kFailed when no rung bounded the path.
+  std::vector<engine::PathStatus> status;
+  std::array<RungStats, kRungCount> rungs{};
+  /// True when any rung or wave was skipped because a budget expired.
+  bool budget_exhausted = false;
+  /// Human-readable reason when budget_exhausted ("deadline exceeded",
+  /// "path-evaluation budget spent", ...).
+  std::string budget_reason;
+  /// Paths that received at least one per-path escalation.
+  std::size_t paths_escalated = 0;
+  /// Path-evaluation tokens spent (rung applications to paths).
+  std::uint64_t path_evals = 0;
+  Microseconds wall_us = 0.0;
+
+  /// Every rung ran on every path (nothing was cut by a budget).
+  [[nodiscard]] bool complete() const noexcept { return !budget_exhausted; }
+  /// Cumulative ladder bound of `path` at `rung`: min over the raw bounds
+  /// of rungs 0..rung that were attempted on the path; +infinity when none
+  /// of them was.
+  [[nodiscard]] Microseconds ladder_bound(std::size_t path, Rung rung) const;
+};
+
+/// The accuracy/cost ladder over one configuration. Owns an
+/// engine::AnalysisEngine; whole-config rungs run through it (sharing its
+/// port cache across rungs and runs) and per-path escalation waves shard
+/// across its work-stealing pool. Rung registration is open: the
+/// constructor registers the five standard rungs through the same
+/// register_rung API a caller could use to replace one (tests inject
+/// deliberately-loosened rungs this way).
+class BoundLadder {
+ public:
+  /// One registered rung: a relative cost estimate (in path-evaluation
+  /// units, used by the budget planner) and a whole-config compute
+  /// returning raw bounds aligned with all_paths(). Rungs with
+  /// `compute_paths` additionally support per-path escalation: fill
+  /// `out[i]` for every path index i in `paths` (out is preallocated to
+  /// all_paths().size() and already holds +infinity).
+  struct RungDef {
+    Rung id = Rung::kSfa;
+    std::function<double()> cost_estimate;
+    std::function<std::vector<Microseconds>()> compute;
+    std::function<void(const std::vector<std::size_t>& paths,
+                       std::vector<Microseconds>& out)>
+        compute_paths;
+  };
+
+  explicit BoundLadder(const TrafficConfig& config,
+                       const engine::Options& engine_options = {});
+  BoundLadder(const BoundLadder&) = delete;
+  BoundLadder& operator=(const BoundLadder&) = delete;
+
+  /// Replaces the registration of def.id (the constructor has already
+  /// registered the standard five).
+  void register_rung(RungDef def);
+
+  [[nodiscard]] LadderResult run(const LadderOptions& options = {});
+
+  [[nodiscard]] engine::AnalysisEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const TrafficConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void register_standard_rungs(const LadderOptions& options);
+
+  const TrafficConfig& cfg_;
+  std::unique_ptr<engine::AnalysisEngine> engine_;
+  std::array<RungDef, kRungCount> rungs_{};
+  /// Rungs replaced by register_rung survive across run() calls; the
+  /// standard ones are re-bound to each run's options.
+  std::array<bool, kRungCount> user_rung_{};
+};
+
+/// Convenience: one-shot ladder run.
+[[nodiscard]] LadderResult run_ladder(const TrafficConfig& config,
+                                      const LadderOptions& options = {},
+                                      const engine::Options& engine_options = {});
+
+}  // namespace afdx::analysis

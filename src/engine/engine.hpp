@@ -217,6 +217,10 @@ class AnalysisEngine {
   [[nodiscard]] int thread_count() const noexcept {
     return pool_.thread_count();
   }
+  /// The engine's worker pool, for callers that shard auxiliary work
+  /// (e.g. the accuracy/cost ladder's per-path escalation waves) across
+  /// the same threads instead of spinning up their own.
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
   /// Metrics accumulated since construction.
   [[nodiscard]] RunMetrics metrics() const;

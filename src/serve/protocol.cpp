@@ -46,9 +46,34 @@ Op parse_op(const std::string& name) {
   if (name == "bounds") return Op::kBounds;
   if (name == "whatif") return Op::kWhatIf;
   if (name == "fault_sweep") return Op::kFaultSweep;
+  if (name == "ladder") return Op::kLadder;
   if (name == "shutdown") return Op::kShutdown;
   throw Error("request key 'op': unknown op '" + name +
-              "' (expected status|bounds|whatif|fault_sweep|shutdown)");
+              "' (expected status|bounds|whatif|fault_sweep|ladder|shutdown)");
+}
+
+LadderSpec parse_ladder_spec(const JsonValue& value) {
+  if (!value.is_object()) {
+    fail_key("ladder", std::string("expected an object, got ") +
+                           value.kind_name());
+  }
+  LadderSpec spec;
+  for (const auto& [key, entry] : value.as_object()) {
+    if (key == "budget_ms") {
+      const double ms = number_field("ladder.budget_ms", entry);
+      if (!(ms >= 0.0) || !std::isfinite(ms)) {
+        fail_key("ladder.budget_ms", "expected a finite non-negative number");
+      }
+      spec.budget_ms = ms;
+    } else if (key == "max_path_evals") {
+      spec.max_path_evals =
+          uint_field("ladder.max_path_evals", entry, 1ull << 53);
+    } else {
+      fail_key("ladder." + key,
+               "unknown ladder field (expected budget_ms, max_path_evals)");
+    }
+  }
+  return spec;
 }
 
 engine::VlOverride parse_override(const JsonValue& entry) {
@@ -95,6 +120,8 @@ const char* to_string(Op op) noexcept {
       return "whatif";
     case Op::kFaultSweep:
       return "fault_sweep";
+    case Op::kLadder:
+      return "ladder";
     case Op::kShutdown:
       return "shutdown";
   }
@@ -133,6 +160,8 @@ Request parse_request(const std::string& line) {
       req.fail_spec = string_field(key, value);
     } else if (key == "scope") {
       req.scope = string_field(key, value);
+    } else if (key == "ladder") {
+      req.ladder = parse_ladder_spec(value);
     } else if (key == "deadline_ms") {
       const double ms = number_field(key, value);
       if (!(ms >= 0.0) || !std::isfinite(ms)) {
@@ -143,7 +172,7 @@ Request parse_request(const std::string& line) {
       req.limit = static_cast<std::size_t>(uint_field(key, value, 1000000));
     } else {
       fail_key(key, "unknown request key (expected id, op, config, vl, set, "
-                    "fail, scope, deadline_ms, limit)");
+                    "fail, scope, ladder, deadline_ms, limit)");
     }
   }
   if (!have_op) throw Error("request is missing 'op'");

@@ -20,12 +20,18 @@
 //   fault_sweep batched fault enumeration: "scope" is "single-link",
 //               "single-switch" or one custom spec; per-scenario summary
 //               rows come back.
+//   ladder      budget-driven accuracy/cost ladder over one configuration:
+//               "ladder":{"budget_ms":N,"max_path_evals":M} caps the
+//               escalation spend; per-path rows carry the winning rung and
+//               provenance, sorted by tightening.
 //   shutdown    acknowledge and stop the server loop.
 //
 // Shared optional keys: "id" (echoed back, default 0), "config" (baseline
 // name, default the daemon's first), "deadline_ms" (cooperative per-request
 // deadline; expired work is reported partial, never hangs), "limit" (row
-// cap of the response's detail array).
+// cap of the response's detail array), "ladder" (budget object, see above;
+// on a whatif request it additionally runs the budgeted ladder over the
+// overlaid configuration and reports a tightened-bound summary).
 //
 // Responses: {"id":N,"ok":true,...} on success; {"id":N,"ok":false,
 // "error":"..."} on any request error (parse failure, unknown VL, oversized
@@ -47,10 +53,20 @@ enum class Op : std::uint8_t {
   kBounds,
   kWhatIf,
   kFaultSweep,
+  kLadder,
   kShutdown,
 };
 
 [[nodiscard]] const char* to_string(Op op) noexcept;
+
+/// Budget of an accuracy/cost ladder run (the "ladder" request object).
+/// Both limits are optional; absent/zero means unlimited on that axis.
+struct LadderSpec {
+  /// Wall-clock budget of the ladder's escalation phase, in milliseconds.
+  double budget_ms = 0.0;
+  /// Token budget: total per-path rung evaluations the ladder may spend.
+  std::uint64_t max_path_evals = 0;
+};
 
 /// One parsed request line.
 struct Request {
@@ -67,6 +83,9 @@ struct Request {
   std::string fail_spec;
   /// fault_sweep: "single-link", "single-switch" or one custom spec.
   std::string scope;
+  /// ladder op / whatif rider: escalation budget; nullopt = the key was
+  /// absent (the ladder op then runs unlimited, whatif skips the ladder).
+  std::optional<LadderSpec> ladder;
   /// Per-request cooperative deadline; 0 = none (serve to completion).
   double deadline_ms = 0.0;
   /// Cap on the response's detail rows.

@@ -1,11 +1,13 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
+#include "analysis/ladder.hpp"
 #include "common/error.hpp"
 #include "faults/degrade.hpp"
 #include "faults/report.hpp"
@@ -64,6 +66,71 @@ void write_delta_row(obs::JsonWriter& w, const TrafficConfig& config,
     w.field("state", engine::to_string(row.state));
   }
   w.end_object();
+}
+
+/// Runs the accuracy/cost ladder for one request: the request's budget caps
+/// the escalation spend, the baseline's analysis options keep the rungs
+/// consistent with the pinned bounds, and the per-request deadline (if any)
+/// rides along as the external cancel token.
+analysis::LadderResult run_request_ladder(const TrafficConfig& config,
+                                          const engine::BaselineState& base,
+                                          const LadderSpec& spec,
+                                          const engine::CancelToken* cancel,
+                                          int threads) {
+  analysis::LadderOptions lopts;
+  lopts.budget_ms = spec.budget_ms;
+  lopts.max_path_evals = spec.max_path_evals;
+  lopts.cancel = cancel;
+  lopts.netcalc = base.nc_options();
+  lopts.trajectory = base.tj_options();
+  engine::Options eopts;
+  eopts.threads = threads;
+  return analysis::run_ladder(config, lopts, eopts);
+}
+
+/// "sfa+wcnc+trajectory_pruned" -- the rungs a path actually attempted.
+std::string attempted_rungs(const analysis::PathProvenance& pv) {
+  std::string out;
+  for (std::size_t r = 0; r < analysis::kRungCount; ++r) {
+    if (!pv.attempted(static_cast<analysis::Rung>(r))) continue;
+    if (!out.empty()) out += '+';
+    out += analysis::to_string(static_cast<analysis::Rung>(r));
+  }
+  return out;
+}
+
+void write_ladder_summary(obs::JsonWriter& w,
+                          const analysis::LadderResult& res) {
+  w.field("complete", res.complete())
+      .field("budget_exhausted", res.budget_exhausted);
+  if (!res.budget_reason.empty()) {
+    w.field("budget_reason", res.budget_reason);
+  }
+  w.field("path_evals", res.path_evals)
+      .field("paths_escalated", res.paths_escalated);
+
+  std::array<std::size_t, analysis::kRungCount> winners{};
+  double max_tightening = 0.0;
+  double sum_tightening = 0.0;
+  for (const analysis::PathProvenance& pv : res.provenance) {
+    ++winners[static_cast<std::size_t>(pv.winner)];
+    const double t = pv.tightening_us();
+    if (std::isfinite(t)) {
+      max_tightening = std::max(max_tightening, t);
+      sum_tightening += t;
+    }
+  }
+  w.key("winners").begin_object();
+  for (std::size_t r = 0; r < analysis::kRungCount; ++r) {
+    if (winners[r] == 0) continue;
+    w.field(analysis::to_string(static_cast<analysis::Rung>(r)), winners[r]);
+  }
+  w.end_object();
+  const std::size_t n = res.provenance.size();
+  w.field("max_tightening_us", max_tightening)
+      .field("mean_tightening_us",
+             n == 0 ? 0.0 : sum_tightening / static_cast<double>(n))
+      .field("ladder_wall_us", res.wall_us);
 }
 
 void write_incremental(obs::JsonWriter& w,
@@ -151,6 +218,9 @@ std::string Service::handle(const Request& req) {
         break;
       case Op::kFaultSweep:
         response = handle_fault_sweep(req);
+        break;
+      case Op::kLadder:
+        response = handle_ladder(req);
         break;
       case Op::kShutdown:
         response = handle_shutdown(req);
@@ -349,6 +419,22 @@ std::string Service::handle_whatif(const Request& req) {
   }
   note_run(run);
 
+  // "ladder" rider: re-bound the overlaid configuration with the budgeted
+  // accuracy/cost ladder and report how much the escalation tightened.
+  std::optional<TrafficConfig> ladder_config;
+  std::optional<analysis::LadderResult> ladder;
+  if (req.ladder.has_value()) {
+    if (view.has_value()) {
+      if (view->config.has_value()) ladder_config = *view->config;
+    } else {
+      ladder_config = session.materialize();
+    }
+    if (ladder_config.has_value()) {
+      ladder = run_request_ladder(*ladder_config, base, *req.ladder,
+                                  control.cancel, options_.request_threads);
+    }
+  }
+
   // Compare per healthy path: overlay paths stay index-aligned unless a
   // fault re-routed them, in which case the degraded view's map applies.
   std::vector<DeltaRow> rows;
@@ -408,6 +494,11 @@ std::string Service::handle_whatif(const Request& req) {
     write_delta_row(w, config, rows[i]);
   }
   w.end_array();
+  if (ladder.has_value()) {
+    w.key("ladder").begin_object();
+    write_ladder_summary(w, *ladder);
+    w.end_object();
+  }
   w.field("wall_us", elapsed_us(t0)).end_object();
   return out.str();
 }
@@ -485,6 +576,87 @@ std::string Service::handle_fault_sweep(const Request& req) {
         .field("skipped", sr.skipped)
         .field("worst_inflation", sr.worst_inflation)
         .end_object();
+  }
+  w.end_array();
+  w.field("wall_us", elapsed_us(t0)).end_object();
+  return out.str();
+}
+
+std::string Service::handle_ladder(const Request& req) {
+  AFDX_TRACE_SPAN("serve.ladder", "serve");
+  const auto t0 = Clock::now();
+  const engine::BaselineState& base = baseline_for(req);
+  const TrafficConfig& config = base.config();
+
+  engine::CancelToken token;
+  const engine::CancelToken* cancel = nullptr;
+  const double deadline_ms =
+      req.deadline_ms > 0.0 ? req.deadline_ms : options_.default_deadline_ms;
+  if (deadline_ms > 0.0) {
+    token.set_deadline_after(microseconds_from_ms(deadline_ms));
+    cancel = &token;
+  }
+
+  const LadderSpec spec = req.ladder.value_or(LadderSpec{});
+  const analysis::LadderResult res = run_request_ladder(
+      config, base, spec, cancel, options_.request_threads);
+
+  // Most-tightened paths first; path index breaks ties deterministically.
+  std::vector<std::size_t> order(res.bounds.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double ta = res.provenance[a].tightening_us();
+                     const double tb = res.provenance[b].tightening_us();
+                     if (ta != tb) return ta > tb;
+                     return a < b;
+                   });
+  const std::size_t limit = req.limit == 0 ? 20 : req.limit;
+
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object()
+      .field("id", req.id)
+      .field("ok", true)
+      .field("op", "ladder")
+      .field("paths", res.bounds.size());
+  write_ladder_summary(w, res);
+
+  w.key("rungs").begin_array();
+  for (std::size_t r = 0; r < analysis::kRungCount; ++r) {
+    const analysis::RungStats& rs = res.rungs[r];
+    if (!rs.attempted) continue;
+    w.begin_object()
+        .field("rung", analysis::to_string(static_cast<analysis::Rung>(r)))
+        .field("completed", rs.completed)
+        .field("paths", rs.paths_bounded)
+        .field("cost_estimate", rs.cost_estimate)
+        .field("wall_us", rs.wall_us);
+    if (!rs.message.empty()) w.field("message", rs.message);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("paths_detail").begin_array();
+  for (std::size_t i = 0; i < order.size() && i < limit; ++i) {
+    const std::size_t p = order[i];
+    const analysis::PathProvenance& pv = res.provenance[p];
+    w.begin_object()
+        .field("vl", path_vl_name(config, p))
+        .field("dest", path_dest_name(config, p))
+        .field("bound_us", res.bounds[p])
+        .field("winner", analysis::to_string(pv.winner))
+        .field("first_us", pv.first_bound_us)
+        .field("tightening_us", pv.tightening_us())
+        .field("escalated", pv.escalated)
+        .field("rungs", attempted_rungs(pv));
+    if (res.status[p].state != engine::PathState::kOk) {
+      w.field("state", engine::to_string(res.status[p].state));
+    }
+    if (!res.status[p].message.empty()) {
+      w.field("message", res.status[p].message);
+    }
+    w.end_object();
   }
   w.end_array();
   w.field("wall_us", elapsed_us(t0)).end_object();

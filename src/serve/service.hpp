@@ -12,6 +12,14 @@
 //   * fault_sweep  -- faults::analyze_scenarios with the pinned healthy run
 //                     injected (ScenarioOptions::healthy_run), so the sweep
 //                     never re-pays the healthy analysis either;
+//   * ladder       -- a budget-driven accuracy/cost ladder run
+//                     (analysis::run_ladder) over the request's
+//                     configuration: every path gets its cheapest bound
+//                     first, then the paths with the largest rung
+//                     disagreement escalate to the expensive trajectory
+//                     rungs until the "ladder" budget is spent; whatif
+//                     requests can carry the same "ladder" object to get a
+//                     budgeted-ladder summary of the overlaid configuration;
 //   * status       -- uptime, per-baseline summaries, request counters,
 //                     aggregate cache hit rates and the server's queue
 //                     depth (via the pluggable queue probe);
@@ -111,6 +119,7 @@ class Service {
   [[nodiscard]] std::string handle_bounds(const Request& req);
   [[nodiscard]] std::string handle_whatif(const Request& req);
   [[nodiscard]] std::string handle_fault_sweep(const Request& req);
+  [[nodiscard]] std::string handle_ladder(const Request& req);
   [[nodiscard]] std::string handle_shutdown(const Request& req);
 
   /// Baseline of the request, or throws the error the response should carry.

@@ -1,0 +1,204 @@
+#include "valid/ladder_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/ladder.hpp"
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace afdx::valid {
+
+namespace {
+
+constexpr double kTolerance = 1e-6;
+constexpr Microseconds kInf = std::numeric_limits<Microseconds>::infinity();
+
+using analysis::kRungCount;
+using analysis::LadderResult;
+using analysis::Rung;
+
+/// The rung kLoosenLadderRung corrupts.
+constexpr auto kFaultRung = static_cast<std::size_t>(Rung::kWcncGrouping);
+
+void loosen_rung(LadderResult& res, double factor) {
+  // A "loosening" factor must inflate; the CLI's default fault factor is
+  // 0.5 (a deflation), so mirror it above 1.
+  const double inflate = factor > 1.0 ? factor : (factor > 0.0 ? 1.0 / factor
+                                                               : 2.0);
+  for (Microseconds& b : res.rung_bounds[kFaultRung]) {
+    if (std::isfinite(b)) b *= inflate;
+  }
+}
+
+std::string vl_of(const TrafficConfig& config, std::size_t path) {
+  return config.vl(config.all_paths()[path].vl).name;
+}
+
+/// Shared per-run invariants: cumulative dominance + provenance. `label`
+/// distinguishes the unlimited and the budgeted run in violation details.
+void check_run(const TrafficConfig& config, const LadderResult& res,
+               const std::vector<Microseconds>& simulated,
+               const std::string& label, CheckResult& out) {
+  const std::size_t n = config.all_paths().size();
+  if (res.provenance.size() != n || res.bounds.size() != n ||
+      res.status.size() != n) {
+    out.violations.push_back(
+        {CheckKind::kLadderProvenance, label, 0,
+         static_cast<double>(n), static_cast<double>(res.provenance.size()),
+         "ladder result is not aligned with all_paths()"});
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const analysis::PathProvenance& prov = res.provenance[i];
+    if (!res.status[i].ok()) continue;  // kFailed paths carry their reason
+    // Coverage: at least one attempted rung, a finite positive bound, and
+    // first >= final (the ladder only ever tightens).
+    if (prov.attempted_mask == 0 || !std::isfinite(res.bounds[i]) ||
+        res.bounds[i] <= 0.0) {
+      out.violations.push_back({CheckKind::kLadderProvenance, label, i,
+                                0.0, res.bounds[i],
+                                "VL " + vl_of(config, i) +
+                                    ": missing or non-positive ladder bound"});
+      continue;
+    }
+    if (res.bounds[i] > prov.first_bound_us + kTolerance) {
+      out.violations.push_back(
+          {CheckKind::kLadderProvenance, label, i, prov.first_bound_us,
+           res.bounds[i],
+           "VL " + vl_of(config, i) +
+               ": final bound looser than the cheapest rung's bound"});
+    }
+    // Final == tightest attempted rung; winner == argmin (cheapest rung
+    // wins exact ties).
+    Microseconds best = kInf;
+    std::size_t best_rung = kRungCount;
+    for (std::size_t k = 0; k < kRungCount; ++k) {
+      if (!prov.attempted(static_cast<Rung>(k))) continue;
+      if (res.rung_bounds[k].empty()) continue;
+      if (res.rung_bounds[k][i] < best) {
+        best = res.rung_bounds[k][i];
+        best_rung = k;
+      }
+    }
+    if (best_rung == kRungCount ||
+        std::abs(best - res.bounds[i]) > kTolerance) {
+      out.violations.push_back(
+          {CheckKind::kLadderProvenance, label, i, best, res.bounds[i],
+           "VL " + vl_of(config, i) +
+               ": final bound is not the tightest attempted rung"});
+    } else if (static_cast<std::size_t>(prov.winner) != best_rung &&
+               std::abs(res.rung_bounds[static_cast<std::size_t>(
+                            prov.winner)][i] -
+                        best) > kTolerance) {
+      out.violations.push_back(
+          {CheckKind::kLadderProvenance, label, i, best,
+           res.rung_bounds[static_cast<std::size_t>(prov.winner)][i],
+           "VL " + vl_of(config, i) + ": recorded winner (" +
+               analysis::to_string(prov.winner) +
+               ") is not a tightest rung"});
+    }
+    // Cumulative dominance chain: monotone up the ladder and above every
+    // simulated schedule at every rung.
+    Microseconds prev = kInf;
+    for (std::size_t k = 0; k < kRungCount; ++k) {
+      if (!prov.attempted(static_cast<Rung>(k))) continue;
+      const Microseconds cum = res.ladder_bound(i, static_cast<Rung>(k));
+      if (cum > prev + kTolerance) {
+        out.violations.push_back(
+            {CheckKind::kLadderDominance,
+             label + ":" + analysis::to_string(static_cast<Rung>(k)), i, prev,
+             cum,
+             "VL " + vl_of(config, i) +
+                 ": cumulative ladder bound loosened while climbing"});
+      }
+      prev = cum;
+      if (i < simulated.size() && simulated[i] > cum + kTolerance) {
+        out.violations.push_back(
+            {CheckKind::kLadderDominance,
+             label + ":" + analysis::to_string(static_cast<Rung>(k)), i,
+             simulated[i], cum,
+             "VL " + vl_of(config, i) +
+                 ": simulated delay exceeds the rung's ladder bound"});
+      }
+    }
+    // Raw refinement edges (analytic, independent of cumulation).
+    const auto raw_edge = [&](Rung coarse, Rung fine, const char* what) {
+      const auto c = static_cast<std::size_t>(coarse);
+      const auto f = static_cast<std::size_t>(fine);
+      if (!prov.attempted(coarse) || !prov.attempted(fine)) return;
+      if (res.rung_bounds[c].empty() || res.rung_bounds[f].empty()) return;
+      if (res.rung_bounds[f][i] > res.rung_bounds[c][i] + kTolerance) {
+        out.violations.push_back(
+            {CheckKind::kLadderDominance,
+             label + ":" + analysis::to_string(fine), i, res.rung_bounds[c][i],
+             res.rung_bounds[f][i],
+             "VL " + vl_of(config, i) + ": " + what});
+      }
+    };
+    raw_edge(Rung::kWcnc, Rung::kWcncGrouping,
+             "grouping loosened the raw WCNC rung");
+    raw_edge(Rung::kTrajectory, Rung::kTrajectoryPruned,
+             "serialization refinement loosened the raw trajectory rung");
+  }
+}
+
+}  // namespace
+
+void check_ladder(const TrafficConfig& config, const CheckOptions& options,
+                  CheckResult& out) {
+  AFDX_TRACE_SPAN("valid.ladder", "valid");
+  const std::size_t n = config.all_paths().size();
+
+  // Unlimited run: every rung on every path.
+  analysis::BoundLadder ladder(config, options.engine);
+  analysis::LadderOptions unlimited;
+  LadderResult full = ladder.run(unlimited);
+  if (options.fault == Fault::kLoosenLadderRung) {
+    loosen_rung(full, options.fault_factor);
+  }
+  check_run(config, full, out.simulated, "ladder", out);
+  if (full.budget_exhausted) {
+    out.violations.push_back(
+        {CheckKind::kLadderProvenance, "ladder", 0, 0.0, 1.0,
+         "unlimited-budget ladder reported budget exhaustion"});
+  }
+
+  // Budgeted run: enough tokens for the three whole-config rungs plus
+  // about half an escalation pass -- on every grid size some paths are
+  // guaranteed to strand below the top rung. Deterministic (token budget,
+  // fixed wave), so shrinking reproduces it exactly.
+  analysis::LadderOptions budgeted;
+  budgeted.max_path_evals = std::max<std::uint64_t>(1, 3 * n + n / 2);
+  budgeted.wave = 8;
+  LadderResult partial = ladder.run(budgeted);
+  check_run(config, partial, out.simulated, "ladder(budget)", out);
+  for (std::size_t i = 0; i < n && i < partial.bounds.size(); ++i) {
+    if (!partial.status[i].ok() || !full.status[i].ok()) continue;
+    // Sandwich: the budgeted bound never beats the unlimited ladder and
+    // never loses to the cheapest rung (checked per path in check_run).
+    if (partial.bounds[i] < full.bounds[i] - kTolerance) {
+      out.violations.push_back(
+          {CheckKind::kLadderProvenance, "ladder(budget)", i, full.bounds[i],
+           partial.bounds[i],
+           "VL " + vl_of(config, i) +
+               ": budgeted bound tighter than the unlimited ladder"});
+    }
+    // Stranded paths must say so.
+    if (partial.budget_exhausted &&
+        !partial.provenance[i].attempted(Rung::kTrajectoryPruned) &&
+        partial.status[i].message.empty()) {
+      out.violations.push_back(
+          {CheckKind::kLadderProvenance, "ladder(budget)", i, 0.0, 0.0,
+           "VL " + vl_of(config, i) +
+               ": stranded path without partial provenance"});
+    }
+  }
+
+  out.ladder = analysis::pessimism_stats(out.simulated, full.bounds);
+}
+
+}  // namespace afdx::valid

@@ -1,0 +1,39 @@
+// The accuracy/cost ladder oracle of the differential fuzzing stack.
+//
+// check_ladder() runs the BoundLadder twice on one configuration -- once
+// with an unlimited budget, once with a deliberately tight deterministic
+// token budget -- and appends a Violation for every falsified ladder
+// invariant:
+//
+//   ladder-dominance
+//     * the cumulative rung bounds dominate every simulated schedule
+//       (sim <= ladder(trajectory_pruned) <= ... <= ladder(sfa));
+//     * the cumulative chain is monotone non-increasing up the ladder;
+//     * the raw refinement edges only tighten: raw wcnc_grouping <= raw
+//       wcnc, raw trajectory_pruned <= raw trajectory.
+//   ladder-provenance
+//     * provenance covers 100% of the paths, every non-failed path has a
+//       finite, non-zero bound;
+//     * the final bound equals the tightest rung the ladder ran on the
+//       path and the recorded winner is that rung;
+//     * the budgeted run is sandwiched: cheapest-rung bound >= budgeted
+//       bound >= unlimited bound, every stranded path carries a partial
+//       PathStatus message, and the budgeted run reports exhaustion.
+//
+// Fault::kLoosenLadderRung inflates the wcnc_grouping rung's raw bounds
+// before checking -- the harness's way of proving the oracle would catch
+// a rung whose refinement silently loosened.
+#pragma once
+
+#include "valid/validation.hpp"
+#include "vl/traffic_config.hpp"
+
+namespace afdx::valid {
+
+/// Appends ladder violations to `out.violations` and fills `out.ladder`.
+/// Requires `out.simulated` to be filled (check_config calls it after the
+/// schedule battery). Exposed for the ladder self-test and tests.
+void check_ladder(const TrafficConfig& config, const CheckOptions& options,
+                  CheckResult& out);
+
+}  // namespace afdx::valid

@@ -10,6 +10,7 @@
 #include "obs/trace.hpp"
 #include "sim/worst_case_search.hpp"
 #include "trajectory/trajectory_analyzer.hpp"
+#include "valid/ladder_check.hpp"
 
 namespace afdx::valid {
 
@@ -41,6 +42,8 @@ std::string to_string(Fault fault) {
       return "deflate-trajectory";
     case Fault::kSkewCombined:
       return "skew-combined";
+    case Fault::kLoosenLadderRung:
+      return "loosen-ladder-rung";
   }
   return "none";
 }
@@ -50,6 +53,7 @@ std::optional<Fault> fault_from_string(const std::string& name) {
   if (name == "deflate-netcalc") return Fault::kDeflateNetcalc;
   if (name == "deflate-trajectory") return Fault::kDeflateTrajectory;
   if (name == "skew-combined") return Fault::kSkewCombined;
+  if (name == "loosen-ladder-rung") return Fault::kLoosenLadderRung;
   return std::nullopt;
 }
 
@@ -65,6 +69,10 @@ std::string to_string(CheckKind kind) {
       return "store-forward-floor";
     case CheckKind::kBacklogDominance:
       return "backlog-dominance";
+    case CheckKind::kLadderDominance:
+      return "ladder-dominance";
+    case CheckKind::kLadderProvenance:
+      return "ladder-provenance";
   }
   return "sim-dominance";
 }
@@ -125,6 +133,10 @@ CheckResult check_config(const TrafficConfig& config,
       break;
     case Fault::kSkewCombined:
       scale(combined, options.fault_factor);
+      break;
+    case Fault::kLoosenLadderRung:
+      // Applied inside the ladder oracle (check_ladder); the classic
+      // bound families stay clean so only the ladder checks fire.
       break;
   }
 
@@ -263,6 +275,9 @@ CheckResult check_config(const TrafficConfig& config,
       }
     }
   }
+
+  // -- Accuracy/cost ladder oracle -------------------------------------------
+  if (options.ladder) check_ladder(config, options, out);
 
   // -- Pessimism (quality axis) ----------------------------------------------
   out.wcnc = analysis::pessimism_stats(out.simulated, nc);

@@ -45,9 +45,15 @@ enum class Fault {
   kDeflateTrajectory,
   /// Scale only the combined bounds, breaking combined == min(nc, tj).
   kSkewCombined,
+  /// Loosen (inflate) one ladder rung's raw bounds -- the wcnc_grouping
+  /// rung -- breaking the raw refinement edge wcnc_grouping <= wcnc and
+  /// the ladder's final == tightest-attempted-rung provenance invariant.
+  /// Only observable with CheckOptions::ladder.
+  kLoosenLadderRung,
 };
 
-/// "none", "deflate-netcalc", "deflate-trajectory", "skew-combined".
+/// "none", "deflate-netcalc", "deflate-trajectory", "skew-combined",
+/// "loosen-ladder-rung".
 [[nodiscard]] std::string to_string(Fault fault);
 /// Inverse of to_string; nullopt on an unknown name.
 [[nodiscard]] std::optional<Fault> fault_from_string(const std::string& name);
@@ -59,6 +65,14 @@ enum class CheckKind {
   kRefinementMonotonic,
   kStoreForwardFloor,
   kBacklogDominance,
+  /// Ladder rung-dominance: cumulative rung bounds must be monotone, must
+  /// dominate every simulated schedule, and the raw refinement edges
+  /// (grouping, serialization) must only tighten.
+  kLadderDominance,
+  /// Ladder provenance: final == tightest attempted rung, winner ==
+  /// argmin, 100% coverage, budgeted bounds sandwiched between the
+  /// cheapest rung and the unlimited ladder.
+  kLadderProvenance,
 };
 
 [[nodiscard]] std::string to_string(CheckKind kind);
@@ -100,6 +114,12 @@ struct CheckOptions {
   /// over the path list) to sharpen the simulated lower bounds. 0 = rely
   /// on the schedule battery only.
   int search_paths = 0;
+  /// Also run the accuracy/cost ladder oracle: an unlimited-budget
+  /// BoundLadder run checked for rung dominance + provenance, plus a
+  /// token-budgeted run checked for the partial-result sandwich
+  /// (cheapest-rung bound >= budgeted bound >= unlimited bound, with
+  /// partial provenance on every stranded path).
+  bool ladder = false;
   /// Threads of the inner analysis engine. Campaigns parallelize across
   /// configurations, so 1 (the deterministic serial path) is the default.
   engine::Options engine;
@@ -113,6 +133,9 @@ struct CheckResult {
   analysis::PessimismStats wcnc;
   analysis::PessimismStats trajectory;
   analysis::PessimismStats combined;
+  /// Pessimism of the unlimited-budget ladder (CheckOptions::ladder only;
+  /// all-zero otherwise).
+  analysis::PessimismStats ladder;
   /// Best simulated delay per path (the lower-bound witness).
   std::vector<Microseconds> simulated;
   std::size_t paths = 0;

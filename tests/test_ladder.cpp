@@ -1,0 +1,396 @@
+// Tests of the budget-driven accuracy/cost ladder (analysis::BoundLadder):
+// the per-path rung dominance chain on fuzzed grid configurations, exact
+// equivalence of the unlimited-budget ladder with the paper's combined
+// method, deterministic budgeted escalation across thread counts, partial
+// provenance when the budget strands paths below the top rung, the
+// validation oracle (clean + deliberately loosened rung), and the golden
+// per-path provenance lock for the paper configurations
+// (tests/golden/ladder_provenance.csv, re-locked with
+// AFDX_REGEN_GOLDEN=1 ./build/tests/test_ladder or scripts/regen_golden.sh).
+#include "analysis/ladder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/comparison.hpp"
+#include "config/samples.hpp"
+#include "gen/industrial.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+#include "valid/campaign.hpp"
+#include "valid/ladder_check.hpp"
+#include "valid/validation.hpp"
+
+#ifndef AFDX_REPO_ROOT
+#define AFDX_REPO_ROOT "."
+#endif
+
+namespace afdx::analysis {
+namespace {
+
+constexpr Microseconds kInf = std::numeric_limits<Microseconds>::infinity();
+
+/// A small industrial configuration for escalation tests: large enough
+/// (several dozen paths) that a token budget strands a real subset.
+TrafficConfig small_industrial(std::uint64_t seed = 11) {
+  gen::IndustrialOptions o;
+  o.seed = seed;
+  o.switch_count = 3;
+  o.end_system_count = 10;
+  o.vl_count = 24;
+  o.multicast_fraction = 0.25;
+  return gen::industrial_config(o);
+}
+
+/// Best simulated delay per path over a small schedule battery -- the
+/// lower-bound witness of the dominance chain.
+std::vector<Microseconds> simulated_lower_bounds(const TrafficConfig& cfg) {
+  std::vector<Microseconds> best(cfg.all_paths().size(), 0.0);
+  sim::ScheduleSuiteOptions suite;
+  suite.random_schedules = 1;
+  suite.adversarial_stride = 5;
+  for (const sim::Options& schedule : sim::soundness_schedules(cfg, suite)) {
+    const sim::Result r = sim::simulate(cfg, schedule);
+    for (std::size_t i = 0; i < best.size(); ++i) {
+      best[i] = std::max(best[i], r.max_path_delay[i]);
+    }
+  }
+  return best;
+}
+
+TEST(Ladder, RungNamesAreStable) {
+  EXPECT_STREQ(to_string(Rung::kSfa), "sfa");
+  EXPECT_STREQ(to_string(Rung::kWcnc), "wcnc");
+  EXPECT_STREQ(to_string(Rung::kWcncGrouping), "wcnc_grouping");
+  EXPECT_STREQ(to_string(Rung::kTrajectory), "trajectory");
+  EXPECT_STREQ(to_string(Rung::kTrajectoryPruned), "trajectory_pruned");
+}
+
+// Budget=infinity: the ladder runs every rung on every path, so its final
+// bound must be bit-identical to the paper's combined method -- the two
+// extra rungs (SFA, the historical variants) are dominated by
+// min(wcnc_grouping, trajectory_pruned) on these configurations (SFA ties
+// at best, and both no-refinement variants are refinement-dominated).
+TEST(Ladder, UnlimitedBudgetIsBitIdenticalToCompareCombined) {
+  config::SampleOptions sweep;
+  sweep.bag_v1 = microseconds_from_ms(2.0);
+  sweep.s_max_v1 = 300;
+  const TrafficConfig configs[] = {config::sample_config(),
+                                   config::sample_config(sweep),
+                                   config::illustrative_config()};
+  for (const TrafficConfig& cfg : configs) {
+    const LadderResult res = run_ladder(cfg);
+    const Comparison cmp = compare(cfg);
+    ASSERT_EQ(res.bounds.size(), cmp.combined.size());
+    EXPECT_TRUE(res.complete());
+    EXPECT_FALSE(res.budget_exhausted);
+    for (std::size_t i = 0; i < res.bounds.size(); ++i) {
+      EXPECT_EQ(res.bounds[i], cmp.combined[i]) << "path " << i;
+    }
+  }
+}
+
+// The dominance chain of the issue: per path,
+//   sim <= ladder(trajectory_pruned) <= ladder(trajectory)
+//       <= ladder(wcnc_grouping) <= ladder(wcnc) <= ladder(sfa)
+// (ladder(r) = the cumulative bound had the ladder stopped at rung r;
+// exact ties allowed), plus the analytic raw refinement edges.
+TEST(Ladder, DominanceChainHoldsOnFuzzedGridConfigs) {
+  const valid::GridOptions grid = valid::GridOptions::smoke();
+  for (std::size_t i = 0; i < 4; ++i) {
+    const valid::CampaignSpec spec = valid::spec_for(grid, 42, i);
+    const TrafficConfig cfg = gen::industrial_config(spec.gen);
+    const LadderResult res = run_ladder(cfg);
+    const std::vector<Microseconds> sim_lb = simulated_lower_bounds(cfg);
+    ASSERT_EQ(res.bounds.size(), cfg.all_paths().size());
+    for (std::size_t p = 0; p < res.bounds.size(); ++p) {
+      Microseconds prev = kInf;
+      for (std::size_t k = 0; k < kRungCount; ++k) {
+        ASSERT_TRUE(res.provenance[p].attempted(static_cast<Rung>(k)));
+        const Microseconds cum = res.ladder_bound(p, static_cast<Rung>(k));
+        EXPECT_LE(cum, prev) << "config " << i << " path " << p << " rung "
+                             << to_string(static_cast<Rung>(k));
+        prev = cum;
+      }
+      // prev is now the top-of-ladder (tightest) bound. Same 1e-6 us
+      // tolerance as valid::check_config -- simulation and analysis take
+      // different floating-point paths to the same worst case.
+      EXPECT_LE(sim_lb[p], prev + 1e-6) << "config " << i << " path " << p;
+      EXPECT_EQ(prev, res.bounds[p]);
+      // Raw refinement edges.
+      const auto raw = [&](Rung r) {
+        return res.rung_bounds[static_cast<std::size_t>(r)][p];
+      };
+      EXPECT_LE(raw(Rung::kWcncGrouping), raw(Rung::kWcnc));
+      EXPECT_LE(raw(Rung::kTrajectoryPruned), raw(Rung::kTrajectory));
+    }
+  }
+}
+
+TEST(Ladder, FinalBoundEqualsTightestAttemptedRung) {
+  const TrafficConfig cfg = small_industrial();
+  const LadderResult res = run_ladder(cfg);
+  for (std::size_t p = 0; p < res.bounds.size(); ++p) {
+    Microseconds best = kInf;
+    std::size_t best_rung = kRungCount;
+    for (std::size_t k = 0; k < kRungCount; ++k) {
+      if (!res.provenance[p].attempted(static_cast<Rung>(k))) continue;
+      if (res.rung_bounds[k][p] < best) {
+        best = res.rung_bounds[k][p];
+        best_rung = k;
+      }
+    }
+    EXPECT_EQ(res.bounds[p], best);
+    EXPECT_EQ(static_cast<std::size_t>(res.provenance[p].winner), best_rung);
+    EXPECT_GE(res.provenance[p].tightening_us(), 0.0);
+  }
+}
+
+// A token-budgeted run (budget checks happen only at wave boundaries)
+// must be bit-identical across thread counts: same bounds, same
+// provenance, same escalated set, same token spend.
+TEST(Ladder, BudgetedRunIsDeterministicAcrossThreadCounts) {
+  const TrafficConfig cfg = small_industrial();
+  const std::size_t n = cfg.all_paths().size();
+  LadderOptions opts;
+  opts.max_path_evals = 3 * n + n / 2;  // strands a real subset
+  opts.wave = 8;
+
+  engine::Options e1;
+  e1.threads = 1;
+  const LadderResult ref = run_ladder(cfg, opts, e1);
+  EXPECT_TRUE(ref.budget_exhausted);
+  EXPECT_GT(ref.paths_escalated, 0u);
+  EXPECT_LT(ref.paths_escalated, n);
+
+  for (int threads : {2, 4, 8}) {
+    engine::Options et;
+    et.threads = threads;
+    const LadderResult got = run_ladder(cfg, opts, et);
+    ASSERT_EQ(got.bounds.size(), ref.bounds.size());
+    EXPECT_EQ(got.path_evals, ref.path_evals) << threads << " threads";
+    EXPECT_EQ(got.budget_exhausted, ref.budget_exhausted);
+    EXPECT_EQ(got.paths_escalated, ref.paths_escalated);
+    for (std::size_t p = 0; p < n; ++p) {
+      EXPECT_EQ(got.bounds[p], ref.bounds[p])
+          << threads << " threads, path " << p;
+      EXPECT_EQ(got.provenance[p].winner, ref.provenance[p].winner);
+      EXPECT_EQ(got.provenance[p].attempted_mask,
+                ref.provenance[p].attempted_mask);
+      EXPECT_EQ(got.provenance[p].escalated, ref.provenance[p].escalated);
+      EXPECT_EQ(got.status[p].message, ref.status[p].message);
+    }
+  }
+}
+
+// Budget expiry mid-escalation: every unescalated path keeps its cheapest
+// completed bound (never missing / zero), carries a partial-provenance
+// PathStatus message, and the run reports exhaustion.
+TEST(Ladder, ExhaustedBudgetKeepsCheapestBoundWithPartialProvenance) {
+  const TrafficConfig cfg = small_industrial();
+  const std::size_t n = cfg.all_paths().size();
+
+  // Tokens for the base rung only: phase 2 is refused outright.
+  LadderOptions base_only;
+  base_only.max_path_evals = n;
+  const LadderResult res = run_ladder(cfg, base_only);
+  EXPECT_TRUE(res.budget_exhausted);
+  EXPECT_FALSE(res.complete());
+  EXPECT_EQ(res.budget_reason, "path-evaluation budget spent");
+  ASSERT_EQ(res.bounds.size(), n);
+  const auto& sfa_raw = res.rung_bounds[static_cast<std::size_t>(Rung::kSfa)];
+  ASSERT_EQ(sfa_raw.size(), n);
+  for (std::size_t p = 0; p < n; ++p) {
+    EXPECT_TRUE(std::isfinite(res.bounds[p])) << "path " << p;
+    EXPECT_GT(res.bounds[p], 0.0);
+    EXPECT_EQ(res.bounds[p], sfa_raw[p]);
+    EXPECT_EQ(res.provenance[p].winner, Rung::kSfa);
+    EXPECT_EQ(res.bounds[p], res.provenance[p].first_bound_us);
+    EXPECT_TRUE(res.status[p].ok());
+    EXPECT_NE(res.status[p].message.find("budget exhausted"),
+              std::string::npos)
+        << res.status[p].message;
+  }
+
+  // An already-expired external deadline behaves the same: the base rung
+  // still runs (no missing bounds), everything above is cut.
+  engine::CancelToken expired;
+  expired.set_deadline_after(-1.0);
+  LadderOptions dead;
+  dead.cancel = &expired;
+  const LadderResult cut = run_ladder(cfg, dead);
+  EXPECT_TRUE(cut.budget_exhausted);
+  for (std::size_t p = 0; p < n; ++p) {
+    EXPECT_TRUE(std::isfinite(cut.bounds[p]));
+    EXPECT_FALSE(cut.status[p].message.empty());
+  }
+}
+
+// The registration API: a replaced rung is actually used (and its bounds
+// participate in provenance).
+TEST(Ladder, RegisteredRungReplacementIsUsed) {
+  const TrafficConfig cfg = config::sample_config();
+  const std::size_t n = cfg.all_paths().size();
+  BoundLadder ladder(cfg);
+  BoundLadder::RungDef loose;
+  loose.id = Rung::kSfa;
+  loose.cost_estimate = [] { return 1.0; };
+  loose.compute = [n] { return std::vector<Microseconds>(n, 1e9); };
+  ladder.register_rung(std::move(loose));
+  const LadderResult res = ladder.run();
+  for (std::size_t p = 0; p < n; ++p) {
+    EXPECT_EQ(res.rung_bounds[static_cast<std::size_t>(Rung::kSfa)][p], 1e9);
+    EXPECT_NE(res.provenance[p].winner, Rung::kSfa);
+    EXPECT_EQ(res.provenance[p].first_bound_us, 1e9);
+    EXPECT_LT(res.bounds[p], 1e9);
+  }
+}
+
+// The validation oracle: clean on a paper config, and tripped by a
+// deliberately loosened rung (the harness's fault-injection self-test).
+TEST(Ladder, OracleIsCleanOnPaperConfig) {
+  valid::CheckOptions opts;
+  opts.schedules.random_schedules = 1;
+  opts.schedules.adversarial_stride = 5;
+  opts.ladder = true;
+  const valid::CheckResult r =
+      valid::check_config(config::sample_config(), opts);
+  EXPECT_TRUE(r.ok()) << (r.violations.empty()
+                              ? ""
+                              : r.violations.front().describe());
+  EXPECT_GE(r.ladder.min, 1.0);
+}
+
+TEST(Ladder, OracleTripsOnLoosenedRung) {
+  valid::CheckOptions opts;
+  opts.schedules.random_schedules = 1;
+  opts.schedules.adversarial_stride = 5;
+  opts.ladder = true;
+  opts.fault = valid::Fault::kLoosenLadderRung;
+  const valid::CheckResult r =
+      valid::check_config(config::sample_config(), opts);
+  ASSERT_FALSE(r.ok());
+  const bool ladder_kind = std::any_of(
+      r.violations.begin(), r.violations.end(), [](const valid::Violation& v) {
+        return v.kind == valid::CheckKind::kLadderDominance ||
+               v.kind == valid::CheckKind::kLadderProvenance;
+      });
+  EXPECT_TRUE(ladder_kind) << r.violations.front().describe();
+}
+
+// ---------------------------------------------------------------------------
+// Golden provenance lock: per-path winning rung, first/final bounds and
+// escalation flags of the paper configurations, at an unlimited budget and
+// at a fixed token budget (4 evals/path: the historical trajectory rung
+// lands, the refined one is cut). Any churn -- a different winner, a
+// shifted tie, a budget schedule change -- is a visible one-line diff.
+
+constexpr const char* kGoldenFile =
+    AFDX_REPO_ROOT "/tests/golden/ladder_provenance.csv";
+
+void append_provenance(report::Table& table, const std::string& label,
+                       const TrafficConfig& cfg) {
+  const auto describe = [&](const char* budget, const LadderResult& res) {
+    for (std::size_t i = 0; i < cfg.all_paths().size(); ++i) {
+      const VlPath& p = cfg.all_paths()[i];
+      const PathProvenance& prov = res.provenance[i];
+      std::string rungs;
+      for (std::size_t k = 0; k < kRungCount; ++k) {
+        if (prov.attempted(static_cast<Rung>(k))) {
+          if (!rungs.empty()) rungs += '+';
+          rungs += to_string(static_cast<Rung>(k));
+        }
+      }
+      table.add_row(
+          {label, budget, cfg.vl(p.vl).name,
+           cfg.network().node(cfg.vl(p.vl).destinations[p.dest_index]).name,
+           to_string(prov.winner), rungs, report::fmt(prov.first_bound_us, 6),
+           report::fmt(prov.final_bound_us, 6),
+           prov.escalated ? "yes" : "no"});
+    }
+  };
+  describe("unlimited", run_ladder(cfg));
+  LadderOptions budgeted;
+  budgeted.max_path_evals = 4 * cfg.all_paths().size();
+  budgeted.wave = 8;
+  describe("4n", run_ladder(cfg, budgeted));
+}
+
+std::string golden_text() {
+  report::Table table({"config", "budget", "vl", "destination", "winner",
+                       "rungs", "first_us", "final_us", "escalated"});
+  append_provenance(table, "sample_default", config::sample_config());
+  config::SampleOptions sweep;
+  sweep.bag_v1 = microseconds_from_ms(2.0);
+  sweep.s_max_v1 = 300;
+  append_provenance(table, "sample_bag2ms_smax300",
+                    config::sample_config(sweep));
+  append_provenance(table, "illustrative", config::illustrative_config());
+  std::ostringstream os;
+  table.print_csv(os);
+  return os.str();
+}
+
+TEST(LadderGolden, ProvenanceMatchesLockedValues) {
+  const std::string current = golden_text();
+
+  if (std::getenv("AFDX_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenFile);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenFile;
+    out << current;
+    GTEST_SKIP() << "regenerated " << kGoldenFile;
+  }
+
+  std::ifstream in(kGoldenFile);
+  ASSERT_TRUE(in.good())
+      << kGoldenFile
+      << " is missing; run scripts/regen_golden.sh to create it";
+  std::ostringstream locked;
+  locked << in.rdbuf();
+
+  if (current != locked.str()) {
+    std::istringstream a(locked.str()), b(current);
+    std::string la, lb;
+    int line = 0;
+    while (true) {
+      const bool ga = static_cast<bool>(std::getline(a, la));
+      const bool gb = static_cast<bool>(std::getline(b, lb));
+      ++line;
+      if (!ga && !gb) break;
+      if (la != lb || ga != gb) {
+        FAIL() << "provenance drift at " << kGoldenFile << ":" << line
+               << "\n  locked:  " << (ga ? la : "<eof>")
+               << "\n  current: " << (gb ? lb : "<eof>")
+               << "\nIf the change is intentional, re-lock with "
+                  "scripts/regen_golden.sh";
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(LadderGolden, LockedFileCoversEveryPathAtBothBudgets) {
+  if (std::getenv("AFDX_REGEN_GOLDEN") != nullptr) GTEST_SKIP();
+  const std::size_t expected_rows =
+      2 * (config::sample_config().all_paths().size() * 2 +
+           config::illustrative_config().all_paths().size());
+  std::ifstream in(kGoldenFile);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, expected_rows + 1);  // + header
+}
+
+}  // namespace
+}  // namespace afdx::analysis

@@ -116,6 +116,21 @@ TEST(ServeProtocol, ParsesAFullWhatifRequest) {
   EXPECT_EQ(req.limit, 5u);
 }
 
+TEST(ServeProtocol, ParsesTheLadderBudgetObject) {
+  const Request req = parse_request(
+      R"({"op":"ladder","ladder":{"budget_ms":12.5,"max_path_evals":7}})");
+  EXPECT_EQ(req.op, Op::kLadder);
+  ASSERT_TRUE(req.ladder.has_value());
+  EXPECT_EQ(req.ladder->budget_ms, 12.5);
+  EXPECT_EQ(req.ladder->max_path_evals, 7u);
+  // Absent key stays nullopt (whatif then skips the ladder entirely).
+  EXPECT_FALSE(parse_request(R"({"op":"ladder"})").ladder.has_value());
+  EXPECT_THROW(
+      (void)parse_request(R"({"op":"ladder","ladder":{"budget_ms":-1}})"),
+      Error);
+  EXPECT_THROW((void)parse_request(R"({"op":"ladder","ladder":[1]})"), Error);
+}
+
 TEST(ServeProtocol, RejectsUnknownKeysNamingThem) {
   try {
     (void)parse_request(R"({"id":1,"op":"status","bogus":1})");
@@ -308,6 +323,74 @@ TEST(ServeService, FaultSweepReusesThePinnedHealthyRun) {
   EXPECT_EQ(v.find("scenarios")->as_number(), 3.0);  // S1..S3
   EXPECT_EQ(v.find("analyzed")->as_number(), 3.0);
   EXPECT_FALSE(v.find("partial")->as_bool());
+}
+
+TEST(ServeService, LadderMatchesTheCombinedBoundsWhenUnlimited) {
+  Service service;
+  add_sample(service);
+  const TrafficConfig cfg = config::sample_config();
+  engine::AnalysisEngine eng(cfg, engine::Options{1});
+  const engine::RunResult fresh = eng.run_resilient();
+
+  const JsonValue v =
+      parse_json(service.handle_line(R"({"id":13,"op":"ladder"})"));
+  ASSERT_TRUE(v.find("ok")->as_bool()) << v.find("error")->as_string();
+  EXPECT_TRUE(v.find("complete")->as_bool());
+  EXPECT_FALSE(v.find("budget_exhausted")->as_bool());
+  ASSERT_EQ(v.find("paths")->as_number(), 5.0);
+  const auto& rows = v.find("paths_detail")->as_array();
+  ASSERT_EQ(rows.size(), 5u);
+  // An unlimited ladder ends at the tightest rung everywhere, which is
+  // exactly the engine's combined bound; match rows up by (vl, dest)
+  // because the response is sorted by tightening, not path index.
+  std::map<std::pair<std::string, std::string>, double> combined;
+  for (std::size_t p = 0; p < cfg.all_paths().size(); ++p) {
+    const VlPath& path = cfg.all_paths()[p];
+    const VirtualLink& vl = cfg.vl(path.vl);
+    combined[{vl.name, cfg.network().node(vl.destinations[path.dest_index]).name}] =
+        fresh.combined[p];
+  }
+  for (const JsonValue& row : rows) {
+    const auto key = std::make_pair(row.find("vl")->as_string(),
+                                    row.find("dest")->as_string());
+    ASSERT_TRUE(combined.count(key) > 0) << key.first << "->" << key.second;
+    EXPECT_EQ(row.find("bound_us")->as_number(), combined[key]);
+    EXPECT_LE(row.find("bound_us")->as_number(),
+              row.find("first_us")->as_number());
+  }
+}
+
+TEST(ServeService, LadderBudgetExhaustionIsExplicit) {
+  Service service;
+  add_sample(service);
+  // Token budget = path count: only the cheapest rung fits, every path is
+  // stranded below the top rung and says so.
+  const JsonValue v = parse_json(service.handle_line(
+      R"({"id":14,"op":"ladder","ladder":{"max_path_evals":5}})"));
+  ASSERT_TRUE(v.find("ok")->as_bool()) << v.find("error")->as_string();
+  EXPECT_FALSE(v.find("complete")->as_bool());
+  EXPECT_TRUE(v.find("budget_exhausted")->as_bool());
+  EXPECT_EQ(v.find("budget_reason")->as_string(),
+            "path-evaluation budget spent");
+  for (const JsonValue& row : v.find("paths_detail")->as_array()) {
+    EXPECT_EQ(row.find("winner")->as_string(), "sfa");
+    ASSERT_NE(row.find("message"), nullptr);
+    EXPECT_NE(row.find("message")->as_string().find("budget exhausted"),
+              std::string::npos);
+  }
+}
+
+TEST(ServeService, WhatifCarriesTheLadderRider) {
+  Service service;
+  add_sample(service);
+  const JsonValue v = parse_json(service.handle_line(
+      R"({"id":15,"op":"whatif","set":[{"vl":"v1","bag_us":1000}],)"
+      R"("ladder":{}})"));
+  ASSERT_TRUE(v.find("ok")->as_bool()) << v.find("error")->as_string();
+  const JsonValue* ladder = v.find("ladder");
+  ASSERT_NE(ladder, nullptr);
+  EXPECT_TRUE(ladder->find("complete")->as_bool());
+  EXPECT_GE(ladder->find("path_evals")->as_number(), 5.0);
 }
 
 TEST(ServeService, ShutdownLatches) {

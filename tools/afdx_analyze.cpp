@@ -41,6 +41,21 @@
 //   --deadline-ms=N                            cooperative deadline; work
 //                                              left when it expires is
 //                                              reported as skipped
+//   --ladder[=BUDGET_MS]                       budget-driven accuracy/cost
+//                                              ladder: the cheapest rung
+//                                              (SFA) bounds every path, the
+//                                              most disagreeing paths are
+//                                              escalated through WCNC,
+//                                              WCNC+grouping, trajectory and
+//                                              the refined trajectory until
+//                                              the budget is spent; prints
+//                                              per-path provenance (winner,
+//                                              rungs attempted, tightening).
+//                                              No value / 0 = unlimited.
+//   --ladder-evals=N                           deterministic ladder budget
+//                                              in path-evaluation tokens
+//                                              (bit-identical across
+//                                              --threads); 0 = unlimited
 //   --trace=FILE (or --trace FILE)             record scoped spans of the
 //                                              engine/netcalc/trajectory
 //                                              layers and write a Chrome
@@ -53,6 +68,7 @@
 //   2  usage / parse error (bad flags, malformed config file);
 //   3  partial results (contained failures, deadline or cancellation);
 //   4  soundness violation -- a simulated delay exceeded a reported bound.
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -62,6 +78,7 @@
 #include <vector>
 
 #include "analysis/comparison.hpp"
+#include "analysis/ladder.hpp"
 #include "common/error.hpp"
 #include "common/parse.hpp"
 #include "config/serialization.hpp"
@@ -95,6 +112,12 @@ struct CliOptions {
   bool ports = false;
   bool metrics = false;
   bool partial = false;
+  /// --ladder: run the budget-driven accuracy/cost ladder instead of the
+  /// fixed method set. budget_ms 0 = unlimited; ladder_evals is the
+  /// deterministic path-evaluation token budget (0 = unlimited).
+  bool ladder = false;
+  double ladder_budget_ms = 0.0;
+  std::uint64_t ladder_evals = 0;
   int simulate = 0;
   /// --deadline-ms: engaged when set, even with value 0 (which expires
   /// immediately and exercises the partial-result path end to end).
@@ -122,6 +145,14 @@ void print_usage(std::ostream& out) {
          "           <spec> = comma-separated link:<a>-<b>, switch:<name>,\n"
          "           es:<name> elements forming one scenario)\n"
          "         --partial  --deadline-ms=N (0 expires at once)\n"
+         "         --ladder[=BUDGET_MS]  accuracy/cost ladder: run the\n"
+         "           cheapest rung (SFA) on every path, escalate the most\n"
+         "           disagreeing paths through WCNC / WCNC+grouping /\n"
+         "           trajectory / refined trajectory until the budget is\n"
+         "           spent (0 or no value = unlimited); exits 3 when the\n"
+         "           budget cut the climb\n"
+         "         --ladder-evals=N  deterministic ladder token budget\n"
+         "           (path evaluations; 0 = unlimited)\n"
          "         --trace=FILE  --help\n"
          "exit codes: 0 success\n"
          "            1 internal error\n"
@@ -180,6 +211,24 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opts.incremental = false;
     } else if (arg == "--metrics") {
       opts.metrics = true;
+    } else if (arg == "--ladder") {
+      opts.ladder = true;
+    } else if (arg.rfind("--ladder=", 0) == 0) {
+      const auto ms = parse_double(arg.substr(9));
+      if (!ms.has_value() || *ms < 0.0) {
+        std::cerr << "bad ladder budget: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.ladder = true;
+      opts.ladder_budget_ms = *ms;
+    } else if (arg.rfind("--ladder-evals=", 0) == 0) {
+      const auto n = parse_uint(arg.substr(15));
+      if (!n.has_value()) {
+        std::cerr << "bad ladder eval budget: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.ladder = true;
+      opts.ladder_evals = *n;
     } else if (arg == "--partial") {
       opts.partial = true;
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
@@ -271,6 +320,84 @@ int run(const CliOptions& opts) {
         faults::analyze_scenarios(config, std::move(scenarios), so);
     report.print(std::cout, config);
     return report.complete() ? kExitOk : kExitPartial;
+  }
+
+  if (opts.ladder) {
+    analysis::LadderOptions lo;
+    lo.budget_ms = opts.ladder_budget_ms;
+    lo.max_path_evals = opts.ladder_evals;
+    lo.cancel = cancel_ptr;
+    lo.netcalc = opts.nc;
+    lo.trajectory = opts.tj;
+    analysis::BoundLadder ladder(config, opts.eng);
+    const analysis::LadderResult r = ladder.run(lo);
+
+    report::Table table({"vl", "destination", "hops", "bound_us", "winner",
+                         "first_us", "tightening_us", "rungs", "status"});
+    for (std::size_t i = 0; i < config.all_paths().size(); ++i) {
+      const VlPath& p = config.all_paths()[i];
+      const analysis::PathProvenance& prov = r.provenance[i];
+      std::string rungs;
+      for (std::size_t k = 0; k < analysis::kRungCount; ++k) {
+        if (prov.attempted(static_cast<analysis::Rung>(k))) {
+          if (!rungs.empty()) rungs += '+';
+          rungs += analysis::to_string(static_cast<analysis::Rung>(k));
+        }
+      }
+      std::string status = engine::to_string(r.status[i].state);
+      if (!r.status[i].message.empty()) {
+        status += " (" + r.status[i].message + ")";
+      }
+      table.add_row(
+          {config.vl(p.vl).name,
+           config.network()
+               .node(config.vl(p.vl).destinations[p.dest_index])
+               .name,
+           std::to_string(p.links.size()),
+           std::isfinite(r.bounds[i]) ? report::fmt(r.bounds[i])
+                                      : std::string("-"),
+           analysis::to_string(prov.winner),
+           std::isfinite(prov.first_bound_us)
+               ? report::fmt(prov.first_bound_us)
+               : std::string("-"),
+           report::fmt(prov.tightening_us()), std::move(rungs),
+           std::move(status)});
+    }
+    if (opts.csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+      std::cout << "\nladder: " << r.path_evals << " path evaluations, "
+                << r.paths_escalated << " paths escalated, "
+                << report::fmt(r.wall_us / 1000.0) << " ms\n";
+      report::Table rungs({"rung", "attempted", "paths", "cost_est",
+                           "wall_us", "note"});
+      for (std::size_t k = 0; k < analysis::kRungCount; ++k) {
+        const analysis::RungStats& s = r.rungs[k];
+        rungs.add_row({analysis::to_string(static_cast<analysis::Rung>(k)),
+                       s.attempted ? "yes" : "no",
+                       std::to_string(s.paths_bounded),
+                       report::fmt(s.cost_estimate), report::fmt(s.wall_us),
+                       s.failed ? s.message : std::string()});
+      }
+      rungs.print(std::cout);
+    }
+    if (opts.metrics) {
+      std::cout << "\n";
+      ladder.engine().metrics().print(std::cout);
+    }
+    const bool any_failed =
+        std::any_of(r.status.begin(), r.status.end(),
+                    [](const engine::PathStatus& s) { return !s.ok(); });
+    if (r.budget_exhausted || any_failed) {
+      std::cerr << "partial results: "
+                << (r.budget_exhausted
+                        ? "ladder budget exhausted (" + r.budget_reason + ")"
+                        : "some paths have no bounds")
+                << "\n";
+      return kExitPartial;
+    }
+    return kExitOk;
   }
 
   if (opts.partial || cancel_ptr != nullptr) {

@@ -34,7 +34,14 @@
 //   --corpus-dir=DIR    persist shrunk reproducers under DIR
 //   --no-shrink         report violations without shrinking
 //   --no-variants       skip the historical analysis variants
-//   --inject-fault=deflate-netcalc|deflate-trajectory|skew-combined
+//   --ladder            also run the accuracy/cost ladder dominance oracle
+//                       on every configuration: the cumulative rung chain,
+//                       winner provenance, and budgeted-vs-unlimited
+//                       consistency are checked alongside the usual
+//                       simulation soundness invariants (violations are
+//                       ddmin-shrunk like any other)
+//   --inject-fault=deflate-netcalc|deflate-trajectory|skew-combined|
+//                 loosen-ladder-rung
 //                       harness self-test hook: corrupt the bounds before
 //                       checking (with --fault-factor=F, default 0.5)
 //   --replay=FILE       replay one corpus artifact instead of fuzzing
@@ -48,6 +55,7 @@
 //                       and write a Chrome trace-event JSON file
 //   --self-test         harness end-to-end check: a clean smoke sweep must
 //                       be green AND an injected fault must be detected
+//                       (including loosen-ladder-rung via the ladder oracle)
 //
 // Signals: SIGINT/SIGTERM request cooperative cancellation -- running
 // campaigns finish, remaining ones are marked interrupted, and the
@@ -104,9 +112,9 @@ void print_usage(std::ostream& out) {
          "         --campaigns=N  --seed=S  --threads=N (0 = auto)\n"
          "         --grid=default|smoke  --schedules=N  --search-paths=N\n"
          "         --report=FILE  --no-timing  --corpus-dir=DIR\n"
-         "         --no-shrink  --no-variants  --quiet\n"
+         "         --no-shrink  --no-variants  --ladder  --quiet\n"
          "         --inject-fault=deflate-netcalc|deflate-trajectory|"
-         "skew-combined  --fault-factor=F\n"
+         "skew-combined|loosen-ladder-rung  --fault-factor=F\n"
          "         --checkpoint=FILE  --deadline-ms=N  --trace=FILE\n"
          "         --self-test\n";
 }
@@ -179,6 +187,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opts.campaign.shrink_violations = false;
     } else if (arg == "--no-variants") {
       opts.campaign.check.variants = false;
+    } else if (arg == "--ladder") {
+      opts.campaign.check.ladder = true;
     } else if (auto v = value_of("--inject-fault")) {
       const auto fault = valid::fault_from_string(*v);
       if (!fault.has_value()) {
@@ -417,7 +427,27 @@ int run_self_test(const CliOptions& opts) {
             << bad.violation_count << " violations -> "
             << (detected ? "detected" : "MISSED") << "\n";
 
-  const bool ok = clean_ok && detected;
+  // Ladder oracle: a clean sweep with the dominance checks enabled must stay
+  // green, and a deliberately loosened rung must trip them.
+  valid::CampaignOptions ladder_clean = base;
+  ladder_clean.check.ladder = true;
+  const valid::CampaignReport lclean = valid::run_campaigns(ladder_clean);
+  const bool ladder_clean_ok =
+      lclean.ok() && lclean.complete() && lclean.completed > 0;
+  std::cout << "self-test ladder clean sweep: " << lclean.completed
+            << " campaigns, " << lclean.violation_count << " violations -> "
+            << (ladder_clean_ok ? "ok" : "FAILED") << "\n";
+
+  valid::CampaignOptions ladder_faulted = ladder_clean;
+  ladder_faulted.check.fault = valid::Fault::kLoosenLadderRung;
+  ladder_faulted.check.fault_factor = 1.5;
+  const valid::CampaignReport lbad = valid::run_campaigns(ladder_faulted);
+  const bool ladder_detected = lbad.violation_count > 0;
+  std::cout << "self-test injected loosen-ladder-rung: "
+            << lbad.violation_count << " violations -> "
+            << (ladder_detected ? "detected" : "MISSED") << "\n";
+
+  const bool ok = clean_ok && detected && ladder_clean_ok && ladder_detected;
   std::cout << (ok ? "self-test OK\n" : "self-test FAILED\n");
   return ok ? 0 : 2;
 }

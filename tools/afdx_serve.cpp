@@ -2,10 +2,13 @@
 //
 // Loads one or more configurations at startup, computes and pins a warm
 // baseline per configuration (full engine run + cache state), then serves
-// concurrent what-if / bounds / fault-sweep requests over newline-delimited
-// JSON (see src/serve/protocol.hpp for the wire format). A warm what-if
-// re-analyzes only the dirty cone of the requested change, so it costs a
-// small fraction of the full run the baseline already paid.
+// concurrent what-if / bounds / fault-sweep / ladder requests over
+// newline-delimited JSON (see src/serve/protocol.hpp for the wire format).
+// A warm what-if re-analyzes only the dirty cone of the requested change,
+// so it costs a small fraction of the full run the baseline already paid.
+// A "ladder" request (or a whatif carrying "ladder":{"budget_ms":N}) runs
+// the budget-driven accuracy/cost ladder and reports per-path winning-rung
+// provenance.
 //
 // Usage:
 //   afdx_serve --config=FILE [--config=NAME=FILE ...] [options]
