@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Builds the project under ThreadSanitizer and runs the parallel analysis
-# engine's determinism/cache tests, the observability layer's tracer /
-# counter concurrency tests, the serving subsystem's concurrent
-# session / server tests, and the accuracy/cost ladder's sharded
-# escalation tests (see README "Sanitizer builds").
+# engine's determinism/cache tests (including the error-containment /
+# streaming regressions), the trajectory analyzer's reuse-after-throw
+# regression, the observability layer's tracer / counter concurrency
+# tests, the serving subsystem's concurrent session / server tests, and
+# the accuracy/cost ladder's sharded escalation tests (see README
+# "Sanitizer builds").
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -11,7 +13,7 @@ set -eu
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." -DAFDX_SANITIZE=thread
-cmake --build "$BUILD_DIR" --target test_engine test_obs test_serve test_ladder -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target test_engine test_obs test_serve test_ladder test_trajectory -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" \
-    -R '^(Engine|ThreadPool|PortCache|Tracer|Counters|JsonWriter|Overhead|Session|Serve|Ladder)' \
+    -R '^(Engine|ThreadPool|PortCache|Tracer|Counters|JsonWriter|Overhead|Session|Serve|Ladder|Trajectory)' \
     --output-on-failure

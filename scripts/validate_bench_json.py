@@ -118,6 +118,43 @@ def check_ladder_frontier(doc):
             "frontier[-1]: expected the unlimited (complete) ladder run")
 
 
+def check_capacity(doc):
+    """Bench-specific contract of BENCH_capacity.json: the frontier is
+    non-empty, sizes grow strictly monotonically up to a >= 10k-VL rung,
+    every rung reports a positive paths/second, and the streaming sink saw
+    exactly one record per path (nothing dropped, nothing materialized
+    twice)."""
+    if doc.get("bench") != "capacity":
+        return
+    frontier = doc["results"].get("frontier")
+    require(isinstance(frontier, list) and frontier,
+            "results.frontier: missing/empty")
+    prev_vls = None
+    for i, point in enumerate(frontier):
+        require(isinstance(point, dict), f"frontier[{i}]: not an object")
+        for field in ("vls", "domains", "switches", "paths", "gen_wall_us",
+                      "analysis_wall_us", "paths_per_second", "ok", "failed",
+                      "skipped", "sink_calls"):
+            require(field in point, f"frontier[{i}].{field}: missing")
+        require(point["paths_per_second"] > 0,
+                f"frontier[{i}] ({point['vls']} VLs): paths_per_second "
+                f"{point['paths_per_second']!r} not positive")
+        require(point["sink_calls"] == point["paths"],
+                f"frontier[{i}] ({point['vls']} VLs): sink saw "
+                f"{point['sink_calls']} records for {point['paths']} paths")
+        require(point["ok"] + point["failed"] + point["skipped"]
+                == point["paths"],
+                f"frontier[{i}] ({point['vls']} VLs): ok/failed/skipped do "
+                "not add up to the path count")
+        if prev_vls is not None:
+            require(point["vls"] > prev_vls,
+                    f"frontier[{i}]: sizes must be strictly increasing "
+                    f"({point['vls']} after {prev_vls})")
+        prev_vls = point["vls"]
+    require(prev_vls >= 10000,
+            f"frontier: largest rung is {prev_vls} VLs, expected >= 10000")
+
+
 def validate(doc):
     require(isinstance(doc, dict), "top level: not an object")
     require(doc.get("schema") == "afdx-bench/1",
@@ -133,6 +170,7 @@ def validate(doc):
     check_registry(doc)
     check_tracer_overhead(doc)
     check_ladder_frontier(doc)
+    check_capacity(doc)
 
 
 def main(argv):

@@ -7,6 +7,7 @@
 #include <iomanip>
 #include <memory>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <unordered_map>
@@ -557,11 +558,11 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory_contained(
     vl_paths[paths[i].vl].push_back(i);
   }
 
-  // Per-worker analyzer state for the work-stealing loop. The analyzer's
-  // memoized prefix state may be left inconsistent by a throw
-  // mid-recursion, so a failed path gets a fresh instance before the
-  // worker continues (the shared cache stays consistent: it is only
-  // written after a successful compute).
+  // Per-worker analyzer state for the work-stealing loop. A throw
+  // mid-recursion leaves the analyzer consistent -- the in-progress
+  // markers unwind with the stack (RAII) and the memo only ever holds
+  // successfully computed bounds -- so the worker keeps its instance (and
+  // its memo) across contained per-path failures.
   struct Shard {
     std::optional<trajectory::Analyzer> analyzer;
     std::string construct_error;
@@ -603,7 +604,6 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory_contained(
             shard.analyzer->bound_to_link(paths[i].vl, paths[i].links.back());
       } catch (const std::exception& e) {
         path_status[i] = PathStatus{PathState::kFailed, e.what()};
-        fresh(shard);
       }
     }
   });
@@ -708,6 +708,183 @@ RunResult AnalysisEngine::run_resilient(const netcalc::Options& nc_options,
   result.prefixes = last_prefix_cache_;
   result.metrics = metrics();
   return result;
+}
+
+StreamSummary AnalysisEngine::run_streaming(
+    const StreamSink& sink, const netcalc::Options& nc_options,
+    const trajectory::Options& tj_options, const RunControl& control) {
+  AFDX_TRACE_SPAN("engine.run_streaming", "engine");
+  const Network& net = cfg_.network();
+  const std::vector<VlPath>& paths = cfg_.all_paths();
+  const std::size_t n_links = net.link_count();
+  const auto port_name = [&](LinkId l) {
+    return net.node(net.link(l).source).name + ">" +
+           net.node(net.link(l).dest).name;
+  };
+
+  const auto t0 = Clock::now();
+  const Microseconds cpu0 = cpu_now_us();
+
+  // Contained WCNC pass: per-port state, O(ports) not O(paths).
+  std::vector<PortOutcome> nc_ports;
+  const netcalc::Result nc_result =
+      run_netcalc_contained(nc_options, control, nc_ports);
+  const auto t1 = Clock::now();
+
+  // Serialization caps, exactly as in run_trajectory_contained: failed or
+  // skipped ports stay uncapped (an infinite cap is simply no refinement).
+  std::optional<std::vector<Microseconds>> caps;
+  if (tj_options.serialization) {
+    caps.emplace(n_links, kInf);
+    for (LinkId l = 0; l < n_links; ++l) {
+      if (nc_ports[l].state == PathState::kOk && nc_result.ports[l].used) {
+        (*caps)[l] =
+            nc_result.ports[l].queue_backlog / cfg_.network().link(l).rate;
+      }
+    }
+  }
+
+  const std::shared_ptr<trajectory::PrefixCache> pcache = prefix_cache_for(
+      trajectory_options_key(tj_options), caps_signature(caps));
+  // Streaming runs are always full runs: discard incremental leftovers.
+  pending_prefix_seeds_.clear();
+  pending_path_transplants_.clear();
+  last_prefix_cache_ = pcache;
+
+  std::vector<VlId> vl_order;
+  std::vector<std::vector<std::size_t>> vl_paths(cfg_.vl_count());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (vl_paths[paths[i].vl].empty()) vl_order.push_back(paths[i].vl);
+    vl_paths[paths[i].vl].push_back(i);
+  }
+
+  struct Shard {
+    std::optional<trajectory::Analyzer> analyzer;
+    std::string construct_error;
+    bool alive = false;
+    bool initialized = false;
+  };
+  std::vector<Shard> local(static_cast<std::size_t>(pool_.thread_count()));
+  const auto fresh = [&](Shard& shard) {
+    try {
+      shard.analyzer.emplace(cfg_, tj_options);
+      if (caps.has_value()) shard.analyzer->set_backlog_caps(*caps);
+      shard.analyzer->set_prefix_cache(pcache.get());
+      shard.alive = true;
+    } catch (const std::exception& e) {
+      shard.construct_error = e.what();
+      shard.alive = false;
+    }
+  };
+
+  StreamSummary summary;
+  std::mutex sink_mu;
+  pool_.parallel_for_dynamic(vl_order.size(), [&](std::size_t k, int w) {
+    Shard& shard = local[static_cast<std::size_t>(w)];
+    if (!shard.initialized) {
+      shard.initialized = true;
+      fresh(shard);
+    }
+    for (std::size_t i : vl_paths[vl_order[k]]) {
+      const VlPath& p = paths[i];
+      StreamPathResult r;
+      r.path_index = i;
+      r.vl = p.vl;
+      r.dest_index = p.dest_index;
+
+      // Per-path WCNC assembly, same contract as run_resilient: a path is
+      // only as good as every port it crosses.
+      const std::uint8_t level = cfg_.vl(p.vl).priority;
+      PathStatus nc_status;
+      Microseconds nc_total = 0.0;
+      for (LinkId l : p.links) {
+        if (nc_ports[l].state != PathState::kOk) {
+          nc_status = PathStatus{
+              nc_ports[l].state,
+              "wcnc: port " + port_name(l) + " " +
+                  std::string(to_string(nc_ports[l].state)) +
+                  (nc_ports[l].message.empty() ? ""
+                                               : ": " + nc_ports[l].message)};
+          nc_total = kInf;
+          break;
+        }
+        const auto& delays = nc_result.ports[l].level_delays;
+        const auto it = delays.find(level);
+        AFDX_ASSERT(it != delays.end(), "engine: missing level delay");
+        nc_total += it->second;
+      }
+      r.netcalc = nc_total;
+
+      PathStatus tj_status;
+      r.trajectory = kInf;
+      if (control.cancel != nullptr && control.cancel->expired()) {
+        tj_status = PathStatus{PathState::kSkipped, control.cancel->reason()};
+      } else if (!shard.alive) {
+        tj_status = PathStatus{PathState::kFailed, shard.construct_error};
+      } else {
+        try {
+          r.trajectory = shard.analyzer->bound_to_link(p.vl, p.links.back());
+        } catch (const std::exception& e) {
+          tj_status = PathStatus{PathState::kFailed, e.what()};
+        }
+      }
+
+      r.combined = std::min(r.netcalc, r.trajectory);
+      std::string message = nc_status.message;
+      if (!tj_status.ok()) {
+        if (!message.empty()) message += "; ";
+        message += "trajectory " + std::string(to_string(tj_status.state)) +
+                   ": " + tj_status.message;
+      }
+      if (std::isfinite(r.combined)) {
+        r.state = PathState::kOk;
+      } else {
+        const bool failed = nc_status.state == PathState::kFailed ||
+                            tj_status.state == PathState::kFailed;
+        r.state = failed ? PathState::kFailed : PathState::kSkipped;
+      }
+      r.message = std::move(message);
+
+      {
+        std::lock_guard<std::mutex> lock(sink_mu);
+        ++summary.paths;
+        switch (r.state) {
+          case PathState::kOk:
+            ++summary.ok;
+            summary.sum_combined += r.combined;
+            if (summary.ok == 1 || r.combined > summary.max_combined) {
+              summary.max_combined = r.combined;
+              summary.worst_path = i;
+              summary.worst_vl = p.vl;
+            }
+            break;
+          case PathState::kFailed:
+            ++summary.failed;
+            break;
+          case PathState::kSkipped:
+            ++summary.skipped;
+            break;
+        }
+        if (sink) sink(r);
+      }
+    }
+  });
+  const auto t2 = Clock::now();
+
+  summary.wall_us = elapsed_us(t0, t2);
+  summary.paths_per_second =
+      safe_paths_per_second(summary.paths, summary.wall_us);
+  metrics_.netcalc_wall_us += elapsed_us(t0, t1);
+  metrics_.trajectory_wall_us += elapsed_us(t1, t2);
+  metrics_.total_wall_us += summary.wall_us;
+  metrics_.total_cpu_us += cpu_now_us() - cpu0;
+  metrics_.paths = summary.paths;
+  metrics_.paths_per_second = summary.paths_per_second;
+  observe_phase_us("netcalc", elapsed_us(t0, t1));
+  observe_phase_us("trajectory", elapsed_us(t1, t2));
+  obs::registry().counter("engine.runs").add();
+  obs::registry().counter("engine.paths").add(summary.paths);
+  return summary;
 }
 
 RunResult AnalysisEngine::run_incremental(const TrafficConfig& baseline_config,

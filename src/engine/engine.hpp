@@ -29,6 +29,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -165,6 +167,47 @@ struct RunResult {
   [[nodiscard]] bool complete() const noexcept;
 };
 
+/// One per-path record delivered to a streaming sink (run_streaming).
+struct StreamPathResult {
+  /// Index into TrafficConfig::all_paths().
+  std::size_t path_index = 0;
+  VlId vl = kInvalidVl;
+  std::uint32_t dest_index = 0;
+  PathState state = PathState::kOk;
+  Microseconds netcalc = 0.0;
+  Microseconds trajectory = 0.0;
+  Microseconds combined = 0.0;
+  /// Degradation / failure explanation; empty for a fully clean path.
+  std::string message;
+};
+
+/// Running aggregate of a streaming run -- everything a 100k-VL capacity
+/// sweep needs without materializing per-path vectors or reports.
+struct StreamSummary {
+  std::size_t paths = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  /// Largest finite combined bound and the path that attains it.
+  Microseconds max_combined = 0.0;
+  std::size_t worst_path = 0;
+  VlId worst_vl = kInvalidVl;
+  /// Sum of the finite combined bounds (for the mean). The accumulation
+  /// order follows path completion order, so the last bits of the mean may
+  /// differ between thread counts; every per-path bound is still exact.
+  Microseconds sum_combined = 0.0;
+  double wall_us = 0.0;
+  double paths_per_second = 0.0;
+
+  [[nodiscard]] Microseconds mean_combined() const noexcept {
+    return ok == 0 ? 0.0 : sum_combined / static_cast<Microseconds>(ok);
+  }
+};
+
+/// Per-path callback of run_streaming. Called under an internal mutex (one
+/// call at a time) from worker threads, in path completion order.
+using StreamSink = std::function<void(const StreamPathResult&)>;
+
 class AnalysisEngine {
  public:
   explicit AnalysisEngine(const TrafficConfig& config, Options options = {});
@@ -188,6 +231,19 @@ class AnalysisEngine {
       const netcalc::Options& nc_options = {},
       const trajectory::Options& tj_options = {},
       const RunControl& control = {});
+
+  /// Streaming variant of run_resilient for configurations too large to
+  /// materialize per-path results: every path's record is handed to `sink`
+  /// as soon as it is computed (under an internal mutex, in completion
+  /// order -- sort by path_index downstream if order matters) and only the
+  /// running StreamSummary is kept. Per-path bounds and statuses are
+  /// bit-identical to run_resilient at any thread count; pending
+  /// incremental transplants are discarded (streaming runs are always
+  /// full runs).
+  StreamSummary run_streaming(const StreamSink& sink,
+                              const netcalc::Options& nc_options = {},
+                              const trajectory::Options& tj_options = {},
+                              const RunControl& control = {});
 
   /// Incremental re-analysis against a prior run of a configuration that
   /// shares this engine's network: only ports inside the dirty cone of

@@ -31,6 +31,10 @@ TrafficConfig industrial_config(const IndustrialOptions& o) {
   AFDX_REQUIRE(o.max_frame_bytes >= kMinEthernetFrame &&
                    o.max_frame_bytes <= kMaxEthernetFrame,
                "industrial_config: max_frame_bytes outside the Ethernet range");
+  AFDX_REQUIRE(o.domains >= 1, "industrial_config: need >= 1 domain");
+  AFDX_REQUIRE(
+      o.cross_domain_fraction >= 0.0 && o.cross_domain_fraction <= 1.0,
+      "industrial_config: cross_domain_fraction in [0,1]");
 
   Rng rng(o.seed);
   Network net;
@@ -44,32 +48,89 @@ TrafficConfig industrial_config(const IndustrialOptions& o) {
   // switches interconnect the edge switches that host the end systems. The
   // tree keeps the configuration feed-forward (see header comment) and the
   // shallow diameter matches the published path lengths (1-4 switches).
+  //
+  // With domains > 1, one such tree is built per domain and the domain
+  // trees hang off a chain of backbone switches -- still a tree overall,
+  // so feed-forwardness is preserved at any scale. `switches` holds the
+  // domain switches domain-major (domain d starts at d * switch_count);
+  // backbone switches host no end systems and never start a bundle.
   std::vector<NodeId> switches;
-  const int cores = o.switch_count >= 4 ? 2 : 1;
-  for (int s = 0; s < o.switch_count; ++s) {
-    switches.push_back(net.add_switch("S" + std::to_string(s + 1)));
-    if (s == 1 && cores == 2) {
-      net.connect(switches[0], switches[1], lp);
-    } else if (s >= cores) {
-      const auto core = static_cast<std::size_t>(rng.uniform_int(0, cores - 1));
-      net.connect(switches[core], switches.back(), lp);
-    }
-  }
-
-  // End systems spread over the switches: round-robin plus a random tail so
-  // some switches host more avionics functions than others, as in practice.
+  // End systems per switch (index into `switches`), recorded at connect
+  // time for the conversation bundles below.
+  std::vector<std::vector<NodeId>> es_of_switch(
+      static_cast<std::size_t>(o.domains) *
+      static_cast<std::size_t>(o.switch_count));
   std::vector<NodeId> end_systems;
-  for (int e = 0; e < o.end_system_count; ++e) {
-    const NodeId es = net.add_end_system("e" + std::to_string(e + 1));
-    std::size_t sw;
-    if (e < o.switch_count) {
-      sw = static_cast<std::size_t>(e);  // every switch gets at least one ES
-    } else {
-      sw = static_cast<std::size_t>(
-          rng.uniform_int(0, o.switch_count - 1));
+  const int cores = o.switch_count >= 4 ? 2 : 1;
+  if (o.domains == 1) {
+    for (int s = 0; s < o.switch_count; ++s) {
+      switches.push_back(net.add_switch("S" + std::to_string(s + 1)));
+      if (s == 1 && cores == 2) {
+        net.connect(switches[0], switches[1], lp);
+      } else if (s >= cores) {
+        const auto core =
+            static_cast<std::size_t>(rng.uniform_int(0, cores - 1));
+        net.connect(switches[core], switches.back(), lp);
+      }
     }
-    net.connect(es, switches[sw], lp);
-    end_systems.push_back(es);
+
+    // End systems spread over the switches: round-robin plus a random tail
+    // so some switches host more avionics functions than others, as in
+    // practice.
+    for (int e = 0; e < o.end_system_count; ++e) {
+      const NodeId es = net.add_end_system("e" + std::to_string(e + 1));
+      std::size_t sw;
+      if (e < o.switch_count) {
+        sw = static_cast<std::size_t>(e);  // every switch gets at least one ES
+      } else {
+        sw = static_cast<std::size_t>(
+            rng.uniform_int(0, o.switch_count - 1));
+      }
+      net.connect(es, switches[sw], lp);
+      es_of_switch[sw].push_back(es);
+      end_systems.push_back(es);
+    }
+  } else {
+    // Backbone chain first, so every domain tree can attach immediately.
+    const int backbone_count = (o.domains + 3) / 4;
+    std::vector<NodeId> backbone;
+    for (int b = 0; b < backbone_count; ++b) {
+      backbone.push_back(net.add_switch("B" + std::to_string(b + 1)));
+      if (b > 0) net.connect(backbone[static_cast<std::size_t>(b - 1)],
+                             backbone.back(), lp);
+    }
+    for (int d = 0; d < o.domains; ++d) {
+      const std::size_t base = switches.size();
+      const std::string dom = "D" + std::to_string(d + 1);
+      for (int s = 0; s < o.switch_count; ++s) {
+        switches.push_back(net.add_switch(dom + "S" + std::to_string(s + 1)));
+        if (s == 1 && cores == 2) {
+          net.connect(switches[base], switches[base + 1], lp);
+        } else if (s >= cores) {
+          const auto core =
+              static_cast<std::size_t>(rng.uniform_int(0, cores - 1));
+          net.connect(switches[base + core], switches.back(), lp);
+        }
+      }
+      // The domain's first core switch is its uplink to the backbone.
+      net.connect(backbone[static_cast<std::size_t>(d % backbone_count)],
+                  switches[base], lp);
+
+      for (int e = 0; e < o.end_system_count; ++e) {
+        const NodeId es =
+            net.add_end_system(dom + "e" + std::to_string(e + 1));
+        std::size_t sw;
+        if (e < o.switch_count) {
+          sw = static_cast<std::size_t>(e);
+        } else {
+          sw = static_cast<std::size_t>(
+              rng.uniform_int(0, o.switch_count - 1));
+        }
+        net.connect(es, switches[base + sw], lp);
+        es_of_switch[base + sw].push_back(es);
+        end_systems.push_back(es);
+      }
+    }
   }
 
   // BAG histogram: harmonic 2..128 ms, weighted toward the middle values
@@ -113,8 +174,7 @@ TrafficConfig industrial_config(const IndustrialOptions& o) {
   AFDX_ASSERT(!size_buckets.empty(), "size bucket table empty after capping");
 
   // Track port rate usage while drawing VLs so the utilization cap holds.
-  std::vector<double> port_rate(net.link_count() * 1, 0.0);
-  port_rate.assign(net.link_count(), 0.0);
+  std::vector<double> port_rate(net.link_count(), 0.0);
 
   auto path_links = [&](NodeId src, NodeId dst) {
     auto p = net.shortest_path(src, dst);
@@ -122,16 +182,6 @@ TrafficConfig industrial_config(const IndustrialOptions& o) {
     return *p;
   };
 
-  // End systems per switch, for the conversation bundles below.
-  std::vector<std::vector<NodeId>> es_of_switch(switches.size());
-  for (NodeId es : end_systems) {
-    for (std::size_t s = 0; s < switches.size(); ++s) {
-      if (net.link_between(es, switches[s]).has_value()) {
-        es_of_switch[s].push_back(es);
-        break;
-      }
-    }
-  }
   auto random_es_of = [&](std::size_t sw) {
     const auto& pool = es_of_switch[sw];
     return pool[static_cast<std::size_t>(
@@ -146,15 +196,39 @@ TrafficConfig industrial_config(const IndustrialOptions& o) {
   // pair of equipment bays (switches). Keep a bundle alive for several VLs.
   std::size_t bundle_src_sw = 0, bundle_dst_sw = 0;
   int bundle_left = 0;
+  const int total_es = static_cast<int>(end_systems.size());
   while (produced < o.vl_count && attempts < max_attempts) {
     ++attempts;
     if (bundle_left <= 0) {
-      bundle_src_sw = static_cast<std::size_t>(
-          rng.uniform_int(0, o.switch_count - 1));
-      do {
-        bundle_dst_sw = static_cast<std::size_t>(
+      if (o.domains == 1) {
+        bundle_src_sw = static_cast<std::size_t>(
             rng.uniform_int(0, o.switch_count - 1));
-      } while (o.switch_count > 1 && bundle_dst_sw == bundle_src_sw);
+        do {
+          bundle_dst_sw = static_cast<std::size_t>(
+              rng.uniform_int(0, o.switch_count - 1));
+        } while (o.switch_count > 1 && bundle_dst_sw == bundle_src_sw);
+      } else {
+        // Bundles live inside one domain except for a configurable
+        // fraction of inter-domain conversations over the backbone.
+        const auto src_dom =
+            static_cast<std::size_t>(rng.uniform_int(0, o.domains - 1));
+        std::size_t dst_dom = src_dom;
+        if (rng.bernoulli(o.cross_domain_fraction)) {
+          do {
+            dst_dom =
+                static_cast<std::size_t>(rng.uniform_int(0, o.domains - 1));
+          } while (dst_dom == src_dom);
+        }
+        const auto sw_per_dom = static_cast<std::size_t>(o.switch_count);
+        bundle_src_sw =
+            src_dom * sw_per_dom +
+            static_cast<std::size_t>(rng.uniform_int(0, o.switch_count - 1));
+        do {
+          bundle_dst_sw =
+              dst_dom * sw_per_dom +
+              static_cast<std::size_t>(rng.uniform_int(0, o.switch_count - 1));
+        } while (o.switch_count > 1 && bundle_dst_sw == bundle_src_sw);
+      }
       bundle_left = static_cast<int>(rng.uniform_int(4, 16));
     }
     --bundle_left;
@@ -176,11 +250,25 @@ TrafficConfig industrial_config(const IndustrialOptions& o) {
     for (int d = 0; d < fanout * 6 && static_cast<int>(dests.size()) < fanout;
          ++d) {
       // Mostly within the bundle's destination bay, occasionally anywhere.
-      const NodeId cand =
-          rng.bernoulli(0.8)
-              ? random_es_of(bundle_dst_sw)
-              : end_systems[static_cast<std::size_t>(
-                    rng.uniform_int(0, o.end_system_count - 1))];
+      // With multiple domains, "anywhere" stays inside the bundle's domain
+      // pair so cross_domain_fraction remains the only source of backbone
+      // traffic.
+      NodeId cand;
+      if (rng.bernoulli(0.8)) {
+        cand = random_es_of(bundle_dst_sw);
+      } else if (o.domains == 1) {
+        cand = end_systems[static_cast<std::size_t>(
+            rng.uniform_int(0, total_es - 1))];
+      } else {
+        const auto sw_per_dom = static_cast<std::size_t>(o.switch_count);
+        const std::size_t doms[2] = {bundle_src_sw / sw_per_dom,
+                                     bundle_dst_sw / sw_per_dom};
+        const std::size_t dom =
+            doms[static_cast<std::size_t>(rng.uniform_int(0, 1))];
+        cand = end_systems[dom * static_cast<std::size_t>(o.end_system_count) +
+                           static_cast<std::size_t>(rng.uniform_int(
+                               0, o.end_system_count - 1))];
+      }
       if (cand != vl.source) dests.insert(cand);
     }
     if (dests.empty()) continue;
@@ -204,13 +292,15 @@ TrafficConfig industrial_config(const IndustrialOptions& o) {
     }
 
     // Utilization check: collect the links of the multicast tree and make
-    // sure the VL fits everywhere; if not, retry with a larger BAG.
+    // sure the VL fits everywhere; if not, retry with a larger BAG. The
+    // tree does not depend on the BAG, so it is computed once, outside the
+    // retry loop.
+    std::set<LinkId> tree;
+    for (NodeId dst : vl.destinations) {
+      for (LinkId l : path_links(vl.source, dst)) tree.insert(l);
+    }
     for (; bag_idx < bags.size(); ++bag_idx) {
       vl.bag = bags[bag_idx];
-      std::set<LinkId> tree;
-      for (NodeId dst : vl.destinations) {
-        for (LinkId l : path_links(vl.source, dst)) tree.insert(l);
-      }
       bool fits = true;
       for (LinkId l : tree) {
         const double util =

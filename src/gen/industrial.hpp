@@ -12,6 +12,17 @@
 // The switch backbone is a random tree, which keeps the configuration
 // feed-forward (a property the trajectory approach requires and that
 // engineered avionics configurations have).
+//
+// Scaling beyond the paper: with `domains` > 1 the generator produces a
+// hierarchical multi-domain network -- `domains` copies of the per-domain
+// core/edge tree (switch_count and end_system_count are then PER DOMAIN),
+// joined by a chain of backbone switches; a configurable fraction of the
+// traffic bundles crosses domains over the backbone. The overall topology
+// stays a tree: a directed-link cycle would be a non-backtracking closed
+// walk, which trees do not have, so every multi-domain configuration is
+// feed-forward by construction and the utilization cap is enforced on
+// every link including the backbone. domains = 1 reproduces the legacy
+// single-domain generator bit-for-bit (same RNG stream, same names).
 #pragma once
 
 #include <cstdint>
@@ -54,6 +65,15 @@ struct IndustrialOptions {
   int priority_levels = 1;
   /// Maximum source release jitter applied to every VL (0 = ideal shapers).
   Microseconds max_release_jitter = 0.0;
+  /// Hierarchical domains. 1 = the legacy single-domain generator
+  /// (bit-identical RNG stream). With more domains, switch_count and
+  /// end_system_count apply per domain and the domain trees are joined by
+  /// a chain of ceil(domains / 4) backbone switches (airliner-and-beyond
+  /// scale: 8 domains x 8 switches is a 66-switch, 10k-VL-class network).
+  int domains = 1;
+  /// Fraction of traffic bundles whose destination bay lies in a different
+  /// domain (routed over the backbone). Ignored when domains == 1.
+  double cross_domain_fraction = 0.05;
 };
 
 /// Generates the configuration. Deterministic for a given option set.

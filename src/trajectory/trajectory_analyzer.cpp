@@ -22,14 +22,59 @@ double frame_count(Microseconds t, Microseconds a, Microseconds period) {
   return std::floor(window / period + 1e-9) + 1.0;
 }
 
+/// One interference term: a maximal run of consecutive shared nodes of an
+/// interfering flow along the study path.
+struct Segment {
+  Microseconds a = 0.0;       // jitter window widening A_ij
+  Microseconds c = 0.0;       // largest per-node transmission time in the run
+  Microseconds period = 0.0;  // BAG of j
+};
+
 }  // namespace
+
+// Reusable per-prefix scratch. All vectors keep their capacity across
+// prefixes; the vl_count-sized open-segment tables are validated by epoch
+// instead of being cleared (clearing would cost O(vl_count) per prefix,
+// prohibitive on 100k-VL configurations).
+struct Analyzer::ScratchFrame {
+  std::vector<LinkId> sub;
+  std::vector<Segment> segments;
+  std::vector<std::vector<std::size_t>> node_first_met;
+  // SoA flattening of the per-node segment lists: response() streams the
+  // a / c / period columns as three contiguous arrays so its inner loop
+  // vectorizes instead of striding over an array-of-structs.
+  std::vector<Microseconds> flat_a;
+  std::vector<Microseconds> flat_c;
+  std::vector<Microseconds> flat_period;
+  /// m + 1 entries; node idx owns flat range [node_begin[idx], node_begin[idx+1]).
+  std::vector<std::size_t> node_begin;
+  std::vector<Microseconds> node_cap;
+  std::vector<Microseconds> candidates;
+  std::vector<char> saturated;
+  /// Open segment per flow, indexed by VlId; an entry is live only when
+  /// open_epoch[j] matches the frame's current epoch.
+  std::vector<std::size_t> open_seg;
+  std::vector<std::size_t> open_last;
+  std::vector<std::uint64_t> open_epoch;
+  std::uint64_t epoch = 0;
+};
+
+Analyzer::~Analyzer() = default;
 
 Microseconds Result::bound_for(const TrafficConfig& config, PathRef ref) const {
   const auto& paths = config.all_paths();
-  for (std::size_t i = 0; i < paths.size(); ++i) {
-    if (paths[i].vl == ref.vl && paths[i].dest_index == ref.dest_index) {
-      return path_bounds[i];
+  if (path_index_.empty() && !paths.empty()) {
+    path_index_.reserve(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      path_index_.emplace(
+          (static_cast<std::uint64_t>(paths[i].vl) << 32) | paths[i].dest_index,
+          i);
     }
+  }
+  const std::uint64_t k =
+      (static_cast<std::uint64_t>(ref.vl) << 32) | ref.dest_index;
+  if (auto it = path_index_.find(k); it != path_index_.end()) {
+    return path_bounds[it->second];
   }
   throw Error("Trajectory Result::bound_for: unknown path");
 }
@@ -138,8 +183,17 @@ Microseconds Analyzer::bound_to_link(VlId vl, LinkId link) {
                    cfg_.vl(vl).name +
                    " (the trajectory approach requires a feed-forward "
                    "configuration)");
+  // Erase the marker on every exit path. compute_prefix throws on
+  // divergence (unstable path utilization), and analyzer instances are
+  // reused across paths by the engine and the ladder; a leaked marker
+  // would make every later prefix that reaches (vl, link) falsely fail
+  // with the cyclic-dependency error above.
+  struct EraseGuard {
+    std::unordered_set<std::uint64_t>& set;
+    std::uint64_t key;
+    ~EraseGuard() { set.erase(key); }
+  } guard{in_progress_, k};
   const Microseconds bound = compute_prefix(vl, link);
-  in_progress_.erase(k);
   memo_.emplace(k, bound);
   if (shared_ != nullptr) shared_->store(vl, link, bound);
   return bound;
@@ -154,8 +208,23 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
   const VlRoute& route_i = cfg_.route(i);
   AFDX_REQUIRE(route_i.crosses(last), "compute_prefix: VL does not cross link");
 
+  // One pooled scratch frame per live recursion depth. bound_to_link
+  // re-enters compute_prefix while this frame is mid-construction, so the
+  // scratch cannot be flat instance state -- but pooling frames by depth
+  // still removes the per-prefix reallocation of every vector below.
+  if (scratch_depth_ == scratch_pool_.size()) {
+    scratch_pool_.push_back(std::make_unique<ScratchFrame>());
+  }
+  ScratchFrame& fr = *scratch_pool_[scratch_depth_];
+  ++scratch_depth_;
+  struct DepthGuard {
+    std::size_t& depth;
+    ~DepthGuard() { --depth; }
+  } depth_guard{scratch_depth_};
+
   // The unique tree prefix l_0 .. l_{m-1} ending at `last`.
-  std::vector<LinkId> sub;
+  std::vector<LinkId>& sub = fr.sub;
+  sub.clear();
   for (LinkId l = last; l != kInvalidLink; l = route_i.predecessor(l)) {
     sub.push_back(l);
   }
@@ -175,24 +244,26 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
   // A flow j contributes one term per maximal run of consecutive shared
   // nodes; the run is "consecutive" only when j actually travels along i's
   // path (its predecessor at node k is node k-1).
-  struct Segment {
-    Microseconds a = 0.0;      // jitter window widening A_ij
-    Microseconds c = 0.0;      // largest per-node transmission time in the run
-    Microseconds period = 0.0; // BAG of j
-  };
-  std::vector<Segment> segments;
+  std::vector<Segment>& segments = fr.segments;
+  segments.clear();
   std::size_t own_segment = 0;  // index of i's own (first) segment
   // Open segment per flow, indexed by VlId: index into `segments`, and last
-  // covered node. Locals (not instance scratch) on purpose: bound_to_link
-  // re-enters compute_prefix while this frame is mid-construction.
-  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> open_seg(cfg_.vl_count(), kNone);
-  std::vector<std::size_t> open_last(cfg_.vl_count(), 0);
+  // covered node. An entry is live only when its epoch matches the frame's
+  // current one -- bumping the epoch invalidates the whole table in O(1).
+  if (fr.open_seg.size() != cfg_.vl_count()) {
+    fr.open_seg.assign(cfg_.vl_count(), 0);
+    fr.open_last.assign(cfg_.vl_count(), 0);
+    fr.open_epoch.assign(cfg_.vl_count(), 0);
+    fr.epoch = 0;
+  }
+  const std::uint64_t epoch = ++fr.epoch;
 
   // Segments grouped by their starting node (for the FIFO backlog caps) and
   // by (starting node, input link) (for the simultaneity surcharge of the
   // non-serialized variant). i's own segment is excluded from both.
-  std::vector<std::vector<std::size_t>> node_first_met(m);
+  if (fr.node_first_met.size() < m) fr.node_first_met.resize(m);
+  for (std::size_t idx = 0; idx < m; ++idx) fr.node_first_met[idx].clear();
+  std::vector<std::vector<std::size_t>>& node_first_met = fr.node_first_met;
   struct LinkGroup {
     Microseconds sum_c = 0.0;
     Microseconds max_c = 0.0;
@@ -207,12 +278,12 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
     for (const FlowAtLink& f : flows[lk]) {
       const VlId j = f.id;
       const LinkId pred_j = f.pred;
-      if (open_seg[j] != kNone && idx > 0 && open_last[j] == idx - 1 &&
+      if (fr.open_epoch[j] == epoch && idx > 0 && fr.open_last[j] == idx - 1 &&
           pred_j == sub[idx - 1]) {
         // j keeps travelling along i's path: extend its segment.
-        Segment& seg = segments[open_seg[j]];
+        Segment& seg = segments[fr.open_seg[j]];
         seg.c = std::max(seg.c, f.c);
-        open_last[j] = idx;
+        fr.open_last[j] = idx;
         continue;
       }
       // New segment starting at node lk. The arrival window of j at this
@@ -239,8 +310,9 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
       seg.c = f.c;
       seg.period = f.period;
       segments.push_back(seg);
-      open_seg[j] = segments.size() - 1;
-      open_last[j] = idx;
+      fr.open_seg[j] = segments.size() - 1;
+      fr.open_last[j] = idx;
+      fr.open_epoch[j] = epoch;
 
       if (j == i && idx == 0) {
         own_segment = segments.size() - 1;
@@ -298,40 +370,45 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
   // queued in front of the packet than the port's worst-case FIFO backlog.
   const std::vector<Microseconds>& caps = backlog_caps();
 
-  // Flatten the per-node segment lists into one contiguous array (same
+  // Flatten the per-node segment lists into contiguous SoA columns (same
   // node-by-node summation order, so the bound is arithmetic-identical) --
   // response() below is evaluated O(candidates x busy rounds) times and
-  // dominates the whole analysis. Capping by +infinity is exact, which
-  // makes the serialization branch loop-invariant.
-  struct Flat {
-    Microseconds a = 0.0;
-    Microseconds c = 0.0;
-    Microseconds period = 0.0;
-  };
-  std::vector<Flat> flat;
-  flat.reserve(segments.size());
-  std::vector<std::pair<std::size_t, std::size_t>> node_range(m);
-  std::vector<Microseconds> node_cap(m);
+  // dominates the whole analysis; streaming a / c / period as three
+  // separate arrays lets its inner loop vectorize. Capping by +infinity is
+  // exact, which makes the serialization branch loop-invariant.
+  fr.flat_a.clear();
+  fr.flat_c.clear();
+  fr.flat_period.clear();
+  fr.flat_a.reserve(segments.size());
+  fr.flat_c.reserve(segments.size());
+  fr.flat_period.reserve(segments.size());
+  fr.node_begin.resize(m + 1);
+  fr.node_cap.resize(m);
   for (std::size_t idx = 0; idx < m; ++idx) {
-    node_range[idx].first = flat.size();
+    fr.node_begin[idx] = fr.flat_a.size();
     for (std::size_t s : node_first_met[idx]) {
-      flat.push_back(Flat{segments[s].a, segments[s].c, segments[s].period});
+      fr.flat_a.push_back(segments[s].a);
+      fr.flat_c.push_back(segments[s].c);
+      fr.flat_period.push_back(segments[s].period);
     }
-    node_range[idx].second = flat.size();
-    node_cap[idx] = opt_.serialization
-                        ? caps[sub[idx]]
-                        : std::numeric_limits<Microseconds>::infinity();
+    fr.node_cap[idx] = opt_.serialization
+                           ? caps[sub[idx]]
+                           : std::numeric_limits<Microseconds>::infinity();
   }
-  const Flat own{segments[own_segment].a, segments[own_segment].c,
-                 segments[own_segment].period};
+  fr.node_begin[m] = fr.flat_a.size();
+  const Microseconds* const flat_a = fr.flat_a.data();
+  const Microseconds* const flat_c = fr.flat_c.data();
+  const Microseconds* const flat_period = fr.flat_period.data();
+  const std::size_t* const node_begin = fr.node_begin.data();
+  const Microseconds* const node_cap = fr.node_cap.data();
+  const Segment own = segments[own_segment];
 
   auto response = [&](Microseconds t) {
     Microseconds w = frame_count(t, own.a, own.period) * own.c;
     for (std::size_t idx = 0; idx < m; ++idx) {
       Microseconds node_sum = 0.0;
-      for (std::size_t s = node_range[idx].first; s < node_range[idx].second;
-           ++s) {
-        node_sum += frame_count(t, flat[s].a, flat[s].period) * flat[s].c;
+      for (std::size_t s = node_begin[idx]; s < node_begin[idx + 1]; ++s) {
+        node_sum += frame_count(t, flat_a[s], flat_period[s]) * flat_c[s];
       }
       w += std::min(node_sum, node_cap[idx]);
     }
@@ -367,7 +444,8 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
   // equal (BAG, A) generate bitwise-equal jump instants, so deduplicating
   // the sorted candidates drops repeat evaluations without changing the
   // maximum (max over the same value set is order-free).
-  std::vector<Microseconds> candidates;
+  std::vector<Microseconds>& candidates = fr.candidates;
+  candidates.clear();
   for (const Segment& s : segments) {
     for (int k = 1;; ++k) {
       const Microseconds t = k * s.period - s.a;
@@ -392,15 +470,15 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
   Microseconds w_max = frame_count(t_max, own.a, own.period) * own.c;
   for (std::size_t idx = 0; idx < m; ++idx) {
     Microseconds node_sum = 0.0;
-    for (std::size_t s = node_range[idx].first; s < node_range[idx].second;
-         ++s) {
-      node_sum += frame_count(t_max, flat[s].a, flat[s].period) * flat[s].c;
+    for (std::size_t s = node_begin[idx]; s < node_begin[idx + 1]; ++s) {
+      node_sum += frame_count(t_max, flat_a[s], flat_period[s]) * flat_c[s];
     }
     w_max += std::min(node_sum, node_cap[idx]);
   }
   const Microseconds envelope = w_max + consts;
 
-  std::vector<char> saturated(m, 0);
+  fr.saturated.assign(m, 0);
+  std::vector<char>& saturated = fr.saturated;
   for (const Microseconds t : candidates) {
     if (envelope - t <= best) break;
     Microseconds w = frame_count(t, own.a, own.period) * own.c;
@@ -410,9 +488,8 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
         continue;
       }
       Microseconds node_sum = 0.0;
-      for (std::size_t s = node_range[idx].first; s < node_range[idx].second;
-           ++s) {
-        node_sum += frame_count(t, flat[s].a, flat[s].period) * flat[s].c;
+      for (std::size_t s = node_begin[idx]; s < node_begin[idx + 1]; ++s) {
+        node_sum += frame_count(t, flat_a[s], flat_period[s]) * flat_c[s];
       }
       if (node_sum >= node_cap[idx]) {
         saturated[idx] = 1;

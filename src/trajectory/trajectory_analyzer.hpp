@@ -42,6 +42,7 @@
 // configurations are feed-forward).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -72,8 +73,15 @@ struct Result {
   std::vector<Microseconds> path_bounds;
 
   /// Bound for a specific path; throws when the path does not exist.
+  /// O(1) after the first call: the (vl, dest_index) -> path index map is
+  /// built once and reused (comparison code calls this per path, which
+  /// used to make the lookup O(paths^2) overall on large networks).
   [[nodiscard]] Microseconds bound_for(const TrafficConfig& config,
                                        PathRef ref) const;
+
+ private:
+  /// Lazily built lookup index; keyed (vl << 32) | dest_index.
+  mutable std::unordered_map<std::uint64_t, std::size_t> path_index_;
 };
 
 /// Trajectory analyzer. Holds the memoized per-(VL, link) prefix bounds so
@@ -81,6 +89,7 @@ struct Result {
 class Analyzer {
  public:
   explicit Analyzer(const TrafficConfig& config, const Options& options = {});
+  ~Analyzer();  // out of line: ScratchFrame is incomplete here
 
   /// Bounds for every VL path of the configuration.
   [[nodiscard]] Result analyze();
@@ -128,6 +137,12 @@ class Analyzer {
     Microseconds release_jitter = 0.0;
   };
 
+  /// Reusable per-prefix scratch (segment lists, SoA flattening, candidate
+  /// buffer, epoch-validated open-segment tables). compute_prefix re-enters
+  /// itself through bound_to_link while a frame is mid-construction, so the
+  /// scratch is a pool indexed by recursion depth, not flat instance state.
+  struct ScratchFrame;
+
   Microseconds compute_prefix(VlId vl, LinkId last);
   const std::vector<std::vector<FlowAtLink>>& flow_table();
 
@@ -151,6 +166,10 @@ class Analyzer {
   /// chain-walk summation, so memoization cannot perturb a bound).
   mutable std::unordered_map<std::uint64_t, Microseconds> min_arrival_memo_;
   PrefixCache* shared_ = nullptr;
+  /// Scratch pool, one frame per live recursion depth (frames are created
+  /// on first use and keep their capacity across prefixes).
+  std::vector<std::unique_ptr<ScratchFrame>> scratch_pool_;
+  std::size_t scratch_depth_ = 0;
 };
 
 /// One-shot convenience wrapper.

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <numeric>
@@ -505,6 +506,113 @@ TEST(Engine, ResilientContainsUnstablePortAndKeepsTheRest) {
   const RunResult rp = par.run_resilient();
   expect_identical(r.combined, rp.combined);
   EXPECT_EQ(rp.status[bad].state, PathState::kFailed);
+}
+
+// Like mixed_stability_config, but with a population of healthy VLs that
+// interfere with each other on S2's output ports while staying off every
+// link v_bad crosses. `include_bad` toggles the unstable VL so the same
+// healthy traffic can be analyzed with and without it in the picture.
+TrafficConfig poisoning_config(bool include_bad) {
+  Network net;
+  const NodeId e1 = net.add_end_system("e1");
+  const NodeId e2 = net.add_end_system("e2");
+  const NodeId e3 = net.add_end_system("e3");
+  const NodeId e4 = net.add_end_system("e4");
+  const NodeId e5 = net.add_end_system("e5");
+  const NodeId e6 = net.add_end_system("e6");
+  const NodeId s1 = net.add_switch("S1");
+  const NodeId s2 = net.add_switch("S2");
+  net.connect(e1, s1);
+  net.connect(s1, s2);
+  net.connect(s2, e2);
+  net.connect(e3, s2);
+  net.connect(e5, s2);
+  net.connect(s2, e4);
+  net.connect(s2, e6);
+  std::vector<VirtualLink> vls;
+  if (include_bad) vls.push_back({"v_bad", e1, {e2}, 100.0, 64, 1518});
+  vls.push_back({"v_ok1", e3, {e4, e6}, 4000.0, 64, 500});
+  vls.push_back({"v_ok2", e5, {e4}, 2000.0, 64, 1000});
+  vls.push_back({"v_ok3", e3, {e6}, 8000.0, 64, 300});
+  return TrafficConfig(std::move(net), std::move(vls));
+}
+
+// Regression for the in_progress_ marker leak: the analyzer used to leave
+// its recursion markers behind when a diverging busy period threw out of
+// compute_prefix, so the shard analyzer that contained v_bad's failure
+// falsely reported "cyclic prefix dependency" on later prefixes -- wrong
+// errors on healthy paths. Every healthy path must come out bit-identical
+// to a fresh run on the healthy subset of the configuration.
+TEST(Engine, ResilientUnstableVlDoesNotPoisonOtherPaths) {
+  const TrafficConfig cfg = poisoning_config(true);
+  const TrafficConfig healthy = poisoning_config(false);
+  for (int threads : {1, 4}) {
+    AnalysisEngine eng(cfg, {threads});
+    const RunResult r = eng.run_resilient();
+    AnalysisEngine ref(healthy, {threads});
+    const RunResult rr = ref.run_resilient();
+    ASSERT_TRUE(rr.complete());
+    // v_bad is VL 0 and unicast: exactly one extra path, ordered first.
+    ASSERT_EQ(r.combined.size(), rr.combined.size() + 1);
+    EXPECT_EQ(r.status[0].state, PathState::kFailed);
+    EXPECT_EQ(r.status[0].message.find("cyclic"), std::string::npos)
+        << r.status[0].message;
+    for (std::size_t i = 0; i < rr.combined.size(); ++i) {
+      EXPECT_EQ(r.status[i + 1].state, PathState::kOk)
+          << "threads=" << threads << " path " << i << ": "
+          << r.status[i + 1].message;
+      EXPECT_EQ(r.netcalc[i + 1], rr.netcalc[i]) << "path " << i;
+      EXPECT_EQ(r.trajectory[i + 1], rr.trajectory[i]) << "path " << i;
+      EXPECT_EQ(r.combined[i + 1], rr.combined[i]) << "path " << i;
+    }
+  }
+}
+
+TEST(Engine, StreamingMatchesResilientBitIdentically) {
+  for (const bool with_bad : {false, true}) {
+    const TrafficConfig cfg =
+        with_bad ? poisoning_config(true) : small_industrial();
+    AnalysisEngine mat(cfg, {1});
+    const RunResult r = mat.run_resilient();
+    const std::size_t n = cfg.all_paths().size();
+    for (int threads : {1, 4}) {
+      AnalysisEngine eng(cfg, {threads});
+      // The sink is called under the engine's summary lock, in completion
+      // order; scatter by path_index to compare against the materialized
+      // vectors.
+      std::vector<Microseconds> nc(n, 0.0), tj(n, 0.0), comb(n, 0.0);
+      std::vector<PathState> states(n, PathState::kSkipped);
+      std::vector<int> seen(n, 0);
+      const StreamSummary s =
+          eng.run_streaming([&](const StreamPathResult& p) {
+            ASSERT_LT(p.path_index, n);
+            ++seen[p.path_index];
+            nc[p.path_index] = p.netcalc;
+            tj[p.path_index] = p.trajectory;
+            comb[p.path_index] = p.combined;
+            states[p.path_index] = p.state;
+          });
+      EXPECT_EQ(s.paths, n);
+      EXPECT_EQ(s.ok + s.failed + s.skipped, n);
+      EXPECT_EQ(s.failed, with_bad ? 1u : 0u);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(seen[i], 1) << "path " << i;
+        EXPECT_EQ(states[i], r.status[i].state) << "path " << i;
+      }
+      expect_identical(nc, r.netcalc);
+      expect_identical(tj, r.trajectory);
+      expect_identical(comb, r.combined);
+      // The running summary agrees with a scan of the materialized run.
+      Microseconds max_combined = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (std::isfinite(r.combined[i])) {
+          max_combined = std::max(max_combined, r.combined[i]);
+        }
+      }
+      EXPECT_EQ(s.max_combined, max_combined);
+      EXPECT_GT(s.paths_per_second, 0.0);
+    }
+  }
 }
 
 TEST(Engine, ResilientHonoursCancelledToken) {

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "trajectory/trajectory_analyzer.hpp"
@@ -133,6 +135,104 @@ TEST(Industrial, InfeasibleParametersRejected) {
   IndustrialOptions frac;
   frac.multicast_fraction = 1.5;
   EXPECT_THROW(industrial_config(frac), Error);
+}
+
+TEST(Industrial, MultiDomainShapeAndUtilizationCap) {
+  IndustrialOptions o;
+  o.domains = 4;
+  o.vl_count = 800;
+  const TrafficConfig cfg = industrial_config(o);
+  EXPECT_EQ(cfg.vl_count(), 800u);
+  // Four 8-switch domain trees plus one backbone switch per four domains.
+  EXPECT_EQ(cfg.network().switches().size(), 4u * 8u + 1u);
+  EXPECT_EQ(cfg.network().end_systems().size(), 4u * 60u);
+  EXPECT_TRUE(cfg.stable());
+  EXPECT_LE(cfg.max_utilization(), o.max_port_utilization + 1e-9);
+}
+
+TEST(Industrial, MultiDomainIsFeedForwardAndConnected) {
+  IndustrialOptions o;
+  o.domains = 5;  // odd count: two backbone switches, uneven domain spread
+  o.vl_count = 150;
+  o.end_system_count = 12;
+  o.cross_domain_fraction = 0.3;
+  const TrafficConfig cfg = industrial_config(o);
+  // The trajectory analyzer throws on cyclic prefix dependencies; the
+  // domain-trees-off-a-backbone-chain topology must stay a tree.
+  EXPECT_NO_THROW(trajectory::analyze(cfg));
+  // Every node is reachable from node 0 (connect() adds both directions,
+  // so links_from gives an undirected traversal).
+  const Network& net = cfg.network();
+  std::vector<bool> seen(net.node_count(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (LinkId l : net.links_from(n)) {
+      const NodeId m = net.link(l).dest;
+      if (!seen[m]) {
+        seen[m] = true;
+        stack.push_back(m);
+      }
+    }
+  }
+  for (std::size_t n = 0; n < net.node_count(); ++n) {
+    EXPECT_TRUE(seen[n]) << net.node(n).name;
+  }
+}
+
+TEST(Industrial, CrossDomainFractionControlsBackboneTraffic) {
+  // Domain of an end system, parsed from its "D<d>e<k>" generated name.
+  const auto domain_of = [](const std::string& name) {
+    return std::stoi(name.substr(1, name.find('e') - 1));
+  };
+  IndustrialOptions local;
+  local.domains = 3;
+  local.vl_count = 200;
+  local.end_system_count = 12;
+  local.cross_domain_fraction = 0.0;
+  const TrafficConfig all_local = industrial_config(local);
+  for (VlId v = 0; v < all_local.vl_count(); ++v) {
+    const VirtualLink& vl = all_local.vl(v);
+    const int src = domain_of(all_local.network().node(vl.source).name);
+    for (NodeId d : vl.destinations) {
+      EXPECT_EQ(domain_of(all_local.network().node(d).name), src) << vl.name;
+    }
+  }
+  IndustrialOptions crossing = local;
+  crossing.cross_domain_fraction = 0.5;
+  const TrafficConfig mixed = industrial_config(crossing);
+  std::size_t cross = 0;
+  for (VlId v = 0; v < mixed.vl_count(); ++v) {
+    const VirtualLink& vl = mixed.vl(v);
+    const int src = domain_of(mixed.network().node(vl.source).name);
+    for (NodeId d : vl.destinations) {
+      if (domain_of(mixed.network().node(d).name) != src) {
+        ++cross;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(cross, 0u);
+}
+
+TEST(Industrial, MultiDomainDeterministicPerSeed) {
+  IndustrialOptions o;
+  o.domains = 3;
+  o.vl_count = 120;
+  o.end_system_count = 12;
+  const TrafficConfig a = industrial_config(o);
+  const TrafficConfig b = industrial_config(o);
+  ASSERT_EQ(a.vl_count(), b.vl_count());
+  ASSERT_EQ(a.network().node_count(), b.network().node_count());
+  for (VlId v = 0; v < a.vl_count(); ++v) {
+    EXPECT_EQ(a.vl(v).name, b.vl(v).name);
+    EXPECT_EQ(a.vl(v).source, b.vl(v).source);
+    EXPECT_EQ(a.vl(v).s_max, b.vl(v).s_max);
+    EXPECT_DOUBLE_EQ(a.vl(v).bag, b.vl(v).bag);
+    EXPECT_EQ(a.vl(v).destinations, b.vl(v).destinations);
+  }
 }
 
 TEST(Industrial, SingleSwitchDegenerateCase) {

@@ -209,5 +209,74 @@ TEST(Trajectory, HigherInterferingLoadRaisesBound) {
   EXPECT_GT(analyze(cfg).path_bounds[0], analyze(base).path_bounds[0]);
 }
 
+// v_bad demands ~121 bits/us on 100 bits/us links (every port on its
+// route diverges); v_mid shares the final S2->e2 port with v_bad, so its
+// bound fails only through v_bad's prefix; v_ok rides disjoint ports and
+// is exactly analyzable.
+TrafficConfig reuse_after_throw_config() {
+  Network net;
+  const NodeId e1 = net.add_end_system("e1");
+  const NodeId e2 = net.add_end_system("e2");
+  const NodeId e3 = net.add_end_system("e3");
+  const NodeId e4 = net.add_end_system("e4");
+  const NodeId e5 = net.add_end_system("e5");
+  const NodeId s1 = net.add_switch("S1");
+  const NodeId s2 = net.add_switch("S2");
+  net.connect(e1, s1);
+  net.connect(s1, s2);
+  net.connect(s2, e2);
+  net.connect(e3, s2);
+  net.connect(s2, e4);
+  net.connect(e5, s2);
+  std::vector<VirtualLink> vls;
+  vls.push_back({"v_bad", e1, {e2}, 100.0, 64, 1518});
+  vls.push_back({"v_mid", e5, {e2}, 4000.0, 64, 500});
+  vls.push_back({"v_ok", e3, {e4}, 4000.0, 64, 500});
+  return TrafficConfig(std::move(net), std::move(vls));
+}
+
+// Regression: a throw out of compute_prefix (diverging busy period) used
+// to leak the in_progress_ marker of every frame on the recursion stack.
+// Analyzer instances are reused across paths by the engine and across the
+// ladder's escalation waves, so the next query reaching a leaked
+// (vl, link) key falsely failed with the cyclic-dependency error -- and
+// that error poisoned paths that were merely downstream victims of the
+// genuinely unstable VL. A throwing analyzer must stay indistinguishable
+// from a fresh one.
+TEST(Trajectory, AnalyzerStaysConsistentAfterDivergenceThrow) {
+  const TrafficConfig cfg = reuse_after_throw_config();
+  const VlId bad = *cfg.find_vl("v_bad");
+  const VlId mid = *cfg.find_vl("v_mid");
+  const VlId ok = *cfg.find_vl("v_ok");
+  const LinkId bad_last = cfg.route(bad).paths()[0].back();
+  const LinkId mid_last = cfg.route(mid).paths()[0].back();
+  const LinkId ok_last = cfg.route(ok).paths()[0].back();
+
+  Analyzer an(cfg);
+  const auto expect_divergence = [&](VlId vl, LinkId link) {
+    try {
+      (void)an.bound_to_link(vl, link);
+      FAIL() << "expected a divergence Error";
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_EQ(msg.find("cyclic"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("diverges"), std::string::npos) << msg;
+    }
+  };
+
+  // The direct failure, twice on the same analyzer: a leaked marker would
+  // turn the second attempt into the false cyclic error.
+  expect_divergence(bad, bad_last);
+  expect_divergence(bad, bad_last);
+  // The indirect failure (v_mid fails only through v_bad's prefix) leaks a
+  // multi-frame stack under the bug: (v_mid, mid_last) and v_bad's keys.
+  expect_divergence(mid, mid_last);
+  expect_divergence(mid, mid_last);
+  // Healthy work on the much-thrown analyzer is bit-identical to a fresh
+  // instance.
+  Analyzer control(cfg);
+  EXPECT_EQ(an.bound_to_link(ok, ok_last), control.bound_to_link(ok, ok_last));
+}
+
 }  // namespace
 }  // namespace afdx::trajectory

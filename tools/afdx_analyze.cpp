@@ -5,6 +5,21 @@
 //   afdx_analyze --generate[=seed] [options]
 //
 // Options:
+//   --gen-domains=N                            with --generate: hierarchical
+//                                              multi-domain network (N
+//                                              domains of 8 switches / 60
+//                                              end systems joined by a
+//                                              backbone; 1 = the legacy
+//                                              single-domain generator)
+//   --gen-vls=N                                with --generate: total VL
+//                                              count (default 500)
+//   --stream                                   streaming analysis: per-path
+//                                              results are folded into a
+//                                              running summary (and, with
+//                                              --csv, printed as they
+//                                              complete) without ever being
+//                                              materialized -- the mode for
+//                                              10k..100k-VL networks
 //   --method=netcalc|trajectory|sfa|all        bounds to compute (default all)
 //   --csv                                      CSV instead of a text table
 //   --ports                                    also print per-port report
@@ -106,6 +121,12 @@ constexpr int kExitViolation = 4;
 struct CliOptions {
   std::optional<std::string> config_file;
   std::optional<std::uint64_t> generate_seed;
+  /// --gen-domains / --gen-vls: multi-domain generator shape (with
+  /// --generate only).
+  int gen_domains = 1;
+  std::optional<int> gen_vls;
+  /// --stream: streaming analysis through AnalysisEngine::run_streaming.
+  bool stream = false;
   bool help = false;
   std::string method = "all";
   bool csv = false;
@@ -137,7 +158,11 @@ struct CliOptions {
 void print_usage(std::ostream& out) {
   out << "usage: afdx_analyze <config-file> [options]\n"
          "       afdx_analyze --generate[=seed] [options]\n"
-         "options: --method=netcalc|trajectory|sfa|all  --csv  --ports\n"
+         "options: --gen-domains=N (multi-domain --generate; 1 = legacy)\n"
+         "         --gen-vls=N (total generated VLs, default 500)\n"
+         "         --stream (streaming analysis: running summary only;\n"
+         "           with --csv, rows print as they complete)\n"
+         "         --method=netcalc|trajectory|sfa|all  --csv  --ports\n"
          "         --simulate=N  --no-grouping  --no-serialization\n"
          "         --threads=N (0 = auto)  --metrics\n"
          "         --incremental | --no-incremental  (fault-scenario reuse)\n"
@@ -176,6 +201,22 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
         return std::nullopt;
       }
       opts.generate_seed = *seed;
+    } else if (arg.rfind("--gen-domains=", 0) == 0) {
+      const auto n = parse_int(arg.substr(14));
+      if (!n.has_value() || *n < 1) {
+        std::cerr << "bad domain count: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.gen_domains = static_cast<int>(*n);
+    } else if (arg.rfind("--gen-vls=", 0) == 0) {
+      const auto n = parse_int(arg.substr(10));
+      if (!n.has_value() || *n < 1) {
+        std::cerr << "bad VL count: " << arg << "\n";
+        return std::nullopt;
+      }
+      opts.gen_vls = static_cast<int>(*n);
+    } else if (arg == "--stream") {
+      opts.stream = true;
     } else if (arg.rfind("--method=", 0) == 0) {
       opts.method = arg.substr(9);
       if (opts.method != "netcalc" && opts.method != "trajectory" &&
@@ -275,6 +316,11 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     std::cerr << "provide either a config file or --generate\n";
     return std::nullopt;
   }
+  if ((opts.gen_domains != 1 || opts.gen_vls.has_value()) &&
+      !opts.generate_seed.has_value() && !opts.help) {
+    std::cerr << "--gen-domains / --gen-vls require --generate\n";
+    return std::nullopt;
+  }
   return opts;
 }
 
@@ -285,6 +331,8 @@ int run(const CliOptions& opts) {
           : [&] {
               gen::IndustrialOptions go;
               go.seed = *opts.generate_seed;
+              go.domains = opts.gen_domains;
+              if (opts.gen_vls.has_value()) go.vl_count = *opts.gen_vls;
               return gen::industrial_config(go);
             }();
 
@@ -395,6 +443,53 @@ int run(const CliOptions& opts) {
                         ? "ladder budget exhausted (" + r.budget_reason + ")"
                         : "some paths have no bounds")
                 << "\n";
+      return kExitPartial;
+    }
+    return kExitOk;
+  }
+
+  if (opts.stream) {
+    engine::AnalysisEngine eng(config, opts.eng);
+    const auto fmt_bound = [](Microseconds us) {
+      return std::isfinite(us) ? report::fmt(us) : std::string("-");
+    };
+    engine::StreamSink sink;
+    if (opts.csv) {
+      std::cout << "vl,destination,hops,wcnc_us,trajectory_us,combined_us,"
+                   "status\n";
+      // Rows print in completion order (not path order); the summary below
+      // is what the exit code is derived from either way.
+      sink = [&](const engine::StreamPathResult& r) {
+        const VlPath& p = config.all_paths()[r.path_index];
+        std::cout << config.vl(r.vl).name << ','
+                  << config.network()
+                         .node(config.vl(r.vl).destinations[r.dest_index])
+                         .name
+                  << ',' << p.links.size() << ',' << fmt_bound(r.netcalc)
+                  << ',' << fmt_bound(r.trajectory) << ','
+                  << fmt_bound(r.combined) << ','
+                  << engine::to_string(r.state) << '\n';
+      };
+    }
+    const engine::StreamSummary s = eng.run_streaming(
+        sink, opts.nc, opts.tj, engine::RunControl{cancel_ptr});
+    if (!opts.csv) {
+      std::cout << "streamed " << s.paths << " paths: " << s.ok << " ok, "
+                << s.failed << " failed, " << s.skipped << " skipped\n";
+      if (s.ok > 0) {
+        std::cout << "  max combined " << report::fmt(s.max_combined)
+                  << " us (vl " << config.vl(s.worst_vl).name << "), mean "
+                  << report::fmt(s.mean_combined()) << " us\n";
+      }
+      std::cout << "  " << report::fmt(s.wall_us / 1000.0) << " ms, "
+                << report::fmt(s.paths_per_second, 0) << " paths/s\n";
+    }
+    if (opts.metrics) {
+      std::cout << "\n";
+      eng.metrics().print(std::cout);
+    }
+    if (s.failed + s.skipped > 0) {
+      std::cerr << "partial results: some paths have no bounds\n";
       return kExitPartial;
     }
     return kExitOk;
