@@ -73,10 +73,14 @@ void run_experiment(std::ostream& out, const benchutil::BenchCli& cli) {
   out << "EXT / capacity frontier: paths/second vs network size\n\n";
 
   // 500 VLs is the paper-scale single domain; 2k and 10k scale by domains
-  // (the full run adds a 20k rung). Sizes must be strictly increasing --
+  // (the full run adds 20k and 100k rungs -- the latter is the flattened
+  // frontier's headline size). Sizes must be strictly increasing --
   // scripts/validate_bench_json.py asserts the frontier stays monotone.
   std::vector<Rung> rungs = {{1, 500}, {2, 1000}, {8, 1250}};
-  if (!cli.quick) rungs.push_back({16, 1250});
+  if (!cli.quick) {
+    rungs.push_back({16, 1250});
+    rungs.push_back({80, 1250});
+  }
 
   std::vector<RungResult> frontier;
   benchutil::OverheadReport overhead;

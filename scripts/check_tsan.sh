@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
 # Builds the project under ThreadSanitizer and runs the parallel analysis
 # engine's determinism/cache tests (including the error-containment /
-# streaming regressions), the trajectory analyzer's reuse-after-throw
-# regression, the observability layer's tracer / counter concurrency
-# tests, the serving subsystem's concurrent session / server tests, and
-# the accuracy/cost ladder's sharded escalation tests (see README
-# "Sanitizer builds").
+# streaming regressions and the locality-partitioned scheduler's warm
+# shared-cache / per-shard metrics regressions), the trajectory analyzer's
+# reuse-after-throw regression and SIMD-vs-scalar sweep identity tests,
+# the observability layer's tracer / counter concurrency tests, the
+# serving subsystem's concurrent session / server tests, and the
+# accuracy/cost ladder's sharded escalation tests (see README "Sanitizer
+# builds"). The Engine*/Trajectory* name filters below pick the new tests
+# up automatically.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -eu

@@ -120,10 +120,11 @@ def check_ladder_frontier(doc):
 
 def check_capacity(doc):
     """Bench-specific contract of BENCH_capacity.json: the frontier is
-    non-empty, sizes grow strictly monotonically up to a >= 10k-VL rung,
-    every rung reports a positive paths/second, and the streaming sink saw
-    exactly one record per path (nothing dropped, nothing materialized
-    twice)."""
+    non-empty, sizes grow strictly monotonically, the three quick rungs
+    (500/2000/10000 VLs) are always present, a full run tops out at a
+    >= 100k-VL rung, every rung reports a positive paths/second, and the
+    streaming sink saw exactly one record per path (nothing dropped,
+    nothing materialized twice)."""
     if doc.get("bench") != "capacity":
         return
     frontier = doc["results"].get("frontier")
@@ -151,8 +152,15 @@ def check_capacity(doc):
                     f"frontier[{i}]: sizes must be strictly increasing "
                     f"({point['vls']} after {prev_vls})")
         prev_vls = point["vls"]
-    require(prev_vls >= 10000,
-            f"frontier: largest rung is {prev_vls} VLs, expected >= 10000")
+    sizes = {point["vls"] for point in frontier}
+    for rung in (500, 2000, 10000):
+        require(rung in sizes,
+                f"frontier: quick rung {rung} VLs missing (got "
+                f"{sorted(sizes)})")
+    if doc.get("mode") == "full":
+        require(prev_vls >= 100000,
+                f"frontier: largest full-mode rung is {prev_vls} VLs, "
+                "expected >= 100000")
 
 
 def validate(doc):

@@ -1,0 +1,181 @@
+#include "common/arena.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace afdx::common {
+
+namespace {
+constexpr std::size_t kMaxBlockBytes = std::size_t{1} << 22;  // 4 MiB cap
+
+std::size_t align_up(std::size_t v, std::size_t align) noexcept {
+  return (v + align - 1) & ~(align - 1);
+}
+
+thread_local BumpArena* g_active_arena = nullptr;
+}  // namespace
+
+struct BumpArena::Block {
+  Block* next = nullptr;
+  std::size_t capacity = 0;
+  std::size_t used = 0;
+  // Payload follows the header; kept at max alignment so any requested
+  // alignment <= alignof(std::max_align_t) starts from an aligned base.
+  alignas(alignof(std::max_align_t)) unsigned char data[1];
+};
+
+BumpArena::BumpArena(std::size_t first_block_bytes)
+    : next_block_bytes_(first_block_bytes < 256 ? 256 : first_block_bytes) {}
+
+BumpArena::~BumpArena() {
+  Block* b = first_;
+  while (b != nullptr) {
+    Block* next = b->next;
+    std::free(b);
+    b = next;
+  }
+}
+
+BumpArena::Block* BumpArena::grow(std::size_t min_bytes) {
+  // Reuse a pre-grown successor block first (after reset()/rewind() the
+  // chain is retained but head_ points earlier in it).
+  while (head_ != nullptr && head_->next != nullptr) {
+    head_ = head_->next;
+    head_->used = 0;
+    if (head_->capacity >= min_bytes) return head_;
+  }
+  std::size_t bytes = next_block_bytes_;
+  while (bytes < min_bytes) bytes *= 2;
+  if (next_block_bytes_ < kMaxBlockBytes) next_block_bytes_ = bytes * 2;
+  auto* block = static_cast<Block*>(
+      std::malloc(offsetof(Block, data) + bytes));
+  if (block == nullptr) throw std::bad_alloc{};
+  block->next = nullptr;
+  block->capacity = bytes;
+  block->used = 0;
+  if (head_ != nullptr) head_->next = block;
+  if (first_ == nullptr) first_ = block;
+  head_ = block;
+  ++blocks_;
+  return block;
+}
+
+void* BumpArena::allocate(std::size_t bytes, std::size_t align) {
+  assert((align & (align - 1)) == 0 && "alignment must be a power of two");
+  if (align > alignof(std::max_align_t)) align = alignof(std::max_align_t);
+  if (bytes == 0) bytes = 1;
+  Block* b = head_;
+  if (b != nullptr) {
+    const std::size_t at = align_up(b->used, align);
+    if (at + bytes <= b->capacity) {
+      b->used = at + bytes;
+      const std::size_t in_use = bytes_in_use();
+      if (in_use > high_water_) high_water_ = in_use;
+      return b->data + at;
+    }
+  }
+  b = grow(bytes + align);
+  const std::size_t at = align_up(b->used, align);
+  b->used = at + bytes;
+  const std::size_t in_use = bytes_in_use();
+  if (in_use > high_water_) high_water_ = in_use;
+  return b->data + at;
+}
+
+void BumpArena::reset() noexcept {
+  for (Block* b = first_; b != nullptr; b = b->next) b->used = 0;
+  head_ = first_;
+}
+
+BumpArena::Mark BumpArena::mark() const noexcept {
+  Mark m;
+  std::size_t index = 0;
+  for (Block* b = first_; b != nullptr; b = b->next, ++index) {
+    if (b == head_) {
+      m.block = index;
+      m.offset = b->used;
+      return m;
+    }
+  }
+  return m;  // empty arena
+}
+
+void BumpArena::rewind(Mark m) noexcept {
+  if (first_ == nullptr) return;
+  Block* b = first_;
+  for (std::size_t index = 0; index < m.block && b->next != nullptr; ++index) {
+    b = b->next;
+  }
+  b->used = m.offset;
+  head_ = b;
+  for (Block* rest = b->next; rest != nullptr; rest = rest->next) {
+    rest->used = 0;
+  }
+}
+
+std::size_t BumpArena::bytes_in_use() const noexcept {
+  std::size_t total = 0;
+  for (Block* b = first_; b != nullptr; b = b->next) {
+    total += b->used;
+    if (b == head_) break;
+  }
+  return total;
+}
+
+BumpArena* active_arena() noexcept { return g_active_arena; }
+
+ArenaScope::ArenaScope(BumpArena& arena) noexcept
+    : arena_(&arena), previous_(g_active_arena), mark_(arena.mark()) {
+  g_active_arena = arena_;
+}
+
+ArenaScope::~ArenaScope() {
+  arena_->rewind(mark_);
+  g_active_arena = previous_;
+}
+
+namespace detail {
+
+namespace {
+// Header preceding every tagged payload: the origin magic. 16 bytes keeps
+// doubles (and anything up to max_align_t on x86-64) aligned after it.
+struct alignas(16) Tag {
+  std::uint64_t magic;
+  std::uint64_t pad;
+};
+static_assert(sizeof(Tag) == 16);
+}  // namespace
+
+void* tagged_allocate(std::size_t bytes) {
+  BumpArena* arena = g_active_arena;
+  void* raw = nullptr;
+  if (arena != nullptr) {
+    raw = arena->allocate(sizeof(Tag) + bytes, alignof(Tag));
+  } else {
+    raw = std::malloc(sizeof(Tag) + bytes);
+    if (raw == nullptr) throw std::bad_alloc{};
+  }
+  auto* tag = static_cast<Tag*>(raw);
+  tag->magic = arena != nullptr ? kArenaMagic : kHeapMagic;
+  tag->pad = 0;
+  return tag + 1;
+}
+
+void tagged_deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  Tag* tag = static_cast<Tag*>(p) - 1;
+  if (tag->magic == kHeapMagic) {
+    std::free(tag);
+    return;
+  }
+  // Arena-backed: freeing is a no-op (the owning scope rewinds in bulk).
+  // A header showing neither magic means the allocation was rewound away
+  // while still referenced -- a lifetime-rule violation.
+  assert(tag->magic == kArenaMagic &&
+         "ArenaAlloc: free of rewound arena memory (container escaped its "
+         "ArenaScope)");
+}
+
+}  // namespace detail
+
+}  // namespace afdx::common

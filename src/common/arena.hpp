@@ -1,0 +1,145 @@
+// Bump-pointer arenas for hot-loop allocation.
+//
+// A BumpArena hands out raw memory by advancing a pointer through a chain
+// of geometrically-growing blocks; individual frees are no-ops and the
+// whole arena rewinds in O(1) (`reset`, or the scope-mark rewind of
+// ArenaScope). Two ways to use it:
+//
+//   * Directly: alloc_array<T>(n) carves a typed span. The trajectory
+//     analyzer carves its per-prefix SoA candidate-sweep columns this way,
+//     one per-shard arena reset between paths, so the sweep's inner loop
+//     streams contiguous arena pages instead of scattered heap vectors.
+//   * Through ArenaAlloc<T>: a std::allocator drop-in that serves from the
+//     calling thread's *active* arena (installed by an ArenaScope) and
+//     falls back to the heap when none is active. Every allocation carries
+//     a small tagged header so deallocate() can tell the two origins apart
+//     -- mixing arena-backed and heap-backed containers is safe in either
+//     direction. minplus::Curve stores its breakpoints through this
+//     allocator, which removes the allocator from the per-port curve
+//     algebra of the WCNC phase (scoped inside compute_port_bounds).
+//
+// Lifetime rule: anything allocated while a scope is active must be
+// destroyed before the scope's arena memory is rewound past it (scope
+// exit rewinds to the entry mark). Returning arena-backed containers out
+// of the scope that allocated them is a bug; the debug-build header check
+// in deallocate() catches stale frees of rewound memory early.
+//
+// Thread safety: an arena is single-threaded by design (one per shard /
+// worker); the active-arena registration is thread_local.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace afdx::common {
+
+class BumpArena {
+ public:
+  /// First block size in bytes; subsequent blocks double up to a cap.
+  explicit BumpArena(std::size_t first_block_bytes = 1u << 16);
+  ~BumpArena();
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// Raw allocation, aligned to `align` (a power of two).
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Typed uninitialized span of n elements (trivially destructible types
+  /// only -- the arena never runs destructors).
+  template <typename T>
+  [[nodiscard]] T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "BumpArena::alloc_array: arena memory is never destructed");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds every block to empty; the blocks themselves are kept, so a
+  /// steady-state reset-per-path cycle performs no heap traffic at all.
+  void reset() noexcept;
+
+  /// A rewind point (block index + offset) for scope-local use.
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t offset = 0;
+  };
+  [[nodiscard]] Mark mark() const noexcept;
+  /// Rewinds to a previously taken mark (blocks stay allocated).
+  void rewind(Mark m) noexcept;
+
+  /// Bytes currently handed out (across all blocks).
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept;
+  /// Largest bytes_in_use ever observed (arena footprint).
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_; }
+
+ private:
+  struct Block;
+  Block* grow(std::size_t min_bytes);
+
+  Block* head_ = nullptr;    // current block (bump target)
+  Block* first_ = nullptr;   // chain start (reset rewinds to here)
+  std::size_t next_block_bytes_;
+  std::size_t blocks_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// The calling thread's active arena (nullptr outside every ArenaScope).
+[[nodiscard]] BumpArena* active_arena() noexcept;
+
+/// Installs `arena` as the calling thread's active arena and remembers the
+/// arena's current mark; the destructor restores the previous active arena
+/// and rewinds to the mark, releasing everything the scope allocated.
+/// Scopes nest (also across different arenas).
+class ArenaScope {
+ public:
+  explicit ArenaScope(BumpArena& arena) noexcept;
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  BumpArena* arena_;
+  BumpArena* previous_;
+  BumpArena::Mark mark_;
+};
+
+namespace detail {
+/// Header magics distinguishing the two allocation origins. deallocate()
+/// reads the word just before the payload; a rewound-and-overwritten arena
+/// header shows neither magic and trips the debug assertion.
+inline constexpr std::uint64_t kHeapMagic = 0x48454150'41464458ull;   // "HEAPAFDX"
+inline constexpr std::uint64_t kArenaMagic = 0x4152454E'41464458ull;  // "ARENAFDX"
+
+[[nodiscard]] void* tagged_allocate(std::size_t bytes);
+void tagged_deallocate(void* p) noexcept;
+}  // namespace detail
+
+/// std::allocator drop-in backed by the active arena (heap fallback).
+template <typename T>
+struct ArenaAlloc {
+  using value_type = T;
+
+  ArenaAlloc() noexcept = default;
+  template <typename U>
+  ArenaAlloc(const ArenaAlloc<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(detail::tagged_allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    detail::tagged_deallocate(p);
+  }
+
+  friend bool operator==(const ArenaAlloc&, const ArenaAlloc&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const ArenaAlloc&, const ArenaAlloc&) noexcept {
+    return false;
+  }
+};
+
+}  // namespace afdx::common

@@ -1,0 +1,113 @@
+// Open-addressing hash map for the analyzer memo tables.
+//
+// The trajectory analyzer performs two hash lookups per interference
+// segment (prefix-bound memo and min-arrival memo); on a 100k-VL network
+// that is tens of millions of finds, and std::unordered_map's node-based
+// buckets made them the single largest profile entry. This map stores
+// key/value pairs inline in one power-of-two slot array with linear
+// probing, so a find is typically one cache line: hash, probe, done.
+//
+// Deliberately minimal -- insert-only (the memos never erase), 64-bit
+// keys, trivially-copyable values -- because that is exactly what the
+// memo tables need and nothing else in the hot path does.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace afdx::common {
+
+template <typename V>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<V>,
+                "FlatMap slots are relocated with plain copies");
+
+ public:
+  /// Reserved slot marker; (vl << 32) | link keys never reach it because
+  /// both halves would have to be the invalid-id sentinel.
+  static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+  FlatMap() { reset_slots(kInitialSlots); }
+
+  /// Pointer to the mapped value, or nullptr when absent.
+  [[nodiscard]] const V* find(std::uint64_t key) const noexcept {
+    assert(key != kEmptyKey);
+    std::size_t idx = static_cast<std::size_t>(mix(key)) & mask_;
+    while (true) {
+      const Slot& s = slots_[idx];
+      if (s.key == key) return &s.value;
+      if (s.key == kEmptyKey) return nullptr;
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  /// Inserts key -> value; the key must not be present yet (the memo
+  /// tables only store each prefix once).
+  void emplace(std::uint64_t key, V value) {
+    assert(key != kEmptyKey);
+    if ((size_ + 1) * 4 > slot_count() * 3) grow();
+    insert_slot(key, value);
+    ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    for (Slot& s : slots_) s.key = kEmptyKey;
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key;
+    V value;
+  };
+
+  static constexpr std::size_t kInitialSlots = 1024;
+
+  /// splitmix64 finalizer -- full-avalanche mix so the (vl << 32) | link
+  /// key structure cannot cluster the probe sequence.
+  static std::uint64_t mix(std::uint64_t x) noexcept {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return slots_.size();
+  }
+
+  void reset_slots(std::size_t n) {
+    slots_.assign(n, Slot{kEmptyKey, V{}});
+    mask_ = n - 1;
+  }
+
+  void insert_slot(std::uint64_t key, V value) {
+    std::size_t idx = static_cast<std::size_t>(mix(key)) & mask_;
+    while (slots_[idx].key != kEmptyKey) {
+      assert(slots_[idx].key != key);
+      idx = (idx + 1) & mask_;
+    }
+    slots_[idx] = Slot{key, value};
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    reset_slots(old.size() * 2);
+    for (const Slot& s : old) {
+      if (s.key != kEmptyKey) insert_slot(s.key, s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace afdx::common

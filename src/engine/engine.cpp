@@ -111,19 +111,6 @@ std::uint64_t caps_signature(
   return h;
 }
 
-CacheStats cache_delta(const CacheStats& now, const CacheStats& then) {
-  return CacheStats{now.hits - then.hits, now.misses - then.misses,
-                    now.seeded - then.seeded, now.evicted - then.evicted};
-}
-
-trajectory::PrefixCacheStats prefix_delta(
-    const trajectory::PrefixCacheStats& now,
-    const trajectory::PrefixCacheStats& then) {
-  return trajectory::PrefixCacheStats{now.hits - then.hits,
-                                      now.misses - then.misses,
-                                      now.seeded - then.seeded};
-}
-
 }  // namespace
 
 const char* to_string(PathState state) noexcept {
@@ -172,6 +159,14 @@ void RunMetrics::print(std::ostream& out) const {
       << " misses (" << finite_or_zero(prefix.hit_rate()) * 100.0
       << " % hit rate, " << prefix.seeded << " seeded)\n"
       << "  steals: " << steals << "\n";
+  if (!shards.empty()) {
+    out << "  shards:";
+    for (const ShardMetrics& s : shards) {
+      out << " [" << s.vls << " vls, " << s.paths << " paths, "
+          << finite_or_zero(s.hit_rate()) * 100.0 << " % memo hits]";
+    }
+    out << "\n";
+  }
   if (incremental.attempted) {
     if (incremental.full_fallback) {
       out << "  incremental: full fallback ("
@@ -273,37 +268,86 @@ netcalc::Result AnalysisEngine::run_netcalc(const netcalc::Options& options) {
   return result;
 }
 
+AnalysisEngine::TrajectoryContext AnalysisEngine::resolve_trajectory_context(
+    const trajectory::Options& options, const netcalc::Result* nc_result,
+    const std::vector<PortOutcome>* nc_ports) {
+  TrajectoryContext ctx;
+  ctx.options = options;
+  const std::size_t n_links = cfg_.network().link_count();
+  if (options.serialization) {
+    ctx.caps.emplace(n_links, kInf);
+    if (nc_result == nullptr) {
+      // Serialization caps from the shared default-options WCNC run -- the
+      // same envelopes Analyzer::backlog_caps() would derive per instance.
+      try {
+        const netcalc::Result nc = run_netcalc(netcalc::Options{});
+        for (LinkId l = 0; l < n_links; ++l) {
+          if (nc.ports[l].used) {
+            (*ctx.caps)[l] =
+                nc.ports[l].queue_backlog / cfg_.network().link(l).rate;
+          }
+        }
+      } catch (const Error&) {
+        // The envelope analysis fails only on unstable ports, where the
+        // busy period diverges anyway; fall back to uncapped, exactly like
+        // the legacy analyzer.
+      }
+    } else {
+      // Caps from the contained WCNC pass: ports that failed or were
+      // skipped stay uncapped (an infinite cap is simply no refinement).
+      for (LinkId l = 0; l < n_links; ++l) {
+        if ((*nc_ports)[l].state == PathState::kOk &&
+            nc_result->ports[l].used) {
+          (*ctx.caps)[l] =
+              nc_result->ports[l].queue_backlog / cfg_.network().link(l).rate;
+        }
+      }
+    }
+  }
+  ctx.tj_key = trajectory_options_key(options);
+  ctx.caps_sig = caps_signature(ctx.caps);
+  ctx.pcache = prefix_cache_for(ctx.tj_key, ctx.caps_sig);
+  return ctx;
+}
+
+const std::vector<VlId>& AnalysisEngine::locality_vl_order() {
+  if (!locality_order_.has_value()) {
+    const std::vector<VlPath>& paths = cfg_.all_paths();
+    std::vector<const std::vector<LinkId>*> route(cfg_.vl_count(), nullptr);
+    std::vector<VlId> order;
+    for (const VlPath& p : paths) {
+      if (route[p.vl] == nullptr) {
+        route[p.vl] = &p.links;
+        order.push_back(p.vl);
+      }
+    }
+    // Lexicographic by route: VLs sharing their source port (and deeper
+    // prefixes) become contiguous, so the chunk a worker claims (or
+    // steals -- the scheduler moves contiguous blocks) covers one
+    // neighbourhood of the topology and its prefix recursions overlap.
+    // Ties (identical first routes, e.g. same-route multicast siblings)
+    // fall back to the id for a total, deterministic order.
+    std::sort(order.begin(), order.end(), [&](VlId a, VlId b) {
+      const std::vector<LinkId>& la = *route[a];
+      const std::vector<LinkId>& lb = *route[b];
+      if (la == lb) return a < b;
+      return std::lexicographical_compare(la.begin(), la.end(), lb.begin(),
+                                          lb.end());
+    });
+    locality_order_ = std::move(order);
+  }
+  return *locality_order_;
+}
+
 std::vector<Microseconds> AnalysisEngine::run_trajectory(
-    const trajectory::Options& options) {
+    const TrajectoryContext& ctx) {
   AFDX_TRACE_SPAN("engine.trajectory", "engine");
   const std::vector<VlPath>& paths = cfg_.all_paths();
   std::vector<Microseconds> out(paths.size(), 0.0);
 
-  // Serialization caps from the shared default-options WCNC run -- the
-  // same envelopes Analyzer::backlog_caps() would derive per instance.
-  std::optional<std::vector<Microseconds>> caps;
-  if (options.serialization) {
-    caps.emplace(cfg_.network().link_count(),
-                 std::numeric_limits<Microseconds>::infinity());
-    try {
-      const netcalc::Result nc = run_netcalc(netcalc::Options{});
-      for (LinkId l = 0; l < cfg_.network().link_count(); ++l) {
-        if (nc.ports[l].used) {
-          (*caps)[l] =
-              nc.ports[l].queue_backlog / cfg_.network().link(l).rate;
-        }
-      }
-    } catch (const Error&) {
-      // The envelope analysis fails only on unstable ports, where the
-      // busy period diverges anyway; fall back to uncapped, exactly like
-      // the legacy analyzer.
-    }
-  }
-
-  // The shared prefix cache for this (options, caps) context; baseline
-  // prefixes queued by run_incremental are transplanted here first.
-  const std::shared_ptr<trajectory::PrefixCache> pcache =
-      prefix_cache_for(trajectory_options_key(options), caps_signature(caps));
+  // Baseline prefixes queued by run_incremental are transplanted into the
+  // run's shared cache first.
+  const std::shared_ptr<trajectory::PrefixCache>& pcache = ctx.pcache;
   for (const PrefixSeed& s : pending_prefix_seeds_) {
     pcache->seed(s.vl, s.link, s.bound);
   }
@@ -311,32 +355,47 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory(
   pending_path_transplants_.clear();
   last_prefix_cache_ = pcache;
 
-  // Work items are whole VLs: paths of one VL share their prefix
-  // recursion, so keeping a VL in one chunk preserves the analyzer's local
-  // memoization; cross-VL shared prefixes land in the shared cache. Every
-  // bound is a pure function of (configuration, options, caps), so dynamic
-  // (stolen) assignment of VLs to workers stays bit-identical.
-  std::vector<VlId> vl_order;
+  // Work items are whole VLs in locality order: paths of one VL share
+  // their prefix recursion, so keeping a VL in one chunk preserves the
+  // analyzer's local memoization, and route-sorted neighbours make the
+  // chunk cover one topology neighbourhood. Every bound is a pure
+  // function of (configuration, options, caps), so dynamic (stolen)
+  // assignment of VLs to workers stays bit-identical.
   std::vector<std::vector<std::size_t>> vl_paths(cfg_.vl_count());
   for (std::size_t i = 0; i < paths.size(); ++i) {
-    if (vl_paths[paths[i].vl].empty()) vl_order.push_back(paths[i].vl);
     vl_paths[paths[i].vl].push_back(i);
   }
+  const std::vector<VlId>& vl_order = locality_vl_order();
 
-  std::vector<std::unique_ptr<trajectory::Analyzer>> local(
-      static_cast<std::size_t>(pool_.thread_count()));
+  struct Shard {
+    std::unique_ptr<trajectory::Analyzer> analyzer;
+    std::size_t vls = 0;
+    std::size_t paths_done = 0;
+  };
+  std::vector<Shard> local(static_cast<std::size_t>(pool_.thread_count()));
   pool_.parallel_for_dynamic(vl_order.size(), [&](std::size_t k, int w) {
-    auto& analyzer = local[static_cast<std::size_t>(w)];
-    if (!analyzer) {
+    Shard& shard = local[static_cast<std::size_t>(w)];
+    if (!shard.analyzer) {
       AFDX_TRACE_SPAN("engine.trajectory.shard", "engine");
-      analyzer = std::make_unique<trajectory::Analyzer>(cfg_, options);
-      if (caps.has_value()) analyzer->set_backlog_caps(*caps);
-      analyzer->set_prefix_cache(pcache.get());
+      shard.analyzer = std::make_unique<trajectory::Analyzer>(cfg_, ctx.options);
+      if (ctx.caps.has_value()) shard.analyzer->set_backlog_caps(*ctx.caps);
+      shard.analyzer->set_prefix_cache(pcache.get());
     }
+    ++shard.vls;
     for (std::size_t i : vl_paths[vl_order[k]]) {
-      out[i] = analyzer->bound_to_link(paths[i].vl, paths[i].links.back());
+      out[i] = shard.analyzer->bound_to_link(paths[i].vl, paths[i].links.back());
+      ++shard.paths_done;
     }
   });
+
+  metrics_.shards.clear();
+  for (const Shard& shard : local) {
+    if (!shard.analyzer) continue;
+    const trajectory::Analyzer::CacheCounters& c = shard.analyzer->counters();
+    metrics_.shards.push_back(ShardMetrics{shard.vls, shard.paths_done,
+                                           c.lookups, c.local_hits,
+                                           c.shared_hits});
+  }
   return out;
 }
 
@@ -351,7 +410,9 @@ RunResult AnalysisEngine::run(const netcalc::Options& nc_options,
   result.netcalc_result = run_netcalc(nc_options);
   result.netcalc = result.netcalc_result.path_bounds;
   const auto t1 = Clock::now();
-  result.trajectory = run_trajectory(tj_options);
+  const TrajectoryContext tj_ctx =
+      resolve_trajectory_context(tj_options, nullptr, nullptr);
+  result.trajectory = run_trajectory(tj_ctx);
   const auto t2 = Clock::now();
   AFDX_ASSERT(result.netcalc.size() == result.trajectory.size(),
               "engine: method results misaligned");
@@ -378,11 +439,11 @@ RunResult AnalysisEngine::run(const netcalc::Options& nc_options,
   observe_phase_us("combine", elapsed_us(t2, t3));
   obs::registry().counter("engine.runs").add();
   obs::registry().counter("engine.paths").add(result.combined.size());
-  metrics_.cache_run = cache_delta(cache_.stats(), cache0);
-  metrics_.prefix_run = prefix_delta(prefix_stats_total(), prefix0);
+  metrics_.cache_run = cache_.stats() - cache0;
+  metrics_.prefix_run = prefix_stats_total() - prefix0;
   result.status.assign(result.combined.size(), PathStatus{});
   result.nc_options_key = PortCache::options_key(nc_options);
-  result.tj_options_key = trajectory_options_key(tj_options);
+  result.tj_options_key = tj_ctx.tj_key;
   result.prefixes = last_prefix_cache_;
   result.metrics = metrics();
   return result;
@@ -496,38 +557,20 @@ netcalc::Result AnalysisEngine::run_netcalc_contained(
 }
 
 std::vector<Microseconds> AnalysisEngine::run_trajectory_contained(
-    const trajectory::Options& options, const RunControl& control,
-    const netcalc::Result& nc_result,
-    const std::vector<PortOutcome>& nc_ports,
+    const TrajectoryContext& ctx, const RunControl& control,
     std::vector<PathStatus>& path_status) {
   AFDX_TRACE_SPAN("engine.trajectory.contained", "engine");
   const std::vector<VlPath>& paths = cfg_.all_paths();
-  const std::size_t n_links = cfg_.network().link_count();
   std::vector<Microseconds> out(paths.size(), kInf);
   path_status.assign(paths.size(), PathStatus{});
 
-  // Serialization caps from the contained WCNC pass: ports that failed or
-  // were skipped stay uncapped (an infinite cap is simply no refinement),
-  // exactly like the legacy fallback on a throwing envelope analysis.
-  std::optional<std::vector<Microseconds>> caps;
-  if (options.serialization) {
-    caps.emplace(n_links, kInf);
-    for (LinkId l = 0; l < n_links; ++l) {
-      if (nc_ports[l].state == PathState::kOk && nc_result.ports[l].used) {
-        (*caps)[l] =
-            nc_result.ports[l].queue_backlog / cfg_.network().link(l).rate;
-      }
-    }
-  }
-
-  // The shared prefix cache for this (options, caps) context. Queued
-  // baseline prefixes are only transplanted when the WCNC phase ran to its
-  // natural end: an expired cancel token means the caps above may be
-  // uncapped placeholders rather than the baseline's values, which would
-  // poison the persistent cache. (A port-level WCNC failure cannot get
-  // here seeded wrong: seeded clean ports always hit the cache.)
-  const std::shared_ptr<trajectory::PrefixCache> pcache =
-      prefix_cache_for(trajectory_options_key(options), caps_signature(caps));
+  // Queued baseline prefixes are only transplanted into the run's shared
+  // cache when the WCNC phase ran to its natural end: an expired cancel
+  // token means the context's caps may be uncapped placeholders rather
+  // than the baseline's values, which would poison the persistent cache.
+  // (A port-level WCNC failure cannot get here seeded wrong: seeded clean
+  // ports always hit the cache.)
+  const std::shared_ptr<trajectory::PrefixCache>& pcache = ctx.pcache;
   const bool expired = control.cancel != nullptr && control.cancel->expired();
   if (!expired) {
     for (const PrefixSeed& s : pending_prefix_seeds_) {
@@ -550,12 +593,18 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory_contained(
   }
   pending_path_transplants_.clear();
 
-  std::vector<VlId> vl_order;
+  // Locality-ordered VL work items; VLs whose every path was transplanted
+  // drop out before any shard would touch them.
   std::vector<std::vector<std::size_t>> vl_paths(cfg_.vl_count());
   for (std::size_t i = 0; i < paths.size(); ++i) {
     if (transplanted[i]) continue;
-    if (vl_paths[paths[i].vl].empty()) vl_order.push_back(paths[i].vl);
     vl_paths[paths[i].vl].push_back(i);
+  }
+  const std::vector<VlId>& order_all = locality_vl_order();
+  std::vector<VlId> vl_order;
+  vl_order.reserve(order_all.size());
+  for (VlId v : order_all) {
+    if (!vl_paths[v].empty()) vl_order.push_back(v);
   }
 
   // Per-worker analyzer state for the work-stealing loop. A throw
@@ -568,12 +617,14 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory_contained(
     std::string construct_error;
     bool alive = false;
     bool initialized = false;
+    std::size_t vls = 0;
+    std::size_t paths_done = 0;
   };
   std::vector<Shard> local(static_cast<std::size_t>(pool_.thread_count()));
   const auto fresh = [&](Shard& shard) {
     try {
-      shard.analyzer.emplace(cfg_, options);
-      if (caps.has_value()) shard.analyzer->set_backlog_caps(*caps);
+      shard.analyzer.emplace(cfg_, ctx.options);
+      if (ctx.caps.has_value()) shard.analyzer->set_backlog_caps(*ctx.caps);
       shard.analyzer->set_prefix_cache(pcache.get());
       shard.alive = true;
     } catch (const std::exception& e) {
@@ -589,6 +640,7 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory_contained(
       shard.initialized = true;
       fresh(shard);
     }
+    ++shard.vls;
     for (std::size_t i : vl_paths[vl_order[k]]) {
       if (control.cancel != nullptr && control.cancel->expired()) {
         path_status[i] =
@@ -602,11 +654,21 @@ std::vector<Microseconds> AnalysisEngine::run_trajectory_contained(
       try {
         out[i] =
             shard.analyzer->bound_to_link(paths[i].vl, paths[i].links.back());
+        ++shard.paths_done;
       } catch (const std::exception& e) {
         path_status[i] = PathStatus{PathState::kFailed, e.what()};
       }
     }
   });
+
+  metrics_.shards.clear();
+  for (const Shard& shard : local) {
+    if (!shard.analyzer.has_value()) continue;
+    const trajectory::Analyzer::CacheCounters& c = shard.analyzer->counters();
+    metrics_.shards.push_back(ShardMetrics{shard.vls, shard.paths_done,
+                                           c.lookups, c.local_hits,
+                                           c.shared_hits});
+  }
   return out;
 }
 
@@ -659,9 +721,9 @@ RunResult AnalysisEngine::run_resilient(const netcalc::Options& nc_options,
   const auto t1 = Clock::now();
 
   std::vector<PathStatus> tj_status;
-  result.trajectory = run_trajectory_contained(tj_options, control,
-                                               result.netcalc_result, nc_ports,
-                                               tj_status);
+  const TrajectoryContext tj_ctx = resolve_trajectory_context(
+      tj_options, &result.netcalc_result, &nc_ports);
+  result.trajectory = run_trajectory_contained(tj_ctx, control, tj_status);
   const auto t2 = Clock::now();
 
   // Combine: the per-path minimum over the methods that did produce a
@@ -701,10 +763,10 @@ RunResult AnalysisEngine::run_resilient(const netcalc::Options& nc_options,
   observe_phase_us("combine", elapsed_us(t2, t3));
   obs::registry().counter("engine.runs").add();
   obs::registry().counter("engine.paths").add(n);
-  metrics_.cache_run = cache_delta(cache_.stats(), cache0);
-  metrics_.prefix_run = prefix_delta(prefix_stats_total(), prefix0);
+  metrics_.cache_run = cache_.stats() - cache0;
+  metrics_.prefix_run = prefix_stats_total() - prefix0;
   result.nc_options_key = PortCache::options_key(nc_options);
-  result.tj_options_key = trajectory_options_key(tj_options);
+  result.tj_options_key = tj_ctx.tj_key;
   result.prefixes = last_prefix_cache_;
   result.metrics = metrics();
   return result;
@@ -716,7 +778,6 @@ StreamSummary AnalysisEngine::run_streaming(
   AFDX_TRACE_SPAN("engine.run_streaming", "engine");
   const Network& net = cfg_.network();
   const std::vector<VlPath>& paths = cfg_.all_paths();
-  const std::size_t n_links = net.link_count();
   const auto port_name = [&](LinkId l) {
     return net.node(net.link(l).source).name + ">" +
            net.node(net.link(l).dest).name;
@@ -724,6 +785,8 @@ StreamSummary AnalysisEngine::run_streaming(
 
   const auto t0 = Clock::now();
   const Microseconds cpu0 = cpu_now_us();
+  const CacheStats cache0 = cache_.stats();
+  const trajectory::PrefixCacheStats prefix0 = prefix_stats_total();
 
   // Contained WCNC pass: per-port state, O(ports) not O(paths).
   std::vector<PortOutcome> nc_ports;
@@ -731,31 +794,23 @@ StreamSummary AnalysisEngine::run_streaming(
       run_netcalc_contained(nc_options, control, nc_ports);
   const auto t1 = Clock::now();
 
-  // Serialization caps, exactly as in run_trajectory_contained: failed or
-  // skipped ports stay uncapped (an infinite cap is simply no refinement).
-  std::optional<std::vector<Microseconds>> caps;
-  if (tj_options.serialization) {
-    caps.emplace(n_links, kInf);
-    for (LinkId l = 0; l < n_links; ++l) {
-      if (nc_ports[l].state == PathState::kOk && nc_result.ports[l].used) {
-        (*caps)[l] =
-            nc_result.ports[l].queue_backlog / cfg_.network().link(l).rate;
-      }
-    }
-  }
-
-  const std::shared_ptr<trajectory::PrefixCache> pcache = prefix_cache_for(
-      trajectory_options_key(tj_options), caps_signature(caps));
+  const TrajectoryContext ctx =
+      resolve_trajectory_context(tj_options, &nc_result, &nc_ports);
+  const std::shared_ptr<trajectory::PrefixCache>& pcache = ctx.pcache;
   // Streaming runs are always full runs: discard incremental leftovers.
   pending_prefix_seeds_.clear();
   pending_path_transplants_.clear();
   last_prefix_cache_ = pcache;
 
-  std::vector<VlId> vl_order;
   std::vector<std::vector<std::size_t>> vl_paths(cfg_.vl_count());
   for (std::size_t i = 0; i < paths.size(); ++i) {
-    if (vl_paths[paths[i].vl].empty()) vl_order.push_back(paths[i].vl);
     vl_paths[paths[i].vl].push_back(i);
+  }
+  const std::vector<VlId>& order_all = locality_vl_order();
+  std::vector<VlId> vl_order;
+  vl_order.reserve(order_all.size());
+  for (VlId v : order_all) {
+    if (!vl_paths[v].empty()) vl_order.push_back(v);
   }
 
   struct Shard {
@@ -763,12 +818,14 @@ StreamSummary AnalysisEngine::run_streaming(
     std::string construct_error;
     bool alive = false;
     bool initialized = false;
+    std::size_t vls = 0;
+    std::size_t paths_done = 0;
   };
   std::vector<Shard> local(static_cast<std::size_t>(pool_.thread_count()));
   const auto fresh = [&](Shard& shard) {
     try {
-      shard.analyzer.emplace(cfg_, tj_options);
-      if (caps.has_value()) shard.analyzer->set_backlog_caps(*caps);
+      shard.analyzer.emplace(cfg_, ctx.options);
+      if (ctx.caps.has_value()) shard.analyzer->set_backlog_caps(*ctx.caps);
       shard.analyzer->set_prefix_cache(pcache.get());
       shard.alive = true;
     } catch (const std::exception& e) {
@@ -785,6 +842,7 @@ StreamSummary AnalysisEngine::run_streaming(
       shard.initialized = true;
       fresh(shard);
     }
+    ++shard.vls;
     for (std::size_t i : vl_paths[vl_order[k]]) {
       const VlPath& p = paths[i];
       StreamPathResult r;
@@ -824,6 +882,7 @@ StreamSummary AnalysisEngine::run_streaming(
       } else {
         try {
           r.trajectory = shard.analyzer->bound_to_link(p.vl, p.links.back());
+          ++shard.paths_done;
         } catch (const std::exception& e) {
           tj_status = PathStatus{PathState::kFailed, e.what()};
         }
@@ -870,6 +929,23 @@ StreamSummary AnalysisEngine::run_streaming(
     }
   });
   const auto t2 = Clock::now();
+
+  // Per-shard cache effectiveness plus the run's overall cache deltas --
+  // the summary carries them so a streaming caller can observe reuse
+  // (e.g. a warm second run) without reaching into engine metrics.
+  metrics_.shards.clear();
+  for (const Shard& shard : local) {
+    if (!shard.analyzer.has_value()) continue;
+    const trajectory::Analyzer::CacheCounters& c = shard.analyzer->counters();
+    metrics_.shards.push_back(ShardMetrics{shard.vls, shard.paths_done,
+                                           c.lookups, c.local_hits,
+                                           c.shared_hits});
+  }
+  summary.shards = metrics_.shards;
+  summary.port_cache = cache_.stats() - cache0;
+  summary.prefix_cache = prefix_stats_total() - prefix0;
+  metrics_.cache_run = summary.port_cache;
+  metrics_.prefix_run = summary.prefix_cache;
 
   summary.wall_us = elapsed_us(t0, t2);
   summary.paths_per_second =
@@ -1037,7 +1113,9 @@ netcalc::Result AnalysisEngine::netcalc_only(
 std::vector<Microseconds> AnalysisEngine::trajectory_only(
     const trajectory::Options& tj_options) {
   const auto t0 = Clock::now();
-  std::vector<Microseconds> result = run_trajectory(tj_options);
+  const TrajectoryContext ctx =
+      resolve_trajectory_context(tj_options, nullptr, nullptr);
+  std::vector<Microseconds> result = run_trajectory(ctx);
   const Microseconds dt = elapsed_us(t0, Clock::now());
   metrics_.trajectory_wall_us += dt;
   metrics_.total_wall_us += dt;

@@ -73,6 +73,30 @@ struct IncrementalStats {
   std::size_t transplanted_paths = 0;
 };
 
+/// Per-worker-shard view of the most recent trajectory phase. With the
+/// locality-aware VL order (VLs sorted by their route prefix, contiguous
+/// chunks handed to workers), neighbouring VLs of one shard share their
+/// interference neighbourhood -- a healthy shard therefore answers most
+/// prefix lookups from its analyzer-local memo, and a low hit rate points
+/// at a shard whose VLs were scattered across the topology.
+struct ShardMetrics {
+  /// VL work items and paths this shard executed.
+  std::size_t vls = 0;
+  std::size_t paths = 0;
+  /// Prefix-bound lookups of the shard's analyzer, split by where they
+  /// were answered (neither = freshly computed).
+  std::uint64_t lookups = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t shared_hits = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(local_hits + shared_hits) /
+                     static_cast<double>(lookups);
+  }
+};
+
 /// Measurements of the work an engine has performed since construction.
 struct RunMetrics {
   Microseconds netcalc_wall_us = 0.0;
@@ -100,6 +124,10 @@ struct RunMetrics {
   trajectory::PrefixCacheStats prefix_run;
   /// Cumulative chunks stolen by the work-stealing scheduler.
   std::uint64_t steals = 0;
+  /// Per-worker shard statistics of the most recent trajectory phase
+  /// (empty until one ran). Ordered by worker index; workers that never
+  /// picked up trajectory work are omitted.
+  std::vector<ShardMetrics> shards;
   /// Outcome of the most recent run_incremental.
   IncrementalStats incremental;
   int threads = 1;
@@ -198,6 +226,14 @@ struct StreamSummary {
   Microseconds sum_combined = 0.0;
   double wall_us = 0.0;
   double paths_per_second = 0.0;
+  /// Per-run cache activity (deltas over this run): the per-port WCNC
+  /// cache and the shared trajectory prefix cache. A warm re-run of the
+  /// same configuration on the same engine shows nonzero hits here; all
+  /// zeros on a re-run means the reuse machinery is broken.
+  CacheStats port_cache;
+  trajectory::PrefixCacheStats prefix_cache;
+  /// Per-worker shard statistics of the trajectory phase (see ShardMetrics).
+  std::vector<ShardMetrics> shards;
 
   [[nodiscard]] Microseconds mean_combined() const noexcept {
     return ok == 0 ? 0.0 : sum_combined / static_cast<Microseconds>(ok);
@@ -288,16 +324,42 @@ class AnalysisEngine {
     std::string message;
   };
 
+  /// Everything a trajectory phase needs, resolved once per run: the
+  /// options, the serialization caps, their digests and the shared prefix
+  /// cache they key. The three run entry points used to recompute the
+  /// digests (an O(ports) caps walk each) up to twice per run.
+  struct TrajectoryContext {
+    trajectory::Options options;
+    std::optional<std::vector<Microseconds>> caps;
+    std::uint64_t tj_key = 0;
+    std::uint64_t caps_sig = 0;
+    std::shared_ptr<trajectory::PrefixCache> pcache;
+  };
+
+  /// Builds the context. With nc_result == nullptr the caps come from an
+  /// internal default-options WCNC run (served by the port cache), exactly
+  /// like the legacy per-analyzer envelope analysis; otherwise from the
+  /// provided contained WCNC outcome (failed / skipped ports stay
+  /// uncapped -- an infinite cap is simply no refinement).
+  [[nodiscard]] TrajectoryContext resolve_trajectory_context(
+      const trajectory::Options& options, const netcalc::Result* nc_result,
+      const std::vector<PortOutcome>* nc_ports);
+
+  /// Topology-aware VL schedule of the trajectory phase: VLs sorted
+  /// lexicographically by their first path's link sequence (ties by id),
+  /// so VLs sharing source ports / route prefixes sit in the same
+  /// contiguous chunk and land on the same worker. Pure function of the
+  /// configuration; built once per engine.
+  [[nodiscard]] const std::vector<VlId>& locality_vl_order();
+
   [[nodiscard]] netcalc::Result run_netcalc(const netcalc::Options& options);
   [[nodiscard]] std::vector<Microseconds> run_trajectory(
-      const trajectory::Options& options);
+      const TrajectoryContext& ctx);
   [[nodiscard]] netcalc::Result run_netcalc_contained(
       const netcalc::Options& options, const RunControl& control,
       std::vector<PortOutcome>& ports);
   [[nodiscard]] std::vector<Microseconds> run_trajectory_contained(
-      const trajectory::Options& options, const RunControl& control,
-      const netcalc::Result& nc_result,
-      const std::vector<PortOutcome>& nc_ports,
+      const TrajectoryContext& ctx, const RunControl& control,
       std::vector<PathStatus>& path_status);
 
   /// The once-built flat flow index of this engine's configuration.
@@ -334,6 +396,8 @@ class AnalysisEngine {
   /// bypass the per-port cache path but still memoize their round count).
   std::unordered_map<std::uint64_t, int> iterations_;
   std::optional<netcalc::PortFlowIndex> flow_index_;
+  /// Cached locality_vl_order() result (pure function of cfg_).
+  std::optional<std::vector<VlId>> locality_order_;
   std::unordered_map<std::uint64_t, std::shared_ptr<trajectory::PrefixCache>>
       prefix_caches_;
   /// The cache used by the most recent trajectory phase.

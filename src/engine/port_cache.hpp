@@ -37,6 +37,13 @@ struct CacheStats {
   }
 };
 
+/// Counter delta between two snapshots (later minus earlier) -- per-run
+/// activity out of the engine's cumulative statistics.
+inline CacheStats operator-(const CacheStats& now, const CacheStats& then) {
+  return CacheStats{now.hits - then.hits, now.misses - then.misses,
+                    now.seeded - then.seeded, now.evicted - then.evicted};
+}
+
 // Tripwire: options_key() below must fingerprint EVERY field of
 // netcalc::Options. If this assert fires, a field was added (or resized) --
 // extend the digest with the new field and update the expected size, or the

@@ -70,6 +70,13 @@ class ThreadPool {
   /// index always executes (a stolen chunk cannot be "abandoned"
   /// deterministically); after the batch the exception raised at the
   /// smallest index is rethrown.
+  ///
+  /// Chunks are always contiguous index ranges -- both a worker's own
+  /// block and anything stolen from a victim's back. The engine's
+  /// locality-aware scheduling relies on this: it orders the index space
+  /// so neighbouring indices are topology neighbours (VLs sharing route
+  /// prefixes), and contiguity is what makes every worker's working set
+  /// one neighbourhood even after steals.
   void parallel_for_dynamic(std::size_t n,
                             const std::function<void(std::size_t, int)>& body);
 

@@ -10,7 +10,7 @@ namespace afdx::minplus {
 
 Curve::Curve() : points_{{0.0, 0.0}}, final_slope_(0.0) {}
 
-Curve::Curve(std::vector<Point> points, double final_slope)
+Curve::Curve(PointVec points, double final_slope)
     : points_(std::move(points)), final_slope_(final_slope) {
   AFDX_REQUIRE(!points_.empty(), "Curve: needs at least one breakpoint");
   AFDX_REQUIRE(nearly_equal(points_.front().x, 0.0),
@@ -40,7 +40,7 @@ Curve Curve::constant(double value) { return Curve({{0.0, value}}, 0.0); }
 void Curve::normalize() {
   // Drop interior breakpoints that lie on the segment between neighbours,
   // and a final breakpoint whose incoming slope equals the final slope.
-  std::vector<Point> out;
+  PointVec out;
   out.reserve(points_.size());
   auto slope_between = [](const Point& a, const Point& b) {
     return (b.y - a.y) / (b.x - a.x);

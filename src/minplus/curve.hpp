@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/units.hpp"
 
 namespace afdx::minplus {
@@ -21,6 +22,13 @@ struct Point {
   double y = 0.0;
 };
 
+/// Breakpoint storage. Arena-aware: inside a common::ArenaScope (the
+/// netcalc per-port fixed points install one) every intermediate curve
+/// bump-allocates its points and the whole cascade is reclaimed by one
+/// rewind; outside a scope the allocator falls back to the heap, so
+/// long-lived curves (tests, API users) behave exactly like before.
+using PointVec = std::vector<Point, common::ArenaAlloc<Point>>;
+
 /// Piecewise-linear function on [0, inf). Immutable after construction.
 class Curve {
  public:
@@ -30,7 +38,7 @@ class Curve {
   /// General constructor: breakpoints (strictly increasing x, first x == 0)
   /// plus the slope after the last breakpoint. Collinear interior points are
   /// removed. Throws afdx::Error on malformed input.
-  Curve(std::vector<Point> points, double final_slope);
+  Curve(PointVec points, double final_slope);
 
   /// Affine curve f(t) = value_at_zero + slope * t. With value_at_zero > 0
   /// this is the leaky-bucket arrival curve (burst, rate).
@@ -52,7 +60,7 @@ class Curve {
   [[nodiscard]] double final_slope() const noexcept { return final_slope_; }
 
   /// Breakpoints, first one at x == 0.
-  [[nodiscard]] const std::vector<Point>& points() const noexcept { return points_; }
+  [[nodiscard]] const PointVec& points() const noexcept { return points_; }
 
   /// True when every point evaluates pointwise <= other (within kEpsilon),
   /// including the tails.
@@ -82,7 +90,7 @@ class Curve {
  private:
   void normalize();
 
-  std::vector<Point> points_;
+  PointVec points_;
   double final_slope_ = 0.0;
 };
 

@@ -56,7 +56,7 @@ Curve combine_extremum(const Curve& a, const Curve& b, bool take_min) {
     }
   }
 
-  std::vector<Point> pts;
+  PointVec pts;
   pts.reserve(xs.size());
   for (double x : xs) {
     const double va = a.value(x), vb = b.value(x);
@@ -96,7 +96,7 @@ std::vector<Segment> segments_of(const Curve& c) {
 }
 
 Curve curve_from_segments(double y0, std::vector<Segment> segs) {
-  std::vector<Point> pts{{0.0, y0}};
+  PointVec pts{{0.0, y0}};
   double x = 0.0, y = y0;
   double final_slope = 0.0;
   for (const Segment& s : segs) {
@@ -115,7 +115,7 @@ Curve curve_from_segments(double y0, std::vector<Segment> segs) {
 
 Curve sum(const Curve& a, const Curve& b) {
   std::vector<double> grid = merged_grid(a, b);
-  std::vector<Point> pts;
+  PointVec pts;
   pts.reserve(grid.size());
   for (double x : grid) pts.push_back({x, a.value(x) + b.value(x)});
   return Curve(std::move(pts), a.final_slope() + b.final_slope());
@@ -138,7 +138,7 @@ Curve maximum(const Curve& a, const Curve& b) {
 Curve shift_left(const Curve& a, double d) {
   AFDX_REQUIRE(d >= 0.0, "shift_left: negative shift");
   if (d <= kEpsilon) return a;
-  std::vector<Point> pts{{0.0, a.value(d)}};
+  PointVec pts{{0.0, a.value(d)}};
   for (const Point& p : a.points()) {
     if (p.x > d + kEpsilon) pts.push_back({p.x - d, p.y});
   }
@@ -154,7 +154,7 @@ Curve convolve_concave(const Curve& a, const Curve& b) {
   const double a0 = a.value(0.0);
   const double b0 = b.value(0.0);
   auto rebase = [](const Curve& c, double offset) {
-    std::vector<Point> pts;
+    PointVec pts;
     pts.reserve(c.points().size());
     for (const Point& p : c.points()) pts.push_back({p.x, p.y + offset});
     return Curve(std::move(pts), c.final_slope());
@@ -209,7 +209,7 @@ Curve deconvolve_concave_rl(const Curve& a, double rate, double latency) {
   // Replace the initial too-steep portion by the slope-`rate` line that ends
   // at (t0, shifted(t0)); beyond t0 the supremum is reached at u = 0 and the
   // result follows the shifted curve.
-  std::vector<Point> out{{0.0, shifted.value(t0) - rate * t0}};
+  PointVec out{{0.0, shifted.value(t0) - rate * t0}};
   out.push_back({t0, shifted.value(t0)});
   for (const Point& p : shifted.points()) {
     if (p.x > t0 + kEpsilon) out.push_back(p);
@@ -317,7 +317,7 @@ Curve residual_service(const Curve& beta, const Curve& alpha_higher,
     t_star = hi;
   }
 
-  std::vector<Point> pts{{0.0, 0.0}};
+  PointVec pts{{0.0, 0.0}};
   if (t_star > kEpsilon) pts.push_back({t_star, 0.0});
   for (double x : grid) {
     if (x > t_star + kEpsilon) pts.push_back({x, std::max(0.0, diff(x))});

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 #include "minplus/operations.hpp"
 #include "obs/counters.hpp"
@@ -96,6 +97,12 @@ PortBounds compute_port_bounds(const TrafficConfig& config, LinkId port,
                                const Options& options,
                                const std::vector<LevelDelays>& port_delays) {
   AFDX_TRACE_SPAN("netcalc.port", "netcalc");
+  // Every intermediate curve of this port's computation (aggregates,
+  // convolutions, residual services) bump-allocates its breakpoints here
+  // and is reclaimed by one rewind on return; the produced PortBounds
+  // carries only scalars, so nothing arena-backed escapes the scope.
+  static thread_local common::BumpArena curve_arena;
+  const common::ArenaScope curve_scope(curve_arena);
   static obs::Counter& ports_computed =
       obs::registry().counter("netcalc.ports_computed");
   ports_computed.add();
@@ -160,6 +167,12 @@ PortBounds compute_port_bounds(const TrafficConfig& config, LinkId port,
                                const DelayTable& delays,
                                const PortFlowIndex& index) {
   AFDX_TRACE_SPAN("netcalc.port", "netcalc");
+  // Every intermediate curve of this port's computation (aggregates,
+  // convolutions, residual services) bump-allocates its breakpoints here
+  // and is reclaimed by one rewind on return; the produced PortBounds
+  // carries only scalars, so nothing arena-backed escapes the scope.
+  static thread_local common::BumpArena curve_arena;
+  const common::ArenaScope curve_scope(curve_arena);
   static obs::Counter& ports_computed =
       obs::registry().counter("netcalc.ports_computed");
   ports_computed.add();

@@ -37,6 +37,14 @@ struct PrefixCacheStats {
   }
 };
 
+/// Counter delta between two snapshots (later minus earlier) -- per-run
+/// activity out of cumulative cache statistics.
+inline PrefixCacheStats operator-(const PrefixCacheStats& now,
+                                  const PrefixCacheStats& then) {
+  return PrefixCacheStats{now.hits - then.hits, now.misses - then.misses,
+                          now.seeded - then.seeded};
+}
+
 class PrefixCache {
  public:
   /// Returns the cached bound of (vl, link) and counts a hit, or nullopt

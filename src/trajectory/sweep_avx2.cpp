@@ -1,0 +1,85 @@
+// AVX2 candidate-sweep kernel. One lane per candidate instant; every lane
+// walks the segment columns in the original order, so no addition is
+// reassociated and every lane's value is bitwise what the scalar loop
+// computes for that candidate (see sweep.hpp for the full argument).
+//
+// This translation unit is compiled with -mavx2 -ffp-contract=off: AVX2
+// for the instructions, contraction off so the compiler cannot fuse the
+// mul+add accumulation into an FMA (a fused result rounds once instead of
+// twice and would break the bit-identity contract with the scalar kernel).
+#include "trajectory/sweep.hpp"
+
+#if defined(AFDX_SWEEP_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace afdx::trajectory::sweep::detail {
+
+namespace {
+
+/// 4-lane frame_count; per lane identical to the scalar formula (vaddpd /
+/// vdivpd / vroundpd-floor are the same IEEE-754 operations as their
+/// scalar forms, and the window < -kEpsilon cutoff becomes a mask).
+inline __m256d frame_count4(__m256d t, double a, double period) noexcept {
+  const __m256d window = _mm256_add_pd(t, _mm256_set1_pd(a));
+  const __m256d q = _mm256_add_pd(_mm256_div_pd(window, _mm256_set1_pd(period)),
+                                  _mm256_set1_pd(1e-9));
+  const __m256d n = _mm256_add_pd(_mm256_floor_pd(q), _mm256_set1_pd(1.0));
+  const __m256d live =
+      _mm256_cmp_pd(window, _mm256_set1_pd(-kEpsilon), _CMP_GE_OQ);
+  return _mm256_and_pd(n, live);
+}
+
+}  // namespace
+
+Microseconds run_avx2(const Columns& cols, const Microseconds* candidates,
+                      std::size_t count, Microseconds consts,
+                      Microseconds envelope, Microseconds best,
+                      char* saturated) noexcept {
+  std::size_t ci = 0;
+  for (; ci + 4 <= count; ci += 4) {
+    // Envelope early-exit at the batch head: candidates are ascending, so
+    // once the head cannot beat `best` no later candidate can either.
+    if (envelope - candidates[ci] <= best) return best;
+    const __m256d t = _mm256_loadu_pd(candidates + ci);
+    __m256d w = _mm256_mul_pd(frame_count4(t, cols.own_a, cols.own_period),
+                              _mm256_set1_pd(cols.own_c));
+    for (std::size_t idx = 0; idx < cols.nodes; ++idx) {
+      const double cap = cols.node_cap[idx];
+      if (saturated[idx]) {
+        w = _mm256_add_pd(w, _mm256_set1_pd(cap));
+        continue;
+      }
+      __m256d node_sum = _mm256_setzero_pd();
+      const std::size_t end = cols.node_begin[idx + 1];
+      for (std::size_t s = cols.node_begin[idx]; s < end; ++s) {
+        node_sum = _mm256_add_pd(
+            node_sum, _mm256_mul_pd(frame_count4(t, cols.a[s], cols.period[s]),
+                                    _mm256_set1_pd(cols.c[s])));
+      }
+      const __m256d capv = _mm256_set1_pd(cap);
+      const __m256d hit = _mm256_cmp_pd(node_sum, capv, _CMP_GE_OQ);
+      // The scalar branch adds cap when node_sum >= cap (ties included).
+      w = _mm256_add_pd(w, _mm256_blendv_pd(node_sum, capv, hit));
+      // Latch from the highest lane: frame counts are nondecreasing in t,
+      // so lane 3 saturating means every later candidate saturates too --
+      // the point at which the scalar loop would have latched.
+      if ((_mm256_movemask_pd(hit) & 0x8) != 0) saturated[idx] = 1;
+    }
+    alignas(32) double r[4];
+    _mm256_store_pd(
+        r, _mm256_sub_pd(_mm256_add_pd(w, _mm256_set1_pd(consts)), t));
+    // Ascending-lane fold == the scalar candidate-order fold.
+    for (int lane = 0; lane < 4; ++lane) best = std::max(best, r[lane]);
+  }
+  // Remainder tail (< 4 candidates): the shared scalar kernel, compiled in
+  // sweep.cpp with the project-default (non-AVX) flags.
+  return run_scalar(cols, candidates, ci, count, consts, envelope, best,
+                    saturated);
+}
+
+}  // namespace afdx::trajectory::sweep::detail
+
+#endif  // AFDX_SWEEP_AVX2

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 
 #include "common/error.hpp"
@@ -9,6 +10,7 @@
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "trajectory/prefix_cache.hpp"
+#include "trajectory/sweep.hpp"
 
 namespace afdx::trajectory {
 
@@ -20,6 +22,16 @@ double frame_count(Microseconds t, Microseconds a, Microseconds period) {
   const double window = t + a;
   if (window < -kEpsilon) return 0.0;
   return std::floor(window / period + 1e-9) + 1.0;
+}
+
+/// splitmix64 finalizer for the generator-pair dedup probe below.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
 }
 
 /// One interference term: a maximal run of consecutive shared nodes of an
@@ -40,17 +52,21 @@ struct Analyzer::ScratchFrame {
   std::vector<LinkId> sub;
   std::vector<Segment> segments;
   std::vector<std::vector<std::size_t>> node_first_met;
-  // SoA flattening of the per-node segment lists: response() streams the
-  // a / c / period columns as three contiguous arrays so its inner loop
-  // vectorizes instead of striding over an array-of-structs.
-  std::vector<Microseconds> flat_a;
-  std::vector<Microseconds> flat_c;
-  std::vector<Microseconds> flat_period;
-  /// m + 1 entries; node idx owns flat range [node_begin[idx], node_begin[idx+1]).
-  std::vector<std::size_t> node_begin;
-  std::vector<Microseconds> node_cap;
+  // The SoA a / c / period columns themselves live on the analyzer's bump
+  // arena (carved per prefix, rewound on exit); only the variable-length
+  // candidate buffer stays a pooled vector here.
   std::vector<Microseconds> candidates;
-  std::vector<char> saturated;
+  /// Unique (period, a) generator pairs feeding the candidate sweep, and
+  /// the epoch-tagged probe table that deduplicates them (bit-pattern
+  /// equality; sorting the pairs per prefix profiled as the single
+  /// largest cost once the sweep itself was vectorized).
+  std::vector<std::pair<Microseconds, Microseconds>> gen_pairs;
+  struct GenSlot {
+    std::uint64_t period_bits = 0;
+    std::uint64_t a_bits = 0;
+    std::uint64_t epoch = 0;
+  };
+  std::vector<GenSlot> gen_table;
   /// Open segment per flow, indexed by VlId; an entry is live only when
   /// open_epoch[j] matches the frame's current epoch.
   std::vector<std::size_t> open_seg;
@@ -122,9 +138,7 @@ const std::vector<Microseconds>& Analyzer::backlog_caps() {
 
 Microseconds Analyzer::min_arrival_at(VlId vl, LinkId link) const {
   const std::uint64_t k = key(vl, link);
-  if (auto it = min_arrival_memo_.find(k); it != min_arrival_memo_.end()) {
-    return it->second;
-  }
+  if (const Microseconds* hit = min_arrival_memo_.find(k)) return *hit;
   const VlRoute& route = cfg_.route(vl);
   AFDX_REQUIRE(route.crosses(link), "min_arrival_at: VL does not cross link");
   // Walk the unique tree prefix backwards: each earlier node adds its
@@ -171,9 +185,14 @@ Microseconds Analyzer::max_arrival_at(VlId vl, LinkId link) {
 
 Microseconds Analyzer::bound_to_link(VlId vl, LinkId link) {
   const std::uint64_t k = key(vl, link);
-  if (auto it = memo_.find(k); it != memo_.end()) return it->second;
+  ++counters_.lookups;
+  if (const Microseconds* hit = memo_.find(k)) {
+    ++counters_.local_hits;
+    return *hit;
+  }
   if (shared_ != nullptr) {
     if (const auto cached = shared_->lookup(vl, link); cached.has_value()) {
+      ++counters_.shared_hits;
       memo_.emplace(k, *cached);
       return *cached;
     }
@@ -221,6 +240,16 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
     std::size_t& depth;
     ~DepthGuard() { --depth; }
   } depth_guard{scratch_depth_};
+
+  // Arena rewind point for this prefix's SoA columns. Columns are carved
+  // only after the segment recursion below returns, so marks nest strictly
+  // (a child prefix allocates and rewinds before its parent allocates) and
+  // the steady state reuses the same hot arena pages for every prefix.
+  struct ArenaGuard {
+    common::BumpArena& arena;
+    common::BumpArena::Mark mark;
+    ~ArenaGuard() { arena.rewind(mark); }
+  } arena_guard{arena_, arena_.mark()};
 
   // The unique tree prefix l_0 .. l_{m-1} ending at `last`.
   std::vector<LinkId>& sub = fr.sub;
@@ -275,6 +304,12 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
   for (std::size_t idx = 0; idx < m; ++idx) {
     const LinkId lk = sub[idx];
     const Microseconds latency_lk = net.link(lk).latency;
+    // The study packet's own arrival-window term is the same for every
+    // flow first met at this node; computed lazily on the first new
+    // segment (so the exact set of recursive prefix computations is
+    // unchanged) and reused for the rest of the node's flows.
+    bool jitter_i_cached = false;
+    Microseconds jitter_i_node = 0.0;
     for (const FlowAtLink& f : flows[lk]) {
       const VlId j = f.id;
       const LinkId pred_j = f.pred;
@@ -300,10 +335,14 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
         // The study packet's own release instant is the time origin, so
         // only its traversal spread (not its release jitter) widens the
         // window.
-        const Microseconds max_arr_i =
-            (idx == 0) ? 0.0
-                       : bound_to_link(i, sub[idx - 1]) + latency_lk;
-        jitter_i = max_arr_i - min_arrival_at(i, lk);
+        if (!jitter_i_cached) {
+          const Microseconds max_arr_i =
+              (idx == 0) ? 0.0
+                         : bound_to_link(i, sub[idx - 1]) + latency_lk;
+          jitter_i_node = max_arr_i - min_arrival_at(i, lk);
+          jitter_i_cached = true;
+        }
+        jitter_i = jitter_i_node;
       }
       Segment seg;
       seg.a = jitter_j + jitter_i;
@@ -374,33 +413,33 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
   // node-by-node summation order, so the bound is arithmetic-identical) --
   // response() below is evaluated O(candidates x busy rounds) times and
   // dominates the whole analysis; streaming a / c / period as three
-  // separate arrays lets its inner loop vectorize. Capping by +infinity is
-  // exact, which makes the serialization branch loop-invariant.
-  fr.flat_a.clear();
-  fr.flat_c.clear();
-  fr.flat_period.clear();
-  fr.flat_a.reserve(segments.size());
-  fr.flat_c.reserve(segments.size());
-  fr.flat_period.reserve(segments.size());
-  fr.node_begin.resize(m + 1);
-  fr.node_cap.resize(m);
+  // separate arrays lets the sweep kernel vectorize across candidates.
+  // Capping by +infinity is exact, which makes the serialization branch
+  // loop-invariant. The columns are carved from the per-analyzer bump
+  // arena (rewound on exit, see ArenaGuard above): exact-size, adjacent in
+  // one block, no vector growth bookkeeping in the hot path.
+  const std::size_t seg_total = segments.size();
+  Microseconds* const flat_a = arena_.alloc_array<Microseconds>(seg_total);
+  Microseconds* const flat_c = arena_.alloc_array<Microseconds>(seg_total);
+  Microseconds* const flat_period =
+      arena_.alloc_array<Microseconds>(seg_total);
+  std::size_t* const node_begin = arena_.alloc_array<std::size_t>(m + 1);
+  Microseconds* const node_cap = arena_.alloc_array<Microseconds>(m);
+  char* const saturated = arena_.alloc_array<char>(m);
+  std::size_t cursor = 0;
   for (std::size_t idx = 0; idx < m; ++idx) {
-    fr.node_begin[idx] = fr.flat_a.size();
+    node_begin[idx] = cursor;
     for (std::size_t s : node_first_met[idx]) {
-      fr.flat_a.push_back(segments[s].a);
-      fr.flat_c.push_back(segments[s].c);
-      fr.flat_period.push_back(segments[s].period);
+      flat_a[cursor] = segments[s].a;
+      flat_c[cursor] = segments[s].c;
+      flat_period[cursor] = segments[s].period;
+      ++cursor;
     }
-    fr.node_cap[idx] = opt_.serialization
-                           ? caps[sub[idx]]
-                           : std::numeric_limits<Microseconds>::infinity();
+    node_cap[idx] = opt_.serialization
+                        ? caps[sub[idx]]
+                        : std::numeric_limits<Microseconds>::infinity();
   }
-  fr.node_begin[m] = fr.flat_a.size();
-  const Microseconds* const flat_a = fr.flat_a.data();
-  const Microseconds* const flat_c = fr.flat_c.data();
-  const Microseconds* const flat_period = fr.flat_period.data();
-  const std::size_t* const node_begin = fr.node_begin.data();
-  const Microseconds* const node_cap = fr.node_cap.data();
+  node_begin[m] = cursor;
   const Segment own = segments[own_segment];
 
   auto response = [&](Microseconds t) {
@@ -416,7 +455,11 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
   };
 
   // --- Busy period ------------------------------------------------------------
-  Microseconds busy = std::max<Microseconds>(response(0.0), 0.0);
+  // response(0) seeds both the busy-period fixed point and the sweep's
+  // running maximum below; it is a pure function of the columns, so one
+  // evaluation serves both (bit-identical to evaluating it twice).
+  const Microseconds response_at_zero = response(0.0);
+  Microseconds busy = std::max<Microseconds>(response_at_zero, 0.0);
   int rounds = 0;
   for (; rounds < opt_.max_busy_iterations; ++rounds) {
     const Microseconds next = response(busy) + busy;  // workload at `busy`
@@ -437,26 +480,8 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
       obs::registry().histogram("trajectory.busy_rounds");
   seg_hist.observe(segments.size());
   round_hist.observe(static_cast<std::uint64_t>(rounds));
-
-  // --- Maximize over the candidate generation instants ------------------------
-  // R(t) decreases with slope -1 between frame-count jumps (the caps are
-  // constants), so the max is attained at t = 0 or at a jump. Segments with
-  // equal (BAG, A) generate bitwise-equal jump instants, so deduplicating
-  // the sorted candidates drops repeat evaluations without changing the
-  // maximum (max over the same value set is order-free).
-  std::vector<Microseconds>& candidates = fr.candidates;
-  candidates.clear();
-  for (const Segment& s : segments) {
-    for (int k = 1;; ++k) {
-      const Microseconds t = k * s.period - s.a;
-      if (t > busy + kEpsilon) break;
-      if (t >= 0.0) candidates.push_back(t);
-    }
-  }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
-  Microseconds best = response(0.0);
+  static obs::Histogram& cand_hist =
+      obs::registry().histogram("trajectory.candidates_per_prefix");
 
   // Two exact prunings of the ascending sweep, both resting on
   // frame_count being nondecreasing in t (floating-point rounding is
@@ -477,29 +502,74 @@ Microseconds Analyzer::compute_prefix(VlId i, LinkId last) {
   }
   const Microseconds envelope = w_max + consts;
 
-  fr.saturated.assign(m, 0);
-  std::vector<char>& saturated = fr.saturated;
-  for (const Microseconds t : candidates) {
-    if (envelope - t <= best) break;
-    Microseconds w = frame_count(t, own.a, own.period) * own.c;
-    for (std::size_t idx = 0; idx < m; ++idx) {
-      if (saturated[idx]) {
-        w += node_cap[idx];
-        continue;
-      }
-      Microseconds node_sum = 0.0;
-      for (std::size_t s = node_begin[idx]; s < node_begin[idx + 1]; ++s) {
-        node_sum += frame_count(t, flat_a[s], flat_period[s]) * flat_c[s];
-      }
-      if (node_sum >= node_cap[idx]) {
-        saturated[idx] = 1;
-        w += node_cap[idx];
-      } else {
-        w += node_sum;
-      }
-    }
-    best = std::max(best, w + consts - t);
+  // --- Maximize over the candidate generation instants ------------------------
+  // R(t) decreases with slope -1 between frame-count jumps (the caps are
+  // constants), so the max is attained at t = 0 or at a jump. Segments with
+  // equal (BAG, A) generate bitwise-equal jump instants, so deduplicating
+  // the generators drops repeat evaluations without changing the maximum
+  // (max over the same value set is order-free). The dedup is an
+  // epoch-tagged bit-pattern probe table: sorting the pairs per prefix
+  // profiled as the top cost once the sweep itself was vectorized, and the
+  // candidates are globally sorted below anyway.
+  std::vector<std::pair<Microseconds, Microseconds>>& gen_pairs = fr.gen_pairs;
+  gen_pairs.clear();
+  std::size_t table_size = 64;
+  while (table_size < 2 * segments.size()) table_size *= 2;
+  if (fr.gen_table.size() < table_size) {
+    fr.gen_table.assign(table_size, ScratchFrame::GenSlot{});
   }
+  const std::size_t table_mask = fr.gen_table.size() - 1;
+  for (const Segment& s : segments) {
+    std::uint64_t pb = 0;
+    std::uint64_t ab = 0;
+    std::memcpy(&pb, &s.period, sizeof(pb));
+    std::memcpy(&ab, &s.a, sizeof(ab));
+    std::size_t h = static_cast<std::size_t>(mix64(pb ^ mix64(ab))) & table_mask;
+    while (true) {
+      ScratchFrame::GenSlot& slot = fr.gen_table[h];
+      if (slot.epoch != epoch) {
+        slot = ScratchFrame::GenSlot{pb, ab, epoch};
+        gen_pairs.emplace_back(s.period, s.a);
+        break;
+      }
+      if (slot.period_bits == pb && slot.a_bits == ab) break;  // duplicate
+      h = (h + 1) & table_mask;
+    }
+  }
+  // Generation cut: `best` is nondecreasing from response(0), so any
+  // candidate with envelope - t <= response(0) is provably pruned by the
+  // sweep's envelope check -- skip materializing it (each generator's
+  // instants ascend with k, so the cut is a plain break).
+  std::vector<Microseconds>& candidates = fr.candidates;
+  candidates.clear();
+  for (const auto& [period, a] : gen_pairs) {
+    for (int k = 1;; ++k) {
+      const Microseconds t = k * period - a;
+      if (t > busy + kEpsilon || envelope - t <= response_at_zero) break;
+      if (t >= 0.0) candidates.push_back(t);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  Microseconds best = response_at_zero;
+
+  // The sweep itself runs in the dispatched kernel (sweep.hpp): the AVX2
+  // variant batches 4 candidates per lane-parallel walk of the columns and
+  // is bit-identical to the scalar fallback by construction.
+  cand_hist.observe(candidates.size());
+  static obs::Counter& simd_sweeps =
+      obs::registry().counter("trajectory.sweep.simd");
+  static obs::Counter& scalar_sweeps =
+      obs::registry().counter("trajectory.sweep.scalar");
+  const sweep::Kind kind = sweep::active();
+  (kind == sweep::Kind::kSimd ? simd_sweeps : scalar_sweeps).add();
+  std::memset(saturated, 0, m);
+  const sweep::Columns cols{flat_a,   flat_c, flat_period, node_begin,
+                            node_cap, m,      own.a,       own.c,
+                            own.period};
+  best = sweep::run(kind, cols, candidates.data(), candidates.size(), consts,
+                    envelope, best, saturated);
 
   // The bound can never beat the jitter-free store-and-forward traversal.
   Microseconds floor_bound = c_last;

@@ -48,6 +48,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/arena.hpp"
+#include "common/flat_map.hpp"
 #include "vl/traffic_config.hpp"
 
 namespace afdx::trajectory {
@@ -124,6 +126,19 @@ class Analyzer {
   /// functions of that triple, so sharing never changes a result.
   void set_prefix_cache(PrefixCache* cache) noexcept { shared_ = cache; }
 
+  /// Where this instance's prefix lookups were answered: the local memo,
+  /// the shared cache, or neither (freshly computed). The engine surfaces
+  /// these per shard -- with locality-aware VL ordering, neighbouring VLs
+  /// share prefixes, so a healthy shard shows a high local hit rate.
+  struct CacheCounters {
+    std::uint64_t lookups = 0;
+    std::uint64_t local_hits = 0;
+    std::uint64_t shared_hits = 0;
+  };
+  [[nodiscard]] const CacheCounters& counters() const noexcept {
+    return counters_;
+  }
+
  private:
   /// Per-link precomputation of the crossing flows: predecessor link,
   /// largest-frame transmission time at the link's rate, BAG and release
@@ -158,18 +173,30 @@ class Analyzer {
 
   const TrafficConfig& cfg_;
   Options opt_;
-  std::unordered_map<std::uint64_t, Microseconds> memo_;
+  /// Prefix-bound memo, (vl, link) -> bound. Open-addressing flat map:
+  /// the segment-construction loop performs one lookup per interference
+  /// segment, and node-based std::unordered_map buckets made that the
+  /// largest single profile entry on 10k-VL networks.
+  common::FlatMap<Microseconds> memo_;
   std::unordered_set<std::uint64_t> in_progress_;
   std::optional<std::vector<Microseconds>> backlog_caps_;
   std::optional<std::vector<std::vector<FlowAtLink>>> flows_;
   /// Memoized min_arrival_at values (each first computed with the exact
   /// chain-walk summation, so memoization cannot perturb a bound).
-  mutable std::unordered_map<std::uint64_t, Microseconds> min_arrival_memo_;
+  mutable common::FlatMap<Microseconds> min_arrival_memo_;
   PrefixCache* shared_ = nullptr;
   /// Scratch pool, one frame per live recursion depth (frames are created
   /// on first use and keep their capacity across prefixes).
   std::vector<std::unique_ptr<ScratchFrame>> scratch_pool_;
   std::size_t scratch_depth_ = 0;
+  /// Bump arena for the per-prefix SoA candidate-sweep columns: each
+  /// compute_prefix carves its columns here and rewinds to its entry mark
+  /// on exit, so the sweep streams the same few hot pages for every prefix
+  /// of the shard instead of striding heap-grown vectors. (Columns are
+  /// only allocated after the segment recursion returns, so marks nest
+  /// strictly and a rewind can never free a caller's columns.)
+  common::BumpArena arena_;
+  CacheCounters counters_;
 };
 
 /// One-shot convenience wrapper.

@@ -1,9 +1,14 @@
-// Unit tests for units, error handling and the RNG wrapper.
+// Unit tests for units, error handling, the RNG wrapper, the bump arena
+// allocator and the open-addressing flat map.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <vector>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
@@ -97,6 +102,131 @@ TEST(Rng, ShuffleKeepsElements) {
   rng.shuffle(v);
   std::sort(v.begin(), v.end());
   EXPECT_EQ(v, orig);
+}
+
+TEST(Arena, AllocateRewindReset) {
+  common::BumpArena arena(256);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+
+  double* a = arena.alloc_array<double>(10);
+  for (int i = 0; i < 10; ++i) a[i] = i * 1.5;
+  const std::size_t used_after_a = arena.bytes_in_use();
+  EXPECT_GE(used_after_a, 10 * sizeof(double));
+
+  const common::BumpArena::Mark m = arena.mark();
+  double* b = arena.alloc_array<double>(100);  // forces a second block
+  b[99] = 1.0;
+  EXPECT_GE(arena.block_count(), 2u);
+  EXPECT_GT(arena.bytes_in_use(), used_after_a);
+  const std::size_t peak = arena.high_water();
+  EXPECT_GE(peak, arena.bytes_in_use());
+
+  arena.rewind(m);
+  EXPECT_EQ(arena.bytes_in_use(), used_after_a);
+  // The rewound allocation's memory stays mapped and data before the mark
+  // is untouched.
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a[i], i * 1.5);
+  EXPECT_EQ(arena.high_water(), peak);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.high_water(), peak);  // footprint is a high-water mark
+}
+
+TEST(Arena, AlignmentRespected) {
+  // The arena serves any alignment up to alignof(std::max_align_t) (block
+  // payloads carry max alignment; larger requests are clamped).
+  common::BumpArena arena(64);
+  (void)arena.allocate(1, 1);
+  constexpr std::size_t kAlign = alignof(std::max_align_t);
+  void* p = arena.allocate(kAlign, kAlign);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kAlign, 0u);
+  void* q = arena.allocate(sizeof(double), alignof(double));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % alignof(double), 0u);
+}
+
+TEST(Arena, ScopeInstallsAndNests) {
+  EXPECT_EQ(common::active_arena(), nullptr);
+  common::BumpArena outer_arena;
+  common::BumpArena inner_arena;
+  {
+    common::ArenaScope outer(outer_arena);
+    EXPECT_EQ(common::active_arena(), &outer_arena);
+    (void)outer_arena.alloc_array<char>(100);
+    {
+      common::ArenaScope inner(inner_arena);
+      EXPECT_EQ(common::active_arena(), &inner_arena);
+    }
+    EXPECT_EQ(common::active_arena(), &outer_arena);
+  }
+  EXPECT_EQ(common::active_arena(), nullptr);
+  // Scope exit rewinds to the entry mark.
+  EXPECT_EQ(outer_arena.bytes_in_use(), 0u);
+}
+
+TEST(Arena, AllocatorServesFromActiveArenaWithHeapFallback) {
+  using Vec = std::vector<double, common::ArenaAlloc<double>>;
+
+  // No active scope: plain heap behaviour, safe to destroy any time.
+  Vec heap_backed{1.0, 2.0, 3.0};
+  EXPECT_EQ(heap_backed.size(), 3u);
+
+  common::BumpArena arena;
+  std::size_t in_scope_usage = 0;
+  {
+    common::ArenaScope scope(arena);
+    Vec arena_backed;
+    for (int i = 0; i < 100; ++i) arena_backed.push_back(i);
+    in_scope_usage = arena.bytes_in_use();
+    EXPECT_GT(in_scope_usage, 0u);
+    // Heap-backed containers deallocate safely inside a scope too.
+    heap_backed.clear();
+    heap_backed.shrink_to_fit();
+  }
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+}
+
+TEST(FlatMap, InsertFindGrowClear) {
+  common::FlatMap<double> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(12345), nullptr);
+
+  // Enough keys to force several growth rounds past the 1024-slot start.
+  constexpr std::uint64_t kCount = 5000;
+  for (std::uint64_t k = 0; k < kCount; ++k) {
+    map.emplace(k * 1000003ull, static_cast<double>(k) * 0.5);
+  }
+  EXPECT_EQ(map.size(), kCount);
+  for (std::uint64_t k = 0; k < kCount; ++k) {
+    const double* hit = map.find(k * 1000003ull);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_DOUBLE_EQ(*hit, static_cast<double>(k) * 0.5);
+  }
+  EXPECT_EQ(map.find(999), nullptr);
+
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(0), nullptr);
+  map.emplace(7, 1.25);
+  const double* hit = map.find(7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(*hit, 1.25);
+}
+
+TEST(FlatMap, TrajectoryShapedKeys) {
+  // The analyzer keys are (vl << 32) | link -- never all-ones, clustered
+  // in both halves. The map must keep them distinct.
+  common::FlatMap<double> map;
+  for (std::uint64_t vl = 0; vl < 64; ++vl) {
+    for (std::uint64_t link = 0; link < 64; ++link) {
+      map.emplace((vl << 32) | link, static_cast<double>(vl * 64 + link));
+    }
+  }
+  EXPECT_EQ(map.size(), 64u * 64u);
+  const double* hit = map.find((63ull << 32) | 7ull);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(*hit, 63.0 * 64.0 + 7.0);
+  EXPECT_EQ(map.find((64ull << 32) | 7ull), nullptr);
 }
 
 }  // namespace

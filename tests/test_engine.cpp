@@ -615,6 +615,64 @@ TEST(Engine, StreamingMatchesResilientBitIdentically) {
   }
 }
 
+// The streaming summary carries the run's own cache deltas and per-shard
+// counters, so reuse is observable from the summary alone. Regression
+// test for the zero-reuse blind spot: a fresh single-thread run answers
+// every repeat lookup from the shard-local memo, so only a warm rerun
+// (fresh analyzers, same engine) exercises the shared caches -- the
+// second summary must show port-cache and prefix-cache hits, not zeros.
+TEST(Engine, StreamingWarmRerunHitsSharedCaches) {
+  const TrafficConfig cfg = small_industrial();
+  const std::size_t n = cfg.all_paths().size();
+  for (int threads : {1, 4}) {
+    AnalysisEngine eng(cfg, {threads});
+    const StreamSummary cold = eng.run_streaming(nullptr);
+    const StreamSummary warm = eng.run_streaming(nullptr);
+
+    // Warm results match cold ones (the max is order-independent; the
+    // running sum is accumulated in completion order, which legitimately
+    // varies between runs, so it is not compared bitwise).
+    EXPECT_EQ(warm.paths, cold.paths);
+    EXPECT_EQ(warm.ok, cold.ok);
+    EXPECT_EQ(warm.max_combined, cold.max_combined);
+    EXPECT_NEAR(warm.sum_combined, cold.sum_combined,
+                1e-6 * std::abs(cold.sum_combined));
+
+    // The cold run populates: its delta shows misses (and no port hits on
+    // a fresh engine beyond the netcalc pass's own reuse is required).
+    EXPECT_GT(cold.port_cache.misses, 0u) << "threads=" << threads;
+    EXPECT_GT(cold.prefix_cache.misses, 0u) << "threads=" << threads;
+
+    // The warm run reuses: every port bound and trajectory prefix is
+    // served from the shared caches.
+    EXPECT_GT(warm.port_cache.hits, 0u) << "threads=" << threads;
+    EXPECT_EQ(warm.port_cache.misses, 0u) << "threads=" << threads;
+    EXPECT_GT(warm.prefix_cache.hits, 0u) << "threads=" << threads;
+
+    // Per-shard accounting covers the whole run: every VL work item and
+    // every path landed in exactly one shard, and the warm shards saw
+    // shared-cache hits.
+    ASSERT_FALSE(warm.shards.empty());
+    std::size_t shard_vls = 0, shard_paths = 0;
+    std::uint64_t shard_lookups = 0, shard_shared_hits = 0;
+    for (const ShardMetrics& s : warm.shards) {
+      shard_vls += s.vls;
+      shard_paths += s.paths;
+      shard_lookups += s.lookups;
+      shard_shared_hits += s.shared_hits;
+    }
+    EXPECT_EQ(shard_vls, cfg.vl_count()) << "threads=" << threads;
+    EXPECT_EQ(shard_paths, n) << "threads=" << threads;
+    EXPECT_GT(shard_lookups, 0u);
+    EXPECT_GT(shard_shared_hits, 0u);
+    for (const ShardMetrics& s : warm.shards) {
+      EXPECT_LE(s.local_hits + s.shared_hits, s.lookups);
+      EXPECT_GE(s.hit_rate(), 0.0);
+      EXPECT_LE(s.hit_rate(), 1.0);
+    }
+  }
+}
+
 TEST(Engine, ResilientHonoursCancelledToken) {
   const TrafficConfig cfg = small_industrial();
   CancelToken cancel;

@@ -195,7 +195,7 @@ class RandomCurveProperty : public ::testing::TestWithParam<std::uint64_t> {
   /// Random concave non-decreasing curve (random burst + decreasing slopes).
   static Curve random_concave(Rng& rng) {
     const double burst = rng.uniform_real(0.0, 1000.0);
-    std::vector<Point> pts{{0.0, burst}};
+    minplus::PointVec pts{{0.0, burst}};
     double x = 0.0, y = burst;
     double slope = rng.uniform_real(50.0, 200.0);
     const int n = static_cast<int>(rng.uniform_int(0, 4));
@@ -299,7 +299,7 @@ class BruteForce : public ::testing::TestWithParam<std::uint64_t> {
  protected:
   static Curve random_concave(Rng& rng) {
     const double burst = rng.uniform_real(0.0, 500.0);
-    std::vector<Point> pts{{0.0, burst}};
+    minplus::PointVec pts{{0.0, burst}};
     double x = 0.0, y = burst;
     double slope = rng.uniform_real(40.0, 150.0);
     const int n = static_cast<int>(rng.uniform_int(0, 3));

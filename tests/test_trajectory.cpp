@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "common/error.hpp"
 #include "config/samples.hpp"
+#include "gen/industrial.hpp"
 #include "netcalc/netcalc_analyzer.hpp"
+#include "trajectory/sweep.hpp"
 
 namespace afdx::trajectory {
 namespace {
@@ -276,6 +280,79 @@ TEST(Trajectory, AnalyzerStaysConsistentAfterDivergenceThrow) {
   // instance.
   Analyzer control(cfg);
   EXPECT_EQ(an.bound_to_link(ok, ok_last), control.bound_to_link(ok, ok_last));
+}
+
+// Every path bound under one sweep kernel, bitwise. Fresh analyzers per
+// kernel so no memoized value crosses over.
+std::vector<Microseconds> bounds_with_kernel(const TrafficConfig& cfg,
+                                             sweep::Kind kind,
+                                             const Options& options) {
+  sweep::set_active(kind);
+  Analyzer an(cfg, options);
+  std::vector<Microseconds> out;
+  for (const VlPath& p : cfg.all_paths()) {
+    out.push_back(an.bound_to_link(p.vl, p.links.back()));
+  }
+  return out;
+}
+
+// Restores the dispatched kernel even when an assertion throws out of the
+// test body.
+struct KernelGuard {
+  sweep::Kind saved = sweep::active();
+  ~KernelGuard() { sweep::set_active(saved); }
+};
+
+// The SIMD kernel's contract (sweep.hpp): identical bits, not just
+// identical up to tolerance. The golden pair: the paper's sample config
+// (short candidate lists, envelope exits early) and a grid of fuzzed
+// 2-domain industrial configurations sweeping seed, multicast fan-out and
+// BAG spread -- thousands of prefixes with long candidate lists, remainder
+// tails of every length mod 4, and saturating nodes.
+TEST(TrajectorySweep, SimdMatchesScalarBitwiseOnSampleConfig) {
+  if (!sweep::simd_available()) GTEST_SKIP() << "AVX2 not available";
+  KernelGuard guard;
+  const TrafficConfig cfg = config::sample_config();
+  for (const bool serialization : {true, false}) {
+    Options options;
+    options.serialization = serialization;
+    const auto scalar =
+        bounds_with_kernel(cfg, sweep::Kind::kScalar, options);
+    const auto simd = bounds_with_kernel(cfg, sweep::Kind::kSimd, options);
+    ASSERT_EQ(scalar.size(), simd.size());
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+      EXPECT_EQ(scalar[i], simd[i]) << "path " << i;  // exact, no tolerance
+    }
+  }
+}
+
+TEST(TrajectorySweep, SimdMatchesScalarBitwiseOnFuzzedGrid) {
+  if (!sweep::simd_available()) GTEST_SKIP() << "AVX2 not available";
+  KernelGuard guard;
+  for (const std::uint64_t seed : {7ull, 1234ull, 987654ull}) {
+    for (const int fanout : {2, 6}) {
+      gen::IndustrialOptions go;
+      go.seed = seed;
+      go.domains = 2;
+      go.vl_count = 160;
+      go.switch_count = 4;
+      go.end_system_count = 12;
+      go.max_multicast_fanout = fanout;
+      // A narrow BAG band piles many same-period segments onto each node,
+      // which is where the dedup + saturation paths get exercised.
+      go.min_bag_ms = (seed % 2 == 0) ? 2.0 : 8.0;
+      go.max_bag_ms = (seed % 2 == 0) ? 128.0 : 16.0;
+      const TrafficConfig cfg = gen::industrial_config(go);
+      const auto scalar =
+          bounds_with_kernel(cfg, sweep::Kind::kScalar, Options{});
+      const auto simd = bounds_with_kernel(cfg, sweep::Kind::kSimd, Options{});
+      ASSERT_EQ(scalar.size(), simd.size());
+      for (std::size_t i = 0; i < scalar.size(); ++i) {
+        EXPECT_EQ(scalar[i], simd[i])
+            << "seed " << seed << " fanout " << fanout << " path " << i;
+      }
+    }
+  }
 }
 
 }  // namespace
